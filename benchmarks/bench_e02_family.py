@@ -1,0 +1,87 @@
+"""E2 — Figures 1 & 3: the restricted family, constructed and audited.
+
+Regenerates the construction for a sweep of (n, k): assembles M from random
+blocks, validates every fixed-entry constraint of both figures, and counts
+the free bit positions — which must be Θ(k n²) (the family's information
+content, the raw material of the whole lower bound).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.singularity import FamilyInstance, RestrictedFamily
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+SWEEP = [(5, 3), (7, 2), (9, 2), (11, 2), (9, 4), (13, 2), (7, 5)]
+
+
+def audit_family(n: int, k: int, rng) -> dict:
+    fam = RestrictedFamily(n, k)
+    inst = FamilyInstance.random(fam, rng)
+    m = inst.m_matrix()
+    # Fixed-frame audit (Fig. 1).
+    assert m.col(0)[0] == 1 and all(x == 0 for x in m.col(0)[1:])
+    size = fam.m_size
+    for i in range(n):
+        for j in range(n, size):
+            expected = 1 if i + j == size - 1 else (fam.q if i + j == size else 0)
+            assert m[i, j] == expected
+    # Free-cell audit (Fig. 3).
+    free_cells = fam.free_cells()
+    assert len(free_cells) == len(set(free_cells))
+    free_bits = fam.free_bit_count()
+    return {
+        "n": n,
+        "k": k,
+        "q": fam.q,
+        "free_bits": free_bits,
+        "total_bits": k * size * size,
+        "fraction": free_bits / (k * size * size),
+        "ratio_kn2": free_bits / (k * n * n),
+    }
+
+
+def build_table(rng) -> tuple[Table, list[dict]]:
+    table = Table(
+        ["n", "k", "q", "free bits", "total bits", "free/total", "free/(k n^2)"],
+        title="E2: restricted family free information = Theta(k n^2)",
+    )
+    results = []
+    for n, k in SWEEP:
+        row = audit_family(n, k, rng)
+        results.append(row)
+        table.add_row(
+            [
+                row["n"],
+                row["k"],
+                row["q"],
+                row["free_bits"],
+                row["total_bits"],
+                f"{row['fraction']:.3f}",
+                f"{row['ratio_kn2']:.3f}",
+            ]
+        )
+    return table, results
+
+
+@pytest.mark.benchmark(group="e02")
+def test_e02_family_construction(benchmark, rng):
+    table, results = benchmark(build_table, rng)
+    emit(table)
+    # Θ(k n²): the free/(k n²) ratio sits in a fixed band across the sweep.
+    ratios = [r["ratio_kn2"] for r in results]
+    assert all(0.3 < r < 1.0 for r in ratios)
+
+
+@pytest.mark.benchmark(group="e02")
+def test_e02_construction_speed(benchmark):
+    # The raw constructor cost at the largest sweep point (matrix assembly).
+    rng = ReproducibleRNG(7)
+    fam = RestrictedFamily(13, 2)
+
+    def build():
+        return FamilyInstance.random(fam, rng).m_matrix()
+
+    m = benchmark(build)
+    assert m.shape == (26, 26)

@@ -1,0 +1,73 @@
+"""E3 — Lemma 3.2: M singular ⇔ B·u ∈ Span(A), measured.
+
+Checks the equivalence on both populations (random instances — almost all
+nonsingular — and completed instances — all singular) across the parameter
+sweep, and times the two sides separately: the span-membership test is the
+cheap surrogate the whole Section 3 analysis rides on.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.exact import column_space_contains, is_singular
+from repro.singularity import (
+    FamilyInstance,
+    RestrictedFamily,
+    check_equivalence,
+    complete_and_check_singular,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+SWEEP = [(5, 3), (7, 2), (9, 2), (11, 2)]
+
+
+def run_equivalence(trials_per_cell: int = 8) -> tuple[Table, int]:
+    table = Table(
+        ["n", "k", "random ok", "singular ok"],
+        title="E3: Lemma 3.2 equivalence (checked both directions)",
+    )
+    rng = ReproducibleRNG(3)
+    total = 0
+    for n, k in SWEEP:
+        fam = RestrictedFamily(n, k)
+        random_ok = 0
+        for _ in range(trials_per_cell):
+            if check_equivalence(FamilyInstance.random(fam, rng)):
+                random_ok += 1
+                total += 1
+        singular_ok = 0
+        for _ in range(trials_per_cell):
+            inst = complete_and_check_singular(
+                fam, fam.random_c(rng), fam.random_e(rng)
+            )
+            if check_equivalence(inst):
+                singular_ok += 1
+                total += 1
+        table.add_row([n, k, f"{random_ok}/{trials_per_cell}", f"{singular_ok}/{trials_per_cell}"])
+    return table, total
+
+
+@pytest.mark.benchmark(group="e03")
+def test_e03_equivalence(benchmark):
+    table, total = benchmark(run_equivalence)
+    emit(table)
+    assert total == len(SWEEP) * 16  # every check passed
+
+
+@pytest.mark.benchmark(group="e03")
+def test_e03_membership_vs_rank_cost(benchmark):
+    # The surrogate's speed: span membership on the n x (n-1) system vs the
+    # full 2n x 2n singularity rank.
+    rng = ReproducibleRNG(4)
+    fam = RestrictedFamily(11, 2)
+    inst = FamilyInstance.random(fam, rng)
+    a = inst.a_matrix()
+    bu = inst.b_times_u()
+    m = inst.m_matrix()
+
+    def both():
+        return column_space_contains(a, bu), is_singular(m)
+
+    member, singular = benchmark(both)
+    assert member == singular

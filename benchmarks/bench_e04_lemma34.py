@@ -1,0 +1,64 @@
+"""E4 — Lemma 3.4: distinct C ⇒ distinct Span(A), counted.
+
+Regenerates the lemma's count exhaustively on the fully enumerable family
+(n=5, k=2: all q^{(n-1)²/4} = 81 C instances) and by sampling on larger
+families, plus the constructive inverse (C recovered from the span), which
+is a strictly stronger witness of injectivity than pairwise comparison.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.singularity import (
+    RestrictedFamily,
+    count_distinct_spans_sampled,
+    recover_c_from_span,
+    spans_are_distinct,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def exhaustive_count() -> tuple[Table, int]:
+    fam = RestrictedFamily(5, 2)
+    all_c = list(fam.enumerate_c())
+    distinct = spans_are_distinct(fam, all_c)
+    table = Table(
+        ["n", "k", "C instances", "distinct spans", "paper's q^((n-1)^2/4)"],
+        title="E4a: Lemma 3.4 exhaustively (n=5, k=2)",
+    )
+    table.add_row([5, 2, len(all_c), len(all_c) if distinct else "<", fam.count_c_instances()])
+    return table, len(all_c) if distinct else 0
+
+
+def sampled_counts() -> tuple[Table, list[int]]:
+    table = Table(
+        ["n", "k", "samples", "distinct spans", "recoveries ok"],
+        title="E4b: Lemma 3.4 sampled + constructive inverse",
+    )
+    rng = ReproducibleRNG(4)
+    outcomes = []
+    for n, k in [(7, 2), (9, 2), (7, 3)]:
+        fam = RestrictedFamily(n, k)
+        distinct, samples = count_distinct_spans_sampled(fam, rng, 30)
+        recovered = sum(
+            recover_c_from_span(fam, fam.span_a(c)) == c
+            for c in (fam.random_c(rng) for _ in range(10))
+        )
+        outcomes.append(recovered)
+        table.add_row([n, k, samples, distinct, f"{recovered}/10"])
+    return table, outcomes
+
+
+@pytest.mark.benchmark(group="e04")
+def test_e04_exhaustive(benchmark):
+    table, count = benchmark(exhaustive_count)
+    emit(table)
+    assert count == 81  # q^{h^2} = 3^4, all distinct
+
+
+@pytest.mark.benchmark(group="e04")
+def test_e04_sampled_and_recovery(benchmark):
+    table, outcomes = benchmark(sampled_counts)
+    emit(table)
+    assert all(r == 10 for r in outcomes)

@@ -1,0 +1,126 @@
+"""E5 — Lemma 3.5 / claim (2a): completions and ones-per-row counts.
+
+Regenerates:
+
+* part (a): the constructive completion succeeds for every (C, E) drawn
+  across the sweep — each completed matrix verified singular by exact rank;
+* part (b): the per-row "one" count bounds — lower bound = #distinct E
+  (each E completes to a distinct singular column, injectivity checked),
+  upper bound = #B instances; printed in the paper's q-exponent currency.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.singularity import (
+    RestrictedFamily,
+    complete_and_check_singular,
+    distinct_e_give_distinct_columns,
+    ones_lower_bound,
+    ones_upper_bound,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+SWEEP = [(5, 3), (7, 2), (9, 2), (11, 2), (9, 4)]
+
+
+def completions(trials: int = 6) -> tuple[Table, int]:
+    table = Table(
+        ["n", "k", "completions ok", "per-completion verified singular"],
+        title="E5a: Lemma 3.5(a) constructive completions",
+    )
+    rng = ReproducibleRNG(5)
+    total = 0
+    for n, k in SWEEP:
+        fam = RestrictedFamily(n, k)
+        ok = 0
+        for _ in range(trials):
+            complete_and_check_singular(fam, fam.random_c(rng), fam.random_e(rng))
+            ok += 1
+        total += ok
+        table.add_row([n, k, f"{ok}/{trials}", "yes (exact rank)"])
+    return table, total
+
+
+def ones_counts() -> tuple[Table, list[tuple[float, float]]]:
+    table = Table(
+        [
+            "n", "k", "q",
+            "ones/row lower (log_q)", "ones/row upper (log_q)",
+            "paper n^2/2",
+            "injective E->col",
+        ],
+        title="E5b: claim (2a) per-row one counts (q-exponents)",
+    )
+    rng = ReproducibleRNG(6)
+    pairs = []
+    for n, k in SWEEP:
+        fam = RestrictedFamily(n, k)
+        lo = math.log(ones_lower_bound(fam)) / math.log(fam.q) if fam.e_width else 0.0
+        hi = math.log(ones_upper_bound(fam)) / math.log(fam.q)
+        injective = distinct_e_give_distinct_columns(
+            fam,
+            fam.random_c(rng),
+            list({fam.random_e(rng) for _ in range(8)}),
+        )
+        pairs.append((lo, hi))
+        table.add_row(
+            [n, k, fam.q, f"{lo:.1f}", f"{hi:.1f}", f"{n * n / 2:.1f}", injective]
+        )
+    return table, pairs
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_completions(benchmark):
+    table, total = benchmark(completions)
+    emit(table)
+    assert total == len(SWEEP) * 6
+
+
+def exact_counts():
+    """E5c: the per-row one count, EXACTLY, via the left-null-vector
+    convolution (counts all q^{(n²-1)/2} columns in milliseconds)."""
+    import math
+
+    from repro.singularity.lemma35 import count_singular_columns_exact
+
+    rng = ReproducibleRNG(55)
+    table = Table(
+        ["n", "k", "B instances", "singular columns (exact)", "log_q", "paper window (log_q)"],
+        title="E5c: claim (2a) counted exactly (null-vector convolution)",
+    )
+    rows = []
+    for n, k in [(5, 2), (5, 3), (7, 2)]:
+        fam = RestrictedFamily(n, k)
+        c = fam.random_c(rng)
+        count = count_singular_columns_exact(fam, c)
+        log_q = math.log(count) / math.log(fam.q) if count else 0.0
+        lo = fam.h * fam.e_width
+        hi = (n * n - 1) / 2
+        rows.append((fam, count))
+        table.add_row(
+            [n, k, fam.count_b_instances(), count, f"{log_q:.2f}", f"[{lo}, {hi:.1f}]"]
+        )
+    return table, rows
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_exact_counts(benchmark):
+    table, rows = benchmark(exact_counts)
+    emit(table)
+    for fam, count in rows:
+        assert ones_lower_bound(fam) <= count <= ones_upper_bound(fam)
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_ones_counts(benchmark):
+    table, pairs = benchmark(ones_counts)
+    emit(table)
+    for lo, hi in pairs:
+        assert lo <= hi
+    # The shape: both exponents approach n²/2 as n grows (the last sweep
+    # entries have larger lower exponents than the first).
+    assert pairs[-2][0] > pairs[0][0]

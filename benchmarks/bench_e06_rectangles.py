@@ -1,0 +1,128 @@
+"""E6 — Lemmas 3.3/3.6/3.7, claim (2b): 1-rectangles must be small.
+
+Regenerates, at enumerable scale (n=5, k=3 — the smallest nonempty-E
+family), the machinery that limits 1-chromatic submatrices:
+
+* the intersection-dimension decay as rows accumulate (Lemma 3.6's engine);
+* the projected dimension drop by h (the first h columns of A die under p);
+* the column cap (q^{e_width})^{dim p(V)} versus the *measured* number of
+  E·w vectors inside the projected intersection (exact enumeration);
+* an explicit restricted truth matrix with its max 1-rectangle, whose
+  covered fraction must shrink as rows are added.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm import truth_matrix_from_family
+from repro.comm.rectangles import max_one_rectangle
+from repro.exact.span import Subspace
+from repro.singularity import (
+    RestrictedFamily,
+    complete,
+    count_ew_vectors_in_subspace,
+    intersection_dimension_profile,
+    one_rectangle_column_cap,
+    projected_intersection_dimension,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def dimension_decay() -> tuple[Table, list[int]]:
+    fam = RestrictedFamily(7, 2)
+    rng = ReproducibleRNG(6)
+    cs = [fam.random_c(rng) for _ in range(8)]
+    profile = intersection_dimension_profile(fam, cs)
+    table = Table(
+        ["rows", "dim intersection", "dim projected", "column cap"],
+        title="E6a: Lemma 3.6 intersection-dimension decay (n=7, k=2)",
+    )
+    for t in range(1, len(cs) + 1):
+        projected = projected_intersection_dimension(fam, cs[:t])
+        cap = one_rectangle_column_cap(fam, cs[:t])
+        table.add_row([t, profile[t - 1], projected, cap])
+    return table, profile
+
+
+def measured_cap() -> tuple[Table, list[tuple[int, int]]]:
+    fam = RestrictedFamily(5, 3)
+    rng = ReproducibleRNG(7)
+    table = Table(
+        ["rows", "dim p(V)", "cap (q^e_width)^dim", "measured #Ew in p(V)"],
+        title="E6b: Lemma 3.7 cap vs exact enumeration (n=5, k=3)",
+    )
+    pairs = []
+    for t in (1, 2, 3):
+        cs = [fam.random_c(rng) for _ in range(t)]
+        spans = [fam.span_a(c) for c in cs]
+        projected = Subspace.intersection_of(spans).project(
+            fam.projection_indices()
+        )
+        cap = one_rectangle_column_cap(fam, cs)
+        measured = count_ew_vectors_in_subspace(fam, projected)
+        pairs.append((measured, cap))
+        table.add_row([t, projected.dimension, cap, measured])
+    return table, pairs
+
+
+def explicit_rectangle_fraction() -> tuple[Table, list[float]]:
+    fam = RestrictedFamily(5, 3)
+    rng = ReproducibleRNG(8)
+    rows = []
+    seen = set()
+    while len(rows) < 25:
+        c = fam.random_c(rng)
+        if c not in seen:
+            seen.add(c)
+            rows.append(c)
+    columns = []
+    for c in rows[:12]:
+        e = fam.random_e(rng)
+        comp = complete(fam, c, e)
+        columns.append((comp.d, e, comp.y))
+    for _ in range(25):
+        columns.append((fam.random_d(rng), fam.random_e(rng), fam.random_y(rng)))
+    spans = {c: fam.span_a(c) for c in rows}
+
+    def predicate(c, col):
+        return fam.b_times_u_from_blocks(*col) in spans[c]
+
+    fractions = []
+    table = Table(
+        ["rows used", "ones", "max 1-rect area", "fraction covered"],
+        title="E6c: claim (2b) on an explicit restricted truth matrix",
+    )
+    for row_count in (5, 15, 25):
+        tm = truth_matrix_from_family(predicate, rows[:row_count], columns)
+        area, _, _ = max_one_rectangle(tm)
+        ones = max(1, tm.ones_count())
+        fraction = area / ones
+        fractions.append(fraction)
+        table.add_row([row_count, tm.ones_count(), area, f"{fraction:.3f}"])
+    return table, fractions
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_dimension_decay(benchmark):
+    table, profile = benchmark(dimension_decay)
+    emit(table)
+    assert profile[0] == 6  # n - 1
+    assert all(a >= b for a, b in zip(profile, profile[1:]))
+    assert profile[-1] >= 3  # never below h (the fixed columns survive)
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_cap_vs_enumeration(benchmark):
+    table, pairs = benchmark(measured_cap)
+    emit(table)
+    for measured, cap in pairs:
+        assert measured <= cap
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_rectangle_fraction_shrinks(benchmark):
+    table, fractions = benchmark(explicit_rectangle_fraction)
+    emit(table)
+    assert fractions[-1] <= fractions[0]
+    assert fractions[-1] < 1.0

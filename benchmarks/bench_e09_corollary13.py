@@ -1,0 +1,90 @@
+"""E9 — Corollary 1.3: solvability of A·x = b inherits Θ(k n²).
+
+Regenerates the reduction (M singular ⇔ M'·x = b solvable on the family),
+the ablation showing it *needs* the family's column independence, and the
+measured protocol costs for the solvability problem itself: trivial
+deterministic vs mod-p fingerprint, across k.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.exact import Matrix, Vector, is_solvable
+from repro.singularity import (
+    FamilyInstance,
+    RestrictedFamily,
+    complete_and_check_singular,
+    corollary_13_holds,
+)
+from repro.singularity.reductions import corollary_13_requires_family
+from repro.protocols import FingerprintSolvability, TrivialSolvability
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def reduction_checks(trials: int = 8) -> tuple[Table, int]:
+    rng = ReproducibleRNG(9)
+    table = Table(
+        ["n", "k", "biconditional holds", "ablation (outside family)"],
+        title="E9a: Corollary 1.3 reduction",
+    )
+    total = 0
+    for n, k in [(5, 3), (7, 2), (9, 2)]:
+        fam = RestrictedFamily(n, k)
+        ok = 0
+        for t in range(trials):
+            if t % 2:
+                inst = FamilyInstance.random(fam, rng)
+            else:
+                inst = complete_and_check_singular(
+                    fam, fam.random_c(rng), fam.random_e(rng)
+                )
+            if corollary_13_holds(inst):
+                ok += 1
+        total += ok
+        _, singular, solvable = corollary_13_requires_family(fam)
+        ablation = "singular yet unsolvable" if singular and not solvable else "?"
+        table.add_row([n, k, f"{ok}/{trials}", ablation])
+    return table, total
+
+
+def protocol_costs() -> tuple[Table, list[tuple[int, int]]]:
+    table = Table(
+        ["n", "k", "trivial bits", "fingerprint bits", "ratio"],
+        title="E9b: solvability protocol costs (deterministic vs randomized)",
+    )
+    rng = ReproducibleRNG(10)
+    pairs = []
+    for n, k in [(4, 4), (4, 16), (4, 64), (6, 64)]:
+        a = Matrix.random_kbit(rng, n, n, k)
+        b = Vector([rng.kbit_entry(k) for _ in range(n)])
+        trivial = TrivialSolvability(n, k).run_on_system(a, b).bits_exchanged
+        fingerprint = FingerprintSolvability(n, k).run_on_system(a, b, 0).bits_exchanged
+        pairs.append((trivial, fingerprint))
+        table.add_row([n, k, trivial, fingerprint, f"{trivial / fingerprint:.2f}"])
+    return table, pairs
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_reduction(benchmark):
+    table, total = benchmark(reduction_checks)
+    emit(table)
+    assert total == 3 * 8
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_protocol_costs(benchmark):
+    table, pairs = benchmark(protocol_costs)
+    emit(table)
+    # Shape: the deterministic/randomized ratio grows with k.
+    ratios = [t / f for t, f in pairs[:3]]
+    assert ratios[2] > ratios[0]
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_exact_solvability_cost(benchmark):
+    rng = ReproducibleRNG(11)
+    a = Matrix.random_kbit(rng, 12, 12, 4)
+    b = Vector([rng.kbit_entry(4) for _ in range(12)])
+    result = benchmark(is_solvable, a, b)
+    assert result in (True, False)

@@ -1,0 +1,87 @@
+"""E10 — the [[I, B], [A, C]] construction and product verification.
+
+Regenerates the Section 1 bridge: A·B = C iff the 2n×2n block matrix has
+rank n (verified both directions), the rank-deficit identity, and the
+protocol-cost contrast — deterministic verification at Θ(k n²) vs Freivalds
+at O(n (k + log n)) — whose ratio must grow linearly in n.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines import rank_deficit
+from repro.exact import Matrix, rank
+from repro.protocols import DeterministicMatMulVerify, FreivaldsVerify
+from repro.singularity import product_equals_via_rank, rank_identity_holds
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def bridge_checks(trials: int = 6) -> tuple[Table, int]:
+    rng = ReproducibleRNG(10)
+    table = Table(
+        ["n", "k", "true products ok", "perturbed ok", "rank identity ok"],
+        title="E10a: A*B = C <=> rank([[I,B],[A,C]]) = n",
+    )
+    total = 0
+    for n, k in [(3, 2), (4, 2), (5, 3)]:
+        good = perturbed = identity_ok = 0
+        for _ in range(trials):
+            a = Matrix.random_kbit(rng, n, n, k)
+            b = Matrix.random_kbit(rng, n, n, k)
+            c = a @ b
+            if product_equals_via_rank(a, b, c):
+                good += 1
+            wrong = c.with_entry(
+                rng.randrange(n), rng.randrange(n), c[0, 0] + 1
+            )
+            if not product_equals_via_rank(a, b, wrong):
+                perturbed += 1
+            if rank_identity_holds(a, b, wrong):
+                identity_ok += 1
+        total += good + perturbed + identity_ok
+        table.add_row(
+            [n, k, f"{good}/{trials}", f"{perturbed}/{trials}", f"{identity_ok}/{trials}"]
+        )
+    return table, total
+
+
+def protocol_contrast() -> tuple[Table, list[float]]:
+    table = Table(
+        ["n", "k", "deterministic bits", "freivalds bits", "ratio"],
+        title="E10b: verification protocols (deterministic vs Freivalds)",
+    )
+    ratios = []
+    for n in (8, 16, 32):
+        k = 4
+        det = DeterministicMatMulVerify(n, k).exact_cost_bits()
+        frei = FreivaldsVerify(n, k, rounds=2).cost_bits()
+        ratios.append(det / frei)
+        table.add_row([n, k, det, frei, f"{det / frei:.2f}"])
+    return table, ratios
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_bridge(benchmark):
+    table, total = benchmark(bridge_checks)
+    emit(table)
+    assert total == 3 * 18
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_protocol_ratio_grows_linearly(benchmark):
+    table, ratios = benchmark(protocol_contrast)
+    emit(table)
+    # det/freivalds ~ k n^2 / (n log) : roughly linear growth in n.
+    assert ratios[1] > 1.5 * ratios[0]
+    assert ratios[2] > 1.5 * ratios[1]
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_rank_deficit_cost(benchmark):
+    rng = ReproducibleRNG(11)
+    a = Matrix.random_kbit(rng, 8, 8, 2)
+    b = Matrix.random_kbit(rng, 8, 8, 2)
+    c = Matrix.random_kbit(rng, 8, 8, 4)
+    deficit = benchmark(rank_deficit, a, b, c)
+    assert 0 <= deficit <= 8

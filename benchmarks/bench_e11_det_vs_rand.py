@@ -1,0 +1,88 @@
+"""E11 — deterministic Θ(k n²) vs randomized O(n² max(log n, log k)).
+
+The paper's headline contrast, *measured on the channel*: the trivial
+protocol and the fingerprint protocol run on real inputs over real bit
+pipes, across an (n, k) sweep.  Shape contract:
+
+* the ratio trivial/fingerprint grows ∝ k / max(log n, log k);
+* the crossover sits where k ≈ 4·max(log n, log k) (our constant);
+* the fingerprint's measured error stays 0 on the singular side (one-sided)
+  and below the analytical bound on the nonsingular side.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm import MatrixBitCodec, pi_zero
+from repro.exact import Matrix, is_singular
+from repro.protocols import (
+    FingerprintProtocol,
+    TrivialProtocol,
+    error_upper_bound,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def cost_sweep() -> tuple[Table, list[tuple[int, float]]]:
+    table = Table(
+        ["2n", "k", "trivial bits", "fingerprint bits", "ratio", "winner"],
+        title="E11a: measured deterministic vs randomized cost",
+    )
+    rng = ReproducibleRNG(11)
+    ratios = []
+    for size, k in [(6, 2), (6, 8), (6, 32), (6, 128), (10, 128)]:
+        codec = MatrixBitCodec(size, size, k)
+        partition = pi_zero(codec)
+        m = Matrix.random_kbit(rng, size, size, k)
+        trivial = TrivialProtocol(codec, partition).run_on_matrix(m).bits_exchanged
+        fingerprint = FingerprintProtocol(codec, partition).run_on_matrix(m, 0).bits_exchanged
+        ratio = trivial / fingerprint
+        ratios.append((k, ratio))
+        table.add_row(
+            [size, k, trivial, fingerprint, f"{ratio:.2f}",
+             "randomized" if fingerprint < trivial else "deterministic"]
+        )
+    return table, ratios
+
+
+def error_measurement(trials: int = 40) -> tuple[Table, float]:
+    # Error on the singular side must be exactly 0 (one-sided).
+    codec = MatrixBitCodec(6, 6, 2)
+    protocol = FingerprintProtocol(codec, pi_zero(codec))
+    singular = Matrix(
+        [[1, 1, 0, 0, 0, 0], [2, 2, 0, 0, 0, 0]] + [[0] * 6] * 4
+    )
+    assert is_singular(singular)
+    wrong_singular = sum(
+        not protocol.decide(singular, seed) for seed in range(trials)
+    )
+    wrong_nonsingular = sum(
+        protocol.decide(Matrix.identity(6), seed) for seed in range(trials)
+    )
+    bound = error_upper_bound(3, 2, protocol.prime_bits)
+    table = Table(
+        ["side", "errors", "trials", "analytic bound"],
+        title="E11b: fingerprint error measurement",
+    )
+    table.add_row(["singular (must be 0)", wrong_singular, trials, "0 (one-sided)"])
+    table.add_row(["nonsingular", wrong_nonsingular, trials, f"{bound:.2e}"])
+    return table, wrong_singular + wrong_nonsingular
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_cost_sweep(benchmark):
+    table, ratios = benchmark(cost_sweep)
+    emit(table)
+    # Ratio strictly increasing in k at fixed n — the paper's contrast.
+    ks = [r for k, r in ratios[:4]]
+    assert ks[1] > ks[0] and ks[2] > ks[1] and ks[3] > ks[2]
+    # And the largest-k point must favor the randomized protocol.
+    assert ratios[3][1] > 1.0
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_error(benchmark):
+    table, total_errors = benchmark(error_measurement)
+    emit(table)
+    assert total_errors == 0  # 24-bit primes never divide these tiny dets

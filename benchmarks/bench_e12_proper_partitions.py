@@ -1,0 +1,76 @@
+"""E12 — Figure 4 / Lemma 3.9: normalizing arbitrary partitions to proper.
+
+Regenerates the normalization on a battery of adversarial and random even
+partitions for several families: every one must yield a verified
+Properization certificate (row/column permutations + optional agent swap).
+Also prints the certificate weights against the Definition 3.8 thresholds.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm import checkerboard, interleaved, pi_zero, random_even_partition, row_split
+from repro.singularity import (
+    RestrictedFamily,
+    is_proper,
+    make_proper,
+    required_c_bits,
+    required_e_row_bits,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def normalize_battery() -> tuple[Table, int]:
+    table = Table(
+        ["n", "k", "partition", "already proper", "normalized ok", "C weight/need", "min E row/need"],
+        title="E12: Lemma 3.9 normalization battery",
+    )
+    rng = ReproducibleRNG(12)
+    successes = 0
+    for n, k in [(7, 2), (9, 2)]:
+        fam = RestrictedFamily(n, k)
+        codec = fam.codec()
+        named = {
+            "pi0": pi_zero(codec),
+            "pi0-swapped": pi_zero(codec).swapped(),
+            "row-split": row_split(codec),
+            "interleaved": interleaved(codec),
+            "checkerboard": checkerboard(codec),
+            "random-even-1": random_even_partition(rng, codec),
+            "random-even-2": random_even_partition(rng, codec),
+        }
+        for name, partition in named.items():
+            already = is_proper(fam, partition)
+            cert = make_proper(fam, partition)
+            ok = cert.verify(partition)
+            successes += ok
+            min_e = min(cert.e_row_weights) if cert.e_row_weights else "-"
+            table.add_row(
+                [
+                    n,
+                    k,
+                    name,
+                    already,
+                    ok,
+                    f"{cert.c_weight}/{required_c_bits(fam)}",
+                    f"{min_e}/{required_e_row_bits(fam)}",
+                ]
+            )
+    return table, successes
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_normalization(benchmark):
+    table, successes = benchmark(normalize_battery)
+    emit(table)
+    assert successes == 2 * 7  # every partition normalized with certificate
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_single_normalization_cost(benchmark):
+    fam = RestrictedFamily(9, 2)
+    rng = ReproducibleRNG(13)
+    partition = random_even_partition(rng, fam.codec())
+    cert = benchmark(make_proper, fam, partition)
+    assert cert.verify(partition)

@@ -1,0 +1,113 @@
+"""E14 — the vector space span problem (Lovász–Saks vs Theorem 1.1).
+
+Regenerates:
+
+* exact lattice sizes #L and the log₂ #L fixed-partition bound for small
+  generating sets;
+* the singularity ↔ span-problem bridge verified on both populations;
+* the comparison row: for X = k-bit integer vectors, the unrestricted bound
+  (Theorem 1.1) vs the information content k·n of a single subspace input.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines import (
+    fixed_partition_bound_bits,
+    join_closed,
+    lattice_size,
+    unrestricted_bound_bits,
+)
+from repro.exact import Matrix, Vector
+from repro.singularity import (
+    complete_and_check_singular,
+    RestrictedFamily,
+    span_instance_agrees_with_singularity,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def lattice_table() -> tuple[Table, list[int]]:
+    table = Table(
+        ["X", "ambient", "#L", "log2 #L (fixed-partition CC)", "join-closed"],
+        title="E14a: Lovasz-Saks lattice bound on explicit generating sets",
+    )
+    sets = {
+        "e1,e2": [Vector([1, 0]), Vector([0, 1])],
+        "e1,e2,e1+e2": [Vector([1, 0]), Vector([0, 1]), Vector([1, 1])],
+        "basis of Q^3": [Vector([1, 0, 0]), Vector([0, 1, 0]), Vector([0, 0, 1])],
+        "4 generic in Q^3": [
+            Vector([1, 0, 0]),
+            Vector([0, 1, 0]),
+            Vector([1, 0, 1]),
+            Vector([0, 1, 1]),
+        ],
+    }
+    sizes = []
+    for name, xs in sets.items():
+        size = lattice_size(xs)
+        sizes.append(size)
+        table.add_row(
+            [name, len(xs[0]), size, f"{fixed_partition_bound_bits(xs):.2f}", join_closed(xs)]
+        )
+    return table, sizes
+
+
+def bridge_checks(trials: int = 10) -> tuple[Table, int]:
+    rng = ReproducibleRNG(14)
+    fam = RestrictedFamily(7, 2)
+    ok_random = sum(
+        span_instance_agrees_with_singularity(Matrix.random_kbit(rng, 6, 6, 2))
+        for _ in range(trials)
+    )
+    ok_singular = sum(
+        span_instance_agrees_with_singularity(
+            complete_and_check_singular(
+                fam, fam.random_c(rng), fam.random_e(rng)
+            ).m_matrix()
+        )
+        for _ in range(3)
+    )
+    table = Table(
+        ["population", "bridge agrees"],
+        title="E14b: singularity <-> span-problem bridge",
+    )
+    table.add_row(["random 6x6", f"{ok_random}/{trials}"])
+    table.add_row(["singular family 14x14", f"{ok_singular}/3"])
+    return table, ok_random + ok_singular
+
+
+def comparison_rows() -> Table:
+    table = Table(
+        ["n", "k", "one input (k*n bits)", "Theorem 1.1 bound (k*n^2)"],
+        title="E14c: unrestricted span-problem complexity for k-bit X",
+    )
+    for n, k in [(16, 2), (64, 4), (256, 8)]:
+        table.add_row([n, k, k * n, f"{unrestricted_bound_bits(n, k):.0f}"])
+    return table
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_lattices(benchmark):
+    table, sizes = benchmark(lattice_table)
+    emit(table)
+    assert sizes[0] == 4
+    assert sizes[1] == 5  # three lines + zero + the plane
+    assert sizes[2] == 8  # Boolean lattice of a basis
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_bridge(benchmark):
+    table, total = benchmark(bridge_checks)
+    emit(table)
+    assert total == 13
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_comparison(benchmark):
+    table = benchmark(comparison_rows)
+    emit(table)
+    rows = table.as_dicts()
+    # The Theorem 1.1 bound exceeds a single input's size by the factor n.
+    assert float(rows[-1]["Theorem 1.1 bound (k*n^2)"]) == 8 * 256 * 256

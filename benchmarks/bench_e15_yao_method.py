@@ -1,0 +1,158 @@
+"""E15 — Section 2's method on canonical functions, exactly.
+
+Yao's machinery (truth matrices, monochromatic partitions, log d(f) − 2)
+certified against functions whose deterministic complexity is known:
+
+* EQ_b (equality on b bits): D = b + 1;
+* GT_b (greater-than):      D = b + 1 at these sizes;
+* IP_b (inner product mod 2), DISJ_b (set disjointness): full-rank-style
+  hard functions;
+* 2×2 singularity under π₀.
+
+For each: exact D(f) (protocol-tree DP), exact protocol partition number,
+Yao's bound, the rank bound, and the fooling-set bound — every lower bound
+must sit at or below the exact value.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm import (
+    MatrixBitCodec,
+    Partition,
+    communication_complexity,
+    fooling_set_bound,
+    partition_number,
+    pi_zero,
+    rank_bound,
+    truth_matrix_from_function,
+    truth_matrix_from_matrix_predicate,
+    yao_bound,
+)
+from repro.exact import is_singular
+from repro.util.fmt import Table
+
+
+def canonical_functions(bits: int = 2):
+    half = Partition(2 * bits, frozenset(range(bits)))
+
+    def eq(v):
+        return all(v[i] == v[bits + i] for i in range(bits))
+
+    def gt(v):
+        x = sum(v[i] << i for i in range(bits))
+        y = sum(v[bits + i] << i for i in range(bits))
+        return x > y
+
+    def ip(v):
+        return sum(v[i] & v[bits + i] for i in range(bits)) % 2 == 1
+
+    def disj(v):
+        return all(not (v[i] and v[bits + i]) for i in range(bits))
+
+    functions = {"EQ": eq, "GT": gt, "IP": ip, "DISJ": disj}
+    return {
+        name: truth_matrix_from_function(f, half) for name, f in functions.items()
+    }
+
+
+def certified_table() -> tuple[Table, dict[str, int]]:
+    table = Table(
+        ["f", "exact D(f)", "d(f)", "Yao log2(d)-2", "rank bound", "fooling bound"],
+        title="E15: Yao's method certified on canonical functions (2 bits/side)",
+    )
+    exact_values = {}
+    matrices = canonical_functions(2)
+    codec = MatrixBitCodec(2, 2, 1)
+    matrices["SING(2x2,k=1)"] = truth_matrix_from_matrix_predicate(
+        is_singular, codec, pi_zero(codec)
+    )
+    for name, tm in matrices.items():
+        d_exact = communication_complexity(tm)
+        d_part = partition_number(tm)
+        exact_values[name] = d_exact
+        table.add_row(
+            [
+                name,
+                d_exact,
+                d_part,
+                f"{yao_bound(d_part):.2f}",
+                f"{rank_bound(tm):.2f}",
+                f"{fooling_set_bound(tm):.2f}",
+            ]
+        )
+    return table, exact_values
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_certified_values(benchmark):
+    table, exact = benchmark(certified_table)
+    emit(table)
+    assert exact["EQ"] == 3  # b + 1 with b = 2
+    assert exact["GT"] == 3
+    assert exact["SING(2x2,k=1)"] == 3
+    assert exact["IP"] >= 2
+    assert exact["DISJ"] >= 3
+
+
+def model_spectrum_table() -> tuple[Table, dict]:
+    """One function, every model: D, one-way, rounds, N⁰/N¹, and the
+    discrepancy-based randomized lower bound — the complexity landscape
+    the paper's deterministic bound sits inside."""
+    from repro.comm import (
+        aho_ullman_yannakakis_gap,
+        discrepancy_report,
+        one_way_cc,
+        round_bounded_cc,
+    )
+
+    matrices = canonical_functions(2)
+    codec = MatrixBitCodec(2, 2, 1)
+    matrices["SING(2x2,k=1)"] = truth_matrix_from_matrix_predicate(
+        is_singular, codec, pi_zero(codec)
+    )
+    table = Table(
+        ["f", "D(f)", "one-way 0->1", "one-way 1->0", "D_1 (rounds)", "N0", "N1", "R lower (disc)"],
+        title="E15b: the model spectrum on canonical functions",
+    )
+    spectrum = {}
+    for name, tm in matrices.items():
+        n0, n1, d = aho_ullman_yannakakis_gap(tm)
+        ow01 = one_way_cc(tm, "0to1")
+        ow10 = one_way_cc(tm, "1to0")
+        d1 = round_bounded_cc(tm, 1)
+        r_lower = discrepancy_report(tm)["randomized_lower_bound"]
+        spectrum[name] = (d, ow01, ow10, d1, n0, n1, r_lower)
+        table.add_row(
+            [name, d, ow01, ow10, d1, f"{n0:.2f}", f"{n1:.2f}", f"{r_lower:.2f}"]
+        )
+    return table, spectrum
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_model_spectrum(benchmark):
+    table, spectrum = benchmark(model_spectrum_table)
+    emit(table)
+    for name, (d, ow01, ow10, d1, n0, n1, r_lower) in spectrum.items():
+        assert d <= min(ow01, ow10) + 1          # one message + answer
+        assert d1 == min(ow01, ow10)             # D_1 IS the best one-way
+        assert max(n0, n1) <= d + 1e-9           # nondeterminism only helps
+        assert r_lower <= d + 1e-9               # randomized <= deterministic
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_bounds_are_sound(benchmark):
+    def sound():
+        matrices = canonical_functions(2)
+        violations = 0
+        for tm in matrices.values():
+            d_exact = communication_complexity(tm)
+            if yao_bound(partition_number(tm)) > d_exact + 1e-9:
+                violations += 1
+            if rank_bound(tm) > d_exact + 1 + 1e-9:  # log rank <= D + 1
+                violations += 1
+            if fooling_set_bound(tm) > d_exact + 1e-9:
+                violations += 1
+        return violations
+
+    assert benchmark(sound) == 0

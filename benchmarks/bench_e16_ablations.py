@@ -1,0 +1,75 @@
+"""E16 — ablations: remove one design ingredient, watch the proof break.
+
+DESIGN.md's design-choice index, executed: each row disables a single
+restriction of the construction (or a resource of a protocol) and measures
+the failure the paper's argument predicts.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.singularity import RestrictedFamily
+from repro.singularity.ablations import (
+    ablate_d_width,
+    ablate_evenness,
+    ablate_prime_bits,
+    ablate_unit_diagonal,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def run_ablations() -> tuple[Table, dict]:
+    fam = RestrictedFamily(7, 2)
+    rng = ReproducibleRNG(16)
+    table = Table(
+        ["ablation", "setting", "outcome"],
+        title="E16: load-bearing design choices",
+    )
+    outcomes: dict = {}
+
+    c1, c2 = ablate_unit_diagonal(fam, rng)
+    outcomes["diagonal"] = c1 != c2
+    table.add_row(
+        ["unit diagonal of A removed", "n=7, k=2", "distinct C's collide (Lemma 3.4 broken)"]
+    )
+
+    widths = ablate_d_width(fam, rng, trials=25)
+    for w in widths:
+        table.add_row(
+            [
+                "D width shrunk",
+                f"width={w.width} (paper: {fam.d_width})",
+                f"completion failure rate {w.failure_rate:.2f}",
+            ]
+        )
+    outcomes["d_width"] = {w.width: w.failure_rate for w in widths}
+
+    prime_curve = ablate_prime_bits(3, 3, [2, 4, 8, 16], trials=12)
+    for bits, rate in prime_curve:
+        table.add_row(
+            ["fingerprint prime bits", f"{bits} bits", f"error rate {rate:.2f}"]
+        )
+    outcomes["prime"] = dict(prime_curve)
+
+    evenness = ablate_evenness(fam, rng, [0.5, 0.3, 0.1, 0.02])
+    for fraction, ok in evenness:
+        table.add_row(
+            ["partition evenness", f"agent-0 share {fraction:.2f}", f"normalizes: {ok}"]
+        )
+    outcomes["evenness"] = dict(evenness)
+    return table, outcomes
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_ablations(benchmark):
+    table, outcomes = benchmark(run_ablations)
+    emit(table)
+    fam_width = RestrictedFamily(7, 2).d_width
+    assert outcomes["diagonal"] is True
+    assert outcomes["d_width"][fam_width] == 0.0
+    assert outcomes["d_width"][1] > 0.2
+    assert outcomes["prime"][2] > outcomes["prime"][16]
+    assert outcomes["prime"][16] == 0.0
+    assert outcomes["evenness"][0.5] is True
+    assert outcomes["evenness"][0.02] is False

@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures and output helpers.
+
+Every benchmark prints the table EXPERIMENTS.md records.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables live; without ``-s`` the numbers still reach the
+pytest-benchmark summary and the assertions still guard the shapes.
+"""
+
+import pytest
+
+from repro.util.rng import ReproducibleRNG
+
+
+@pytest.fixture
+def rng():
+    return ReproducibleRNG(2026)
+
+
+def emit(table) -> None:
+    """Print an experiment table (visible under -s)."""
+    print()
+    table.print()

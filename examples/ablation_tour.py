@@ -1,0 +1,77 @@
+"""Ablation tour: remove an ingredient, watch the theorem's machinery fail.
+
+    python examples/ablation_tour.py
+
+Lower-bound proofs are easy to nod along to; this script makes each
+hypothesis *earn its place* by disabling it and exhibiting the failure the
+paper implicitly promises.
+"""
+
+from repro.exact.span import Subspace
+from repro.singularity import RestrictedFamily
+from repro.singularity.ablations import (
+    ablate_d_width,
+    ablate_evenness,
+    ablate_prime_bits,
+    ablate_unit_diagonal,
+    build_a_without_diagonal,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def main() -> None:
+    fam = RestrictedFamily(7, 2)
+    rng = ReproducibleRNG(1991)  # the journal year
+
+    print("1. Drop the unit diagonal of A (Fig. 3): Lemma 3.4 dies.")
+    c1, c2 = ablate_unit_diagonal(fam, rng)
+    s1 = Subspace.column_space(build_a_without_diagonal(fam, c1))
+    s2 = Subspace.column_space(build_a_without_diagonal(fam, c2))
+    print(f"   distinct C blocks: {c1 != c2};  ablated spans equal: {s1 == s2}")
+    print(f"   with the diagonal restored, spans distinct: "
+          f"{fam.span_a(c1) != fam.span_a(c2)}")
+
+    print("\n2. Shrink D below ceil(log_q n)+2 columns: Lemma 3.5's digits "
+          "stop fitting.")
+    table = Table(["D width", "completion failure rate"])
+    for result in ablate_d_width(fam, rng, trials=30):
+        marker = " (paper's width)" if result.width == fam.d_width else ""
+        table.add_row([f"{result.width}{marker}", f"{result.failure_rate:.2f}"])
+    table.print()
+
+    print("\n3. Shrink the fingerprint prime: the randomized protocol's "
+          "error explodes.")
+    table = Table(["prime bits", "error rate on smooth-det input"])
+    for bits, rate in ablate_prime_bits(3, 3, [2, 3, 4, 8, 16], trials=12):
+        table.add_row([bits, f"{rate:.2f}"])
+    table.print()
+    print("   (the input's determinant is divisible by every prime below 8, "
+          "so 2- and 3-bit primes are always unlucky; 4 bits already escape.)")
+
+    print("\n4. Break the evenness hypothesis of Lemma 3.9: normalization "
+          "to proper partitions fails.")
+    table = Table(["agent-0 share of the bits", "normalizes to proper?"])
+    for fraction, ok in ablate_evenness(fam, rng, [0.5, 0.3, 0.1, 0.02]):
+        table.add_row([f"{fraction:.2f}", ok])
+    table.print()
+
+    print("\n5. Let E be empty (n < 3 + ceil(log_q n)): claim (2b) becomes "
+          "impossible.")
+    degenerate = RestrictedFamily(5, 2)
+    from repro.singularity import complete
+
+    empty_e = tuple(tuple() for _ in range(degenerate.h))
+    completions = {
+        (complete(degenerate, degenerate.random_c(rng), empty_e).d,
+         complete(degenerate, degenerate.random_c(rng), empty_e).y)
+        for _ in range(4)
+    }
+    print(f"   every (C, E=∅) completes to the SAME column (B = 0): "
+          f"{len(completions) == 1}")
+    print("   that column is singular against every row — a full 1-rectangle, "
+          "so no counting bound can exist at these parameters.")
+
+
+if __name__ == "__main__":
+    main()

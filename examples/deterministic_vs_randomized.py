@@ -1,0 +1,71 @@
+"""Deterministic vs randomized singularity testing, measured on the wire.
+
+    python examples/deterministic_vs_randomized.py
+
+The paper's sharpest contrast: deterministic protocols need Θ(k n²) bits
+(Theorem 1.1) while public-coin randomized protocols succeed with
+O(n² max(log n, log k)) (Leighton).  This script *measures* both on real
+channel transcripts, locates the crossover in k, and demonstrates the
+one-sided error and its amplification.
+"""
+
+from repro.comm import MatrixBitCodec, pi_zero
+from repro.exact import Matrix, is_singular
+from repro.protocols import (
+    FingerprintProtocol,
+    TrivialProtocol,
+    error_upper_bound,
+    repetitions_for_error,
+)
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def cost_crossover() -> None:
+    print("Measured cost (bits) on a 6x6 matrix, sweeping the entry width k:")
+    table = Table(["k", "deterministic", "randomized", "winner"])
+    rng = ReproducibleRNG(0)
+    for k in (2, 4, 8, 16, 32, 64, 128):
+        codec = MatrixBitCodec(6, 6, k)
+        partition = pi_zero(codec)
+        m = Matrix.random_kbit(rng, 6, 6, k)
+        det_bits = TrivialProtocol(codec, partition).run_on_matrix(m).bits_exchanged
+        rand_bits = (
+            FingerprintProtocol(codec, partition).run_on_matrix(m, 0).bits_exchanged
+        )
+        table.add_row(
+            [k, det_bits, rand_bits, "randomized" if rand_bits < det_bits else "deterministic"]
+        )
+    table.print()
+    print(
+        "\nThe deterministic cost grows linearly in k; the randomized cost "
+        "only logarithmically — the crossover is where k ~ 4 max(log n, log k)."
+    )
+
+
+def one_sided_error() -> None:
+    print("\nOne-sided error, demonstrated:")
+    codec = MatrixBitCodec(4, 4, 3)
+    protocol = FingerprintProtocol(codec, pi_zero(codec))
+    singular = Matrix([[1, 2, 3, 4], [2, 4, 6, 0], [1, 2, 3, 4], [0, 0, 0, 1]])
+    wrong = sum(not protocol.decide(singular, seed) for seed in range(30))
+    print(f"  singular matrix misjudged: {wrong}/30 runs "
+          "(always 0: singular over Q => singular mod every p)")
+    nonsingular = Matrix.identity(4)
+    wrong = sum(protocol.decide(nonsingular, seed) for seed in range(30))
+    print(f"  nonsingular matrix misjudged: {wrong}/30 runs "
+          f"(analytic bound {error_upper_bound(2, 3, protocol.prime_bits):.2e})")
+
+    print("\nEngineered failure (tiny primes, det divisible by all of them):")
+    small = FingerprintProtocol(MatrixBitCodec(2, 2, 3), pi_zero(MatrixBitCodec(2, 2, 3)), prime_bits=2)
+    bad = Matrix([[6, 0], [0, 1]])  # det = 6, and the 2-bit primes are {2, 3}
+    wrong = sum(small.decide(bad, seed) for seed in range(10))
+    print(f"  det=6 vs 2-bit primes: misjudged {wrong}/10 runs (by design)")
+    base = 1.0  # every draw fails here
+    print(f"  amplification: to reach error 1e-9 from a base error of 0.25, "
+          f"repeat {repetitions_for_error(0.25, 1e-9)} times (independent primes)")
+
+
+if __name__ == "__main__":
+    cost_crossover()
+    one_sided_error()

@@ -1,0 +1,68 @@
+"""Corollary 1.3: deciding whether A·x = b has a solution is as hard as
+singularity.
+
+    python examples/linear_system_solvability.py
+
+Shows the reduction on a live family instance (zero the first column, keep
+it as b), the ablation outside the family, and the measured protocol costs
+for the solvability decision itself.
+"""
+
+from repro.exact import Matrix, Vector, is_singular, is_solvable, solve
+from repro.protocols import FingerprintSolvability, TrivialSolvability
+from repro.singularity import (
+    RestrictedFamily,
+    complete_and_check_singular,
+    corollary_13_instance,
+)
+from repro.singularity.reductions import corollary_13_requires_family
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG
+
+
+def reduction_demo() -> None:
+    fam = RestrictedFamily(7, 2)
+    rng = ReproducibleRNG(13)
+    print("The reduction, on a singular family member:")
+    inst = complete_and_check_singular(fam, fam.random_c(rng), fam.random_e(rng))
+    m = inst.m_matrix()
+    reduced = corollary_13_instance(m)
+    solvable = is_solvable(reduced.a_prime, reduced.b)
+    print(f"  M singular: {is_singular(m)};  M'x = b solvable: {solvable}")
+    solution = solve(reduced.a_prime, reduced.b)
+    assert solution.particular is not None
+    print(f"  a witness x exists with {len(solution.nullspace_basis)} free directions")
+
+    print("\nAnd on a nonsingular member (both sides flip):")
+    from repro.singularity import FamilyInstance
+
+    inst2 = FamilyInstance.random(fam, rng)
+    m2 = inst2.m_matrix()
+    reduced2 = corollary_13_instance(m2)
+    print(f"  M singular: {is_singular(m2)};  "
+          f"M'x = b solvable: {is_solvable(reduced2.a_prime, reduced2.b)}")
+
+    print("\nWhy the family structure matters (ablation):")
+    _, singular, solvable = corollary_13_requires_family(fam)
+    print(f"  outside the family: singular={singular} but solvable={solvable} — "
+          "the biconditional needs Fig. 3's independent columns")
+
+
+def protocol_demo() -> None:
+    print("\nSolvability protocols, measured:")
+    table = Table(["n", "k", "trivial bits", "fingerprint bits"])
+    rng = ReproducibleRNG(14)
+    for n, k in [(4, 4), (4, 32), (6, 32)]:
+        a = Matrix.random_kbit(rng, n, n, k)
+        b = Vector([rng.kbit_entry(k) for _ in range(n)])
+        trivial = TrivialSolvability(n, k).run_on_system(a, b).bits_exchanged
+        fingerprint = FingerprintSolvability(n, k).run_on_system(a, b, 0).bits_exchanged
+        table.add_row([n, k, trivial, fingerprint])
+    table.print()
+    print("Corollary 1.3 says the deterministic column cannot be beaten "
+          "asymptotically: Omega(k n^2) even for the one-bit decision.")
+
+
+if __name__ == "__main__":
+    reduction_demo()
+    protocol_demo()

@@ -1,0 +1,43 @@
+"""repro — executable reproduction of Chu & Schnitger (SPAA 1989).
+
+*The Communication Complexity of Several Problems in Matrix Computation*
+proves that deciding singularity of an n×n matrix of k-bit integers requires
+Θ(k·n²) bits of two-party communication, with corollaries for determinant,
+rank, QR/SVD/LUP decompositions, linear-system solvability, and VLSI
+area–time tradeoffs.
+
+This package makes every object in that proof executable:
+
+* :mod:`repro.exact` — exact integer/rational linear algebra (the substrate).
+* :mod:`repro.comm` — Yao's two-party model: partitions, protocols, truth
+  matrices, monochromatic rectangles, and lower-bound measures.
+* :mod:`repro.singularity` — the paper's restricted matrix family (Figs. 1
+  and 3), the lemma chain 3.2–3.7, the padding reduction, and the
+  Corollary 1.2/1.3 reductions.
+* :mod:`repro.protocols` — executable upper-bound protocols (trivial
+  deterministic, randomized fingerprinting, equality, Freivalds).
+* :mod:`repro.vlsi` — Thompson's model: simulated chip layouts, bisection
+  cuts, and the area–time tradeoff calculators.
+* :mod:`repro.baselines` — bound calculators for the prior work the paper
+  compares against (Vuillemin, Lin–Wu, Savage, Ja'Ja'–Prasanna Kumar,
+  Lovász–Saks, Chazelle–Monier).
+
+Quickstart::
+
+    from repro.exact import Matrix, is_singular
+
+    m = Matrix([[1, 2], [2, 4]])
+    assert is_singular(m)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "exact",
+    "comm",
+    "singularity",
+    "protocols",
+    "vlsi",
+    "baselines",
+    "util",
+]

@@ -1,0 +1,76 @@
+"""Prior-work baselines the paper compares against, as bound calculators.
+
+* :mod:`repro.baselines.vuillemin` — the transitivity method and why it
+  stalls at Ω(k²n²) for singularity;
+* :mod:`repro.baselines.lin_wu` — Θ(k n²) matrix multiplication and the
+  rank-n/2 bridge (and why it stops at rank n/2);
+* :mod:`repro.baselines.savage` — the k-blind Ω(n²) precursor;
+* :mod:`repro.baselines.jaja_kumar` — multi-output Ω(k n²) for *solving*
+  systems, versus the paper's decision version;
+* :mod:`repro.baselines.lovasz_saks` — log #L for the span problem under a
+  fixed partition.
+"""
+
+from repro.baselines.vuillemin import (
+    best_known_identity_embedding_bits,
+    embedding_is_correct,
+    embedding_matrix,
+    gap_to_theorem,
+    transitivity_bound,
+)
+from repro.baselines.lin_wu import (
+    matmul_cc_bound_bits,
+    matmul_decision_bound_bits,
+    rank_deficit,
+    rank_half_instance,
+    why_it_stops_at_half,
+)
+from repro.baselines.savage import (
+    lin_wu_bound_bits,
+    output_counting_argument,
+    savage_bound_bits,
+    sharpening_factor,
+)
+from repro.baselines.jaja_kumar import (
+    decision_bound_bits,
+    decision_from_solver,
+    decision_matches_ground_truth,
+    output_bits_of_solving,
+    solving_bound_bits,
+)
+from repro.baselines.lovasz_saks import (
+    find_meet_closure_failure,
+    fixed_partition_bound_bits,
+    join_closed,
+    lattice_size,
+    meet_closure_failure_example,
+    unrestricted_bound_bits,
+)
+
+__all__ = [
+    "best_known_identity_embedding_bits",
+    "embedding_is_correct",
+    "embedding_matrix",
+    "gap_to_theorem",
+    "transitivity_bound",
+    "matmul_cc_bound_bits",
+    "matmul_decision_bound_bits",
+    "rank_deficit",
+    "rank_half_instance",
+    "why_it_stops_at_half",
+    "lin_wu_bound_bits",
+    "output_counting_argument",
+    "savage_bound_bits",
+    "sharpening_factor",
+    "decision_bound_bits",
+    "decision_from_solver",
+    "decision_matches_ground_truth",
+    "output_bits_of_solving",
+    "solving_bound_bits",
+    "find_meet_closure_failure",
+    "fixed_partition_bound_bits",
+    "join_closed",
+    "lattice_size",
+    "meet_closure_failure_example",
+    "unrestricted_bound_bits",
+]

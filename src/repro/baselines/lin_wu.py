@@ -1,0 +1,57 @@
+"""Lin–Wu (1985): matrix-multiplication bounds and the rank-n/2 bridge.
+
+Section 1: the communication complexity of multiplying n×n matrices of
+k-bit entries is Θ(k n²) (Lin & Wu), and their technique adapts to the
+decision problem "is A·B = C?".  The paper then rides the
+``M = [[I, B], [A, C]]`` construction to get Θ(k n²) for:
+
+* "does an n×n matrix have rank n/2?"  (here: does the 2n×2n block matrix
+  have rank n?),
+* "compute the range of an n×n matrix", and
+* "compute the SVD"
+
+— but only for rank ≤ n/2 instances; the paper's own Theorem 1.1 is what
+handles ranks above n/2.  This module provides the bound values, the bridge
+(delegating to :mod:`repro.singularity.reductions`), and the explicit
+rank-deficit identity the bridge rests on.
+"""
+
+from __future__ import annotations
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import rank
+from repro.singularity.reductions import product_verification_matrix
+
+
+def matmul_cc_bound_bits(n: int, k: int) -> float:
+    """Θ(k n²) — Lin–Wu's bound for computing A·B (constant 1)."""
+    return float(k * n * n)
+
+
+def matmul_decision_bound_bits(n: int, k: int) -> float:
+    """The adapted bound for deciding A·B = C (same order)."""
+    return float(k * n * n)
+
+
+def rank_half_instance(a: Matrix, b: Matrix, c: Matrix) -> Matrix:
+    """The 2n×2n matrix whose rank is n iff A·B = C."""
+    return product_verification_matrix(a, b, c)
+
+
+def rank_deficit(a: Matrix, b: Matrix, c: Matrix) -> int:
+    """rank(M) - n = rank(C - A·B): the exact distance from 'product holds'."""
+    m = product_verification_matrix(a, b, c)
+    return rank(m) - a.num_rows
+
+
+def why_it_stops_at_half(n: int) -> str:
+    """The paper's observation, as a docstring-grade explanation."""
+    return (
+        "The [[I, B], [A, C]] matrix always has rank between n and 2n "
+        f"(here n = {n}): the identity block alone contributes n.  Deciding "
+        "'rank == n' therefore only exercises the bottom half of the rank "
+        "range; inputs of rank above n/2 (relative to the n x n problem) "
+        "never arise, so the transitivity-style argument built on this "
+        "construction cannot bound rank computation on high-rank inputs — "
+        "the gap Theorem 1.1 closes."
+    )

@@ -1,0 +1,76 @@
+"""Lovász & Saks (1988): the lattice bound for the span problem.
+
+Their FOCS result: the *fixed-partition* communication complexity of the
+vector space span problem is log₂(#L), where L is the lattice of subspaces
+spanned by subsets of the generating set X.  The paper's contribution on
+top: for X = the k-bit integer vectors, Theorem 1.1 pins the *unrestricted*
+(best-partition) complexity at Θ(k n²).
+
+Executable content: exact #L for small X (via
+:mod:`repro.singularity.span_problem`), the log bound, a lattice-structure
+check (L is closed under join but generally NOT under meet — a property
+test target), and the comparison row for the benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+from repro.singularity.span_problem import enumerate_l
+
+
+def lattice_size(vectors: Sequence[Vector]) -> int:
+    """#L — exact, exponential in |X| (small X only)."""
+    return len(enumerate_l(vectors))
+
+
+def fixed_partition_bound_bits(vectors: Sequence[Vector]) -> float:
+    """log₂ #L — Lovász–Saks."""
+    return math.log2(lattice_size(vectors))
+
+
+def join_closed(vectors: Sequence[Vector]) -> bool:
+    """L is closed under subspace sum (span of union of subsets is the span
+    of the united subset) — must always hold."""
+    spaces = list(enumerate_l(vectors))
+    pool = set(spaces)
+    return all(a.sum(b) in pool for a in spaces for b in spaces)
+
+
+def meet_closure_failure_example() -> tuple[list[Vector], Subspace, Subspace]:
+    """A generating set whose lattice L is NOT closed under intersection.
+
+    X = {e1, e2, e1+e3, e2+e3} in Q³:  V₁ = span{e1, e2+e3} and
+    V₂ = span{e2, e1+e3} are both in L, and V₁ ∩ V₂ = span{e1-e2+... } is a
+    line not spanned by any subset of X — the tests verify the absence by
+    exhaustive enumeration.  (This asymmetry is why L is studied as a
+    lattice of *joins*; Lovász–Saks count it via Möbius functions.)
+    """
+    vectors = [
+        Vector([1, 0, 0]),
+        Vector([0, 1, 0]),
+        Vector([1, 0, 1]),
+        Vector([0, 1, 1]),
+    ]
+    v1 = Subspace.span([vectors[0], vectors[3]])
+    v2 = Subspace.span([vectors[1], vectors[2]])
+    return vectors, v1, v2
+
+
+def find_meet_closure_failure(vectors: Sequence[Vector]) -> tuple[Subspace, Subspace] | None:
+    """Search L for a pair whose meet is outside L (None if meet-closed)."""
+    spaces = list(enumerate_l(vectors))
+    pool = set(spaces)
+    for i, a in enumerate(spaces):
+        for b in spaces[i + 1 :]:
+            if a.intersect(b) not in pool:
+                return a, b
+    return None
+
+
+def unrestricted_bound_bits(n: int, k: int) -> float:
+    """Theorem 1.1's answer for X = k-bit integer vectors: Θ(k n²)."""
+    return float(k * n * n)

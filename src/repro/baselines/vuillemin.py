@@ -1,0 +1,78 @@
+"""Vuillemin's transitivity method — the baseline that *fails* here.
+
+Vuillemin (1983): if a function's symmetry group acts transitively enough
+(formally, if f is a "transitive function of degree t" — it embeds an
+identity problem of size t under input permutations), then any chip for f
+obeys A·T² = Ω(t²).  Section 1: "Vuillemin's approach is successful for
+many functions … powerful enough to express the identity problem.  However,
+it does not seem likely to reduce our problem to a large enough identity
+problem."
+
+Executable content:
+
+* :func:`transitivity_bound` — the bound the method yields for a given
+  embedded-identity size t;
+* :func:`best_known_identity_embedding_bits` — the largest identity problem
+  obviously embeddable into singularity (duplicate-columns trick: x = one
+  column block, y = another; M singular if the blocks are equal — giving
+  only t = Θ(k n), an Ω(k² n²) AT² bound, short of the paper's Ω(k² n⁴));
+* :func:`embedding_is_correct` — verify the duplicate-column embedding on
+  explicit matrices (equal blocks ⇒ singular; an unequal *generic* pair ⇒
+  usually nonsingular, exhibiting one-sidedness — the reason the method
+  stalls).
+"""
+
+from __future__ import annotations
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular
+
+
+def transitivity_bound(t_bits: int) -> float:
+    """A·T² = Ω(t²) for a function embedding identity on t bits."""
+    if t_bits < 0:
+        raise ValueError("t must be non-negative")
+    return float(t_bits) ** 2
+
+
+def best_known_identity_embedding_bits(n: int, k: int) -> int:
+    """The duplicate-column embedding reaches only t = k·n bits.
+
+    EQ(x, y) reduces to singularity by writing x into column 0 and y into
+    column 1 of an otherwise-identity 2n×2n matrix: columns equal ⇒ singular.
+    Each column holds n k-bit entries…  but the reduction is one-sided
+    (unequal columns are merely *usually* independent), and even granting
+    it, t = k·n, so A·T² = Ω(k²n²) — quadratically short of Ω(k²n⁴).
+    """
+    return k * n
+
+
+def embedding_matrix(x_column: list[int], y_column: list[int]) -> Matrix:
+    """The duplicate-column gadget: [x | y | e_3 | e_4 | …]."""
+    n = len(x_column)
+    if len(y_column) != n or n < 3:
+        raise ValueError("columns must share a length of at least 3")
+    return Matrix.from_function(
+        n,
+        n,
+        lambda i, j: x_column[i]
+        if j == 0
+        else (y_column[i] if j == 1 else (1 if i == j else 0)),
+    )
+
+
+def embedding_is_correct(x_column: list[int], y_column: list[int]) -> bool:
+    """Completeness direction only: x == y ⇒ singular.  (The converse fails
+    in general, e.g. y = 2x — which is the method's obstruction.)"""
+    m = embedding_matrix(x_column, y_column)
+    if x_column == y_column:
+        return is_singular(m)
+    return True  # no claim in the unequal case
+
+
+def gap_to_theorem(n: int, k: int) -> float:
+    """Ratio (paper's AT² bound) / (transitivity's AT² bound) = Ω(n²) —
+    how far the old method falls short on singularity."""
+    paper = float(k * n * n) ** 2
+    transitivity = transitivity_bound(best_known_identity_embedding_bits(n, k))
+    return paper / max(transitivity, 1.0)

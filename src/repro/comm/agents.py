@@ -1,0 +1,186 @@
+"""The two-agent runtime: generator coroutines over a :class:`BitChannel`.
+
+An *agent program* is a Python generator function.  It receives its local
+input (plus an optional public random string), and communicates by yielding
+effect objects:
+
+* ``yield Send(bits)``   — transmit bits to the peer;
+* ``bits = yield Recv(n)`` — block until n bits arrive, receive them;
+* ``return value``        — finish with a local output.
+
+The :func:`run_protocol` scheduler alternates the two generators with a
+cooperative, deterministic discipline (agent 0 runs until it blocks, then
+agent 1, …), detects deadlock, and returns both outputs plus the transcript.
+This mirrors the mpi4py send/recv idiom while keeping everything
+single-threaded and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.comm.channel import BitChannel, Transcript
+
+
+@dataclass(frozen=True)
+class Send:
+    """Effect: transmit ``bits`` (iterable of 0/1) to the peer."""
+
+    bits: tuple[int, ...]
+
+    def __init__(self, bits):
+        object.__setattr__(self, "bits", tuple(int(b) for b in bits))
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Effect: wait for exactly ``nbits`` bits from the peer."""
+
+    nbits: int
+
+    def __post_init__(self):
+        if self.nbits < 0:
+            raise ValueError("nbits must be non-negative")
+
+
+AgentProgram = Generator["Send | Recv", Any, Any]
+
+
+class ProtocolDeadlock(Exception):
+    """Both agents are blocked on Recv and no bits are in flight."""
+
+
+class ProtocolError(Exception):
+    """An agent misbehaved (bad yield, output mismatch, unread bits…)."""
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything observable about one protocol execution.
+
+    Attributes:
+        outputs: the two agents' return values.
+        transcript: the channel transcript (bits, rounds, directions).
+    """
+
+    outputs: tuple[Any, Any]
+    transcript: Transcript
+
+    @property
+    def bits_exchanged(self) -> int:
+        """Total bits across both directions — the protocol's cost."""
+        return self.transcript.total_bits
+
+    @property
+    def rounds(self) -> int:
+        """Maximal same-sender message blocks."""
+        return self.transcript.rounds
+
+    def agreed_output(self) -> Any:
+        """The common output, when the protocol computes a shared answer.
+
+        Both agents must return equal non-None values (or exactly one may
+        return None, meaning "the other agent is responsible for the output"
+        — the model lets output responsibility be split).
+        """
+        a, b = self.outputs
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a != b:
+            raise ProtocolError(f"agents disagree: {a!r} vs {b!r}")
+        return a
+
+
+def run_protocol(
+    program0: Callable[..., AgentProgram],
+    program1: Callable[..., AgentProgram],
+    input0: Any,
+    input1: Any,
+    *,
+    public_randomness: Any = None,
+    max_steps: int = 10_000_000,
+) -> RunResult:
+    """Execute two agent programs to completion over a fresh channel.
+
+    ``program0``/``program1`` are generator functions.  They are called as
+    ``program(input)`` or, when ``public_randomness`` is given, as
+    ``program(input, public_randomness)`` (the public-coin model: both see
+    the same random object).
+    """
+    channel = BitChannel()
+    if public_randomness is None:
+        gens = [program0(input0), program1(input1)]
+    else:
+        gens = [
+            program0(input0, public_randomness),
+            program1(input1, public_randomness),
+        ]
+    finished: list[bool] = [False, False]
+    outputs: list[Any] = [None, None]
+    # What each paused agent is waiting for (None = not started/ready to run).
+    waiting: list[Recv | None] = [None, None]
+
+    def step(agent: int, to_inject: Any) -> None:
+        """Advance one agent until it blocks on an unsatisfiable Recv or ends."""
+        gen = gens[agent]
+        inject = to_inject
+        for _ in range(max_steps):
+            try:
+                effect = gen.send(inject)
+            except StopIteration as stop:
+                finished[agent] = True
+                outputs[agent] = stop.value
+                waiting[agent] = None
+                return
+            inject = None
+            if isinstance(effect, Send):
+                channel.send(agent, effect.bits)
+            elif isinstance(effect, Recv):
+                if channel.available(agent) >= effect.nbits:
+                    inject = channel.recv(agent, effect.nbits)
+                else:
+                    waiting[agent] = effect
+                    return
+            else:
+                raise ProtocolError(
+                    f"agent {agent} yielded {effect!r}; expected Send or Recv"
+                )
+        raise ProtocolError("max_steps exceeded; runaway agent program")
+
+    # Prime both generators (run to first effect or completion).
+    current = 0
+    step(0, None)
+    step(1, None)
+    for _ in range(max_steps):
+        if all(finished):
+            break
+        progressed = False
+        for agent in (current, 1 - current):
+            if finished[agent]:
+                continue
+            want = waiting[agent]
+            assert want is not None, "unfinished agent must be waiting on Recv"
+            if channel.available(agent) >= want.nbits:
+                waiting[agent] = None
+                step(agent, channel.recv(agent, want.nbits))
+                progressed = True
+                current = agent
+                break
+        if not progressed:
+            blocked = [i for i in (0, 1) if not finished[i]]
+            raise ProtocolDeadlock(
+                f"agents {blocked} blocked on Recv with no bits in flight "
+                f"(transcript so far: {channel.total_bits} bits)"
+            )
+    else:
+        raise ProtocolError("max_steps exceeded in scheduler loop")
+    if not channel.drained():
+        raise ProtocolError(
+            "protocol finished with unread bits on the channel — "
+            "message framing is inconsistent between the agents"
+        )
+    channel.close()
+    return RunResult((outputs[0], outputs[1]), channel.transcript)

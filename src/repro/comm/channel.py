@@ -1,0 +1,139 @@
+"""The bit channel: the only way the two agents may interact.
+
+The communication complexity of a run *is* the number of bits that crossed
+this channel, so the channel is the measurement instrument of the whole
+library.  It records a full transcript (direction, payload, round structure)
+and enforces the model's rules: bits only, no shared memory, messages are
+self-delimiting only through the protocol's own conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the channel.
+
+    Attributes:
+        sender: 0 or 1.
+        bits: the payload, as a tuple of 0/1 ints.
+    """
+
+    sender: int
+    bits: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.sender not in (0, 1):
+            raise ValueError("sender must be agent 0 or 1")
+        if any(b not in (0, 1) for b in self.bits):
+            raise ValueError("payload must consist of bits")
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+@dataclass
+class Transcript:
+    """The full record of one protocol execution."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        """The quantity Comm(f, π, P) maximizes over inputs."""
+        return sum(len(m) for m in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Number of maximal same-sender runs (the round complexity)."""
+        count = 0
+        last_sender = None
+        for m in self.messages:
+            if m.sender != last_sender:
+                count += 1
+                last_sender = m.sender
+        return count
+
+    def bits_from(self, agent: int) -> int:
+        """Bits this agent sent."""
+        return sum(len(m) for m in self.messages if m.sender == agent)
+
+    def as_bit_string(self) -> str:
+        """The concatenated transcript bits (what a protocol tree leaf sees)."""
+        return "".join(
+            "".join(str(b) for b in m.bits) for m in self.messages
+        )
+
+
+class ChannelClosed(Exception):
+    """Raised when an agent tries to use a channel after shutdown."""
+
+
+class BitChannel:
+    """A duplex, counted, recorded bit pipe between agents 0 and 1.
+
+    The channel holds one pending FIFO per direction; the scheduler in
+    :mod:`repro.comm.agents` moves control between the agents so a ``recv``
+    always finds its bits (or deadlocks loudly).
+    """
+
+    def __init__(self):
+        self.transcript = Transcript()
+        self._pending: list[list[int]] = [[], []]  # index = receiving agent
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Agent-facing API
+    # ------------------------------------------------------------------
+    def send(self, sender: int, bits) -> None:
+        """Queue ``bits`` from ``sender`` to the other agent and record them."""
+        if self._closed:
+            raise ChannelClosed("channel is closed")
+        payload = tuple(int(b) for b in bits)
+        if any(b not in (0, 1) for b in payload):
+            raise ValueError("only bits may be sent")
+        message = Message(sender, payload)
+        self.transcript.messages.append(message)
+        self._pending[1 - sender].extend(payload)
+
+    def available(self, receiver: int) -> int:
+        """How many bits are queued for ``receiver``."""
+        return len(self._pending[receiver])
+
+    def recv(self, receiver: int, nbits: int) -> tuple[int, ...]:
+        """Dequeue exactly ``nbits`` bits addressed to ``receiver``.
+
+        Raises :class:`BlockingIOError` if not enough bits are queued —
+        the scheduler treats that as "switch to the other agent".
+        """
+        if self._closed:
+            raise ChannelClosed("channel is closed")
+        if nbits < 0:
+            raise ValueError("cannot receive a negative number of bits")
+        queue = self._pending[receiver]
+        if len(queue) < nbits:
+            raise BlockingIOError(
+                f"agent {receiver} wants {nbits} bits, only {len(queue)} queued"
+            )
+        out = tuple(queue[:nbits])
+        del queue[:nbits]
+        return out
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Bits sent so far (both directions)."""
+        return self.transcript.total_bits
+
+    def close(self) -> None:
+        """Shut the channel; further send/recv raises :class:`ChannelClosed`."""
+        self._closed = True
+
+    def drained(self) -> bool:
+        """True when no sent bit remains unread (a well-formed protocol
+        consumes everything it is sent)."""
+        return not self._pending[0] and not self._pending[1]

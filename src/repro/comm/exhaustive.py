@@ -1,0 +1,243 @@
+"""Exact deterministic communication complexity of small truth matrices.
+
+For an explicit truth matrix we can compute the *exact* deterministic
+communication complexity ``D(f)`` by dynamic programming over sub-rectangles:
+
+    D(R) = 0                       if R is monochromatic
+    D(R) = 1 + min over speakers s and bipartitions of s's side of R
+               max(D(R_left), D(R_right))
+
+A bit spoken by agent 0 splits R's rows into the two preimage classes of the
+announced bit (any bipartition is achievable since the protocol may apply an
+arbitrary function of agent 0's input); symmetrically for agent 1 and the
+columns.  The recursion is exponential — it is meant for the toy functions of
+experiment E15 (EQ/GT/IP/DISJ on a few bits, tiny singularity instances),
+where it certifies Yao's bound against ground truth.
+
+Also computes the exact *protocol partition number* ``d^P(f)`` (number of
+leaves of an optimal-leaf protocol) and exposes an optimal
+:class:`~repro.comm.protocol.ProtocolTree`.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.comm.protocol import Leaf, Node, ProtocolTree
+from repro.comm.truth_matrix import TruthMatrix
+
+_DEFAULT_LIMIT = 12
+
+
+def _check_size(tm: TruthMatrix, limit: int) -> None:
+    n_rows, n_cols = tm.shape
+    if n_rows > limit or n_cols > limit:
+        raise ValueError(
+            f"exact search on a {n_rows}x{n_cols} matrix would enumerate "
+            f"2^{max(n_rows, n_cols)} bipartitions per step; limit is {limit} "
+            "rows/columns (deduplicate rows/columns first, or raise `limit` "
+            "knowingly)"
+        )
+
+
+def dedupe(tm: TruthMatrix) -> TruthMatrix:
+    """Collapse duplicate rows and columns.
+
+    Duplicate rows/columns never change D(f) (agents can merge identical
+    inputs before speaking), so exact search should always run on the
+    deduplicated matrix.
+    """
+    row_seen: dict[tuple, int] = {}
+    row_keep: list[int] = []
+    for i, row in enumerate(map(tuple, tm.data.tolist())):
+        if row not in row_seen:
+            row_seen[row] = i
+            row_keep.append(i)
+    col_seen: dict[tuple, int] = {}
+    col_keep: list[int] = []
+    for j, col in enumerate(map(tuple, tm.data.T.tolist())):
+        if col not in col_seen:
+            col_seen[col] = j
+            col_keep.append(j)
+    return tm.submatrix(row_keep, col_keep)
+
+
+def _bipartitions(mask: int, members: tuple[int, ...]):
+    """All splits of `members` into (non-empty, non-empty), up to swapping."""
+    m = len(members)
+    # Fix members[0] on the left side to kill the swap symmetry.
+    for assignment in range(1 << (m - 1)):
+        left = [members[0]]
+        right = []
+        for idx in range(1, m):
+            if assignment >> (idx - 1) & 1:
+                left.append(members[idx])
+            else:
+                right.append(members[idx])
+        if right:
+            yield tuple(left), tuple(right)
+
+
+def communication_complexity(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
+    """Exact D(f) of the (deduplicated) truth matrix."""
+    tm = dedupe(tm)
+    _check_size(tm, limit)
+    data = tm.data
+    all_rows = tuple(range(tm.shape[0]))
+    all_cols = tuple(range(tm.shape[1]))
+
+    @functools.lru_cache(maxsize=None)
+    def solve(rows: tuple[int, ...], cols: tuple[int, ...]) -> int:
+        block = data[np.ix_(rows, cols)]
+        if (block == block[0, 0]).all():
+            return 0
+        best = None
+        # Agent 0 speaks: split rows.
+        if len(rows) > 1:
+            for left, right in _bipartitions(0, rows):
+                cost = 1 + max(solve(left, cols), solve(right, cols))
+                if best is None or cost < best:
+                    best = cost
+                    if best == 1:
+                        break
+        # Agent 1 speaks: split columns.
+        if (best is None or best > 1) and len(cols) > 1:
+            for left, right in _bipartitions(0, cols):
+                cost = 1 + max(solve(rows, left), solve(rows, right))
+                if best is None or cost < best:
+                    best = cost
+                    if best == 1:
+                        break
+        assert best is not None, "non-monochromatic 1x1 block is impossible"
+        return best
+
+    return solve(all_rows, all_cols)
+
+
+def optimal_protocol_tree(
+    tm: TruthMatrix, limit: int = _DEFAULT_LIMIT
+) -> tuple[int, ProtocolTree]:
+    """Exact D(f) together with a protocol tree achieving it.
+
+    The tree's node predicates take a *label* (row label for agent 0 nodes,
+    column label for agent 1 nodes) and return the announced bit.  Labels of
+    duplicate rows/columns are mapped onto their representative.
+    """
+    deduped = dedupe(tm)
+    _check_size(deduped, limit)
+    data = deduped.data
+
+    # Map original labels to deduped indices so returned predicates accept
+    # any label of the original matrix.  dedupe() keeps first occurrences in
+    # order, so position-among-distinct on the ORIGINAL matrix is the
+    # deduped index (comparing against deduped rows directly would fail:
+    # deduping rows changes the length of column tuples and vice versa).
+    row_index: dict = {}
+    distinct_rows: dict[tuple, int] = {}
+    for i, row in enumerate(map(tuple, tm.data.tolist())):
+        if row not in distinct_rows:
+            distinct_rows[row] = len(distinct_rows)
+        row_index[tm.row_labels[i]] = distinct_rows[row]
+    col_index: dict = {}
+    distinct_cols: dict[tuple, int] = {}
+    for i, col in enumerate(map(tuple, tm.data.T.tolist())):
+        if col not in distinct_cols:
+            distinct_cols[col] = len(distinct_cols)
+        col_index[tm.col_labels[i]] = distinct_cols[col]
+
+    @functools.lru_cache(maxsize=None)
+    def solve(rows: tuple[int, ...], cols: tuple[int, ...]):
+        block = data[np.ix_(rows, cols)]
+        if (block == block[0, 0]).all():
+            return 0, Leaf(int(block[0, 0]))
+        best_cost = None
+        best_node = None
+        if len(rows) > 1:
+            for left, right in _bipartitions(0, rows):
+                c0, t0 = solve(left, cols)
+                c1, t1 = solve(right, cols)
+                cost = 1 + max(c0, c1)
+                if best_cost is None or cost < best_cost:
+                    right_set = frozenset(right)
+                    predicate = _row_predicate(row_index, right_set)
+                    best_cost = cost
+                    best_node = Node(0, predicate, t0, t1)
+                    if best_cost == 1:
+                        break
+        if (best_cost is None or best_cost > 1) and len(cols) > 1:
+            for left, right in _bipartitions(0, cols):
+                c0, t0 = solve(rows, left)
+                c1, t1 = solve(rows, right)
+                cost = 1 + max(c0, c1)
+                if best_cost is None or cost < best_cost:
+                    right_set = frozenset(right)
+                    predicate = _col_predicate(col_index, right_set)
+                    best_cost = cost
+                    best_node = Node(1, predicate, t0, t1)
+                    if best_cost == 1:
+                        break
+        assert best_cost is not None and best_node is not None
+        return best_cost, best_node
+
+    cost, root = solve(tuple(range(deduped.shape[0])), tuple(range(deduped.shape[1])))
+    return cost, ProtocolTree(root)
+
+
+def _row_predicate(row_index: dict, right_set: frozenset):
+    def predicate(label):
+        return 1 if row_index[label] in right_set else 0
+
+    return predicate
+
+
+def _col_predicate(col_index: dict, right_set: frozenset):
+    def predicate(label):
+        return 1 if col_index[label] in right_set else 0
+
+    return predicate
+
+
+def partition_number(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
+    """The *protocol* partition number: minimum leaves over all protocols.
+
+    This upper-bounds (and for Yao's bound substitutes) the unrestricted
+    rectangle partition number d(f); ``log2`` of it sandwiches D(f) within a
+    factor-2/additive terms.  Same recursion as D(f) with ``+`` in place of
+    ``max``.
+    """
+    tm = dedupe(tm)
+    _check_size(tm, limit)
+    data = tm.data
+
+    @functools.lru_cache(maxsize=None)
+    def solve(rows: tuple[int, ...], cols: tuple[int, ...]) -> int:
+        block = data[np.ix_(rows, cols)]
+        if (block == block[0, 0]).all():
+            return 1
+        best = None
+        if len(rows) > 1:
+            for left, right in _bipartitions(0, rows):
+                total = solve(left, cols) + solve(right, cols)
+                if best is None or total < best:
+                    best = total
+        if len(cols) > 1:
+            for left, right in _bipartitions(0, cols):
+                total = solve(rows, left) + solve(rows, right)
+                if best is None or total < best:
+                    best = total
+        assert best is not None
+        return best
+
+    return solve(tuple(range(tm.shape[0])), tuple(range(tm.shape[1])))
+
+
+def deterministic_cc_of_function(
+    f, partition, limit: int = _DEFAULT_LIMIT
+) -> int:
+    """Convenience: exact D(f) of a full-bit-string predicate under π."""
+    from repro.comm.truth_matrix import truth_matrix_from_function
+
+    return communication_complexity(truth_matrix_from_function(f, partition), limit)

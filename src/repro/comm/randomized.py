@@ -1,0 +1,168 @@
+"""Public-coin randomized protocols and their empirical evaluation.
+
+The paper contrasts its deterministic Θ(k n²) bound with Leighton's
+probabilistic O(n² max(log n, log k)) protocol; the contract of a randomized
+protocol is "correct with probability > 1/2 + ε on every input".  This
+module provides:
+
+* :class:`RandomizedProtocol` — an executable public-coin protocol: both
+  agents receive the same random seed object (the public coins) plus their
+  local input;
+* :func:`estimate_error` / :func:`estimate_cost` — Monte-Carlo estimation of
+  per-input error probability and cost distribution;
+* :func:`worst_input_error` — the max estimated error over a finite input
+  set (what the > 1/2 + ε guarantee quantifies over).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.comm.agents import AgentProgram, RunResult, run_protocol
+from repro.util.rng import ReproducibleRNG
+
+
+class RandomizedProtocol(ABC):
+    """A public-coin protocol: programs additionally see shared randomness.
+
+    Subclasses implement the two generator programs with signature
+    ``(local_input, coins)`` where ``coins`` is a :class:`ReproducibleRNG`
+    both agents share (public-coin model).  Private-coin protocols simply
+    ignore the shared stream and spawn their own — the model subsumes it.
+    """
+
+    name: str = "randomized-protocol"
+
+    @abstractmethod
+    def agent0(self, input0: Any, coins: ReproducibleRNG) -> AgentProgram:
+        """Agent 0's generator program (sees the public coins)."""
+
+    @abstractmethod
+    def agent1(self, input1: Any, coins: ReproducibleRNG) -> AgentProgram:
+        """Agent 1's generator program (sees the same public coins)."""
+
+    def run(self, input0: Any, input1: Any, seed: int) -> RunResult:
+        """One execution with the given public coin seed.
+
+        Each agent gets an *identical but independent cursor* stream (two
+        RNGs with the same seed), so both observe the same coin sequence —
+        which is exactly the public-coin semantics.
+        """
+        return run_protocol(
+            self.agent0,
+            self.agent1,
+            input0,
+            input1,
+            public_randomness=ReproducibleRNG(seed),
+        )
+
+    def output(self, input0: Any, input1: Any, seed: int) -> Any:
+        """The agreed answer of one seeded execution."""
+        return self.run(input0, input1, seed).agreed_output()
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """Monte-Carlo estimate of a randomized protocol's behaviour on one input."""
+
+    trials: int
+    errors: int
+    mean_bits: float
+    max_bits: int
+
+    @property
+    def error_rate(self) -> float:
+        """errors / trials."""
+        return self.errors / self.trials if self.trials else 0.0
+
+    def error_confidence_radius(self, z: float = 2.576) -> float:
+        """Half-width of a normal-approx confidence interval (99% default)."""
+        if self.trials == 0:
+            return 1.0
+        p = self.error_rate
+        return z * math.sqrt(max(p * (1 - p), 1.0 / self.trials) / self.trials)
+
+
+def estimate_error(
+    protocol: RandomizedProtocol,
+    input0: Any,
+    input1: Any,
+    truth: Any,
+    trials: int = 200,
+    seed_base: int = 0,
+) -> ErrorEstimate:
+    """Run ``trials`` independent coin seeds on one input pair."""
+    errors = 0
+    total_bits = 0
+    max_bits = 0
+    for t in range(trials):
+        result = protocol.run(input0, input1, seed_base + t)
+        if result.agreed_output() != truth:
+            errors += 1
+        bits = result.bits_exchanged
+        total_bits += bits
+        max_bits = max(max_bits, bits)
+    return ErrorEstimate(trials, errors, total_bits / trials, max_bits)
+
+
+def worst_input_error(
+    protocol: RandomizedProtocol,
+    input_pairs,
+    reference: Callable[[Any, Any], Any],
+    trials: int = 100,
+    seed_base: int = 0,
+) -> tuple[float, ErrorEstimate]:
+    """Max estimated error over the input set, with the offending estimate."""
+    worst_rate = -1.0
+    worst_est: ErrorEstimate | None = None
+    for x0, x1 in input_pairs:
+        est = estimate_error(protocol, x0, x1, reference(x0, x1), trials, seed_base)
+        if est.error_rate > worst_rate:
+            worst_rate = est.error_rate
+            worst_est = est
+    assert worst_est is not None, "input set must be non-empty"
+    return worst_rate, worst_est
+
+
+def estimate_cost(
+    protocol: RandomizedProtocol,
+    input_pairs,
+    trials_per_input: int = 20,
+    seed_base: int = 0,
+) -> tuple[float, int]:
+    """(mean, max) bits over inputs × coins."""
+    total = 0
+    count = 0
+    worst = 0
+    for x0, x1 in input_pairs:
+        for t in range(trials_per_input):
+            bits = protocol.run(x0, x1, seed_base + t).bits_exchanged
+            total += bits
+            worst = max(worst, bits)
+            count += 1
+    return (total / count if count else 0.0), worst
+
+
+def amplify_by_majority(base_error: float, repetitions: int) -> float:
+    """Chernoff-style upper bound on the majority-vote error after
+    ``repetitions`` independent runs of a protocol with error ``base_error``.
+
+    Exact binomial tail (not the exponential bound) since repetitions are
+    small in our experiments: P[#errors >= ceil(r/2)].
+    """
+    if not 0 <= base_error <= 1:
+        raise ValueError("base_error must be a probability")
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    need = (repetitions + 1) // 2 if repetitions % 2 else repetitions // 2 + 1
+    tail = 0.0
+    for successes in range(need, repetitions + 1):
+        tail += (
+            math.comb(repetitions, successes)
+            * base_error**successes
+            * (1 - base_error) ** (repetitions - successes)
+        )
+    return min(1.0, tail)

@@ -1,0 +1,233 @@
+"""Monochromatic rectangles (the paper's "monochromatic submatrices").
+
+A *rectangle* of a truth matrix is a set of rows × a set of columns; it is
+*monochromatic* when the function is constant on it (1-chromatic /
+0-chromatic per the constant).  Yao's method rests on two facts made
+executable here:
+
+* every deterministic protocol partitions the truth matrix into at most
+  ``2^c`` monochromatic rectangles (``c`` = bits exchanged);
+* hence big truth matrices whose 1-entries cannot be covered by few large
+  1-rectangles force long protocols — the quantitative content of the
+  paper's claims (2a)/(2b).
+
+Exact maximum-rectangle search is NP-hard in general; we provide an exact
+branch-and-bound for small matrices, a greedy grower for larger ones, and a
+cover-counting pass (all used by experiment E6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def is_monochromatic(
+    tm: TruthMatrix, rows: Sequence[int], cols: Sequence[int]
+) -> bool:
+    """Is the rectangle rows × cols constant?"""
+    rows = list(rows)
+    cols = list(cols)
+    if not rows or not cols:
+        return True
+    block = tm.data[np.ix_(rows, cols)]
+    return bool((block == block[0, 0]).all())
+
+
+def rectangle_value(
+    tm: TruthMatrix, rows: Sequence[int], cols: Sequence[int]
+) -> int:
+    """The constant value of a monochromatic rectangle (raises otherwise)."""
+    if not is_monochromatic(tm, rows, cols):
+        raise ValueError("rectangle is not monochromatic")
+    return int(tm.data[list(rows)[0], list(cols)[0]])
+
+
+def is_one_rectangle(tm: TruthMatrix, rows: Sequence[int], cols: Sequence[int]) -> bool:
+    """1-chromatic: every entry is 1."""
+    rows = list(rows)
+    cols = list(cols)
+    if not rows or not cols:
+        return True
+    return bool(tm.data[np.ix_(rows, cols)].all())
+
+
+def max_one_rectangle_exact(tm: TruthMatrix, max_rows: int = 20) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+    """The 1-rectangle of maximum area, exactly, by row-subset enumeration.
+
+    For each subset S of rows, the best rectangle with row set S uses all
+    columns that are all-ones on S, so it suffices to enumerate row subsets:
+    exponential in the row count only.  Refuses more than ``max_rows`` rows —
+    transpose first if the matrix is wider than tall.
+
+    Returns ``(area, rows, cols)``; area 0 with empty sets when there are no
+    1-entries.
+    """
+    n_rows, n_cols = tm.shape
+    if n_rows > max_rows:
+        raise ValueError(
+            f"{n_rows} rows is too many for exact search (limit {max_rows}); "
+            "transpose or use max_one_rectangle_greedy"
+        )
+    data = tm.data.astype(bool)
+    # Row masks over columns as bitsets for speed.
+    col_masks = [
+        int("".join("1" if data[i, j] else "0" for j in range(n_cols)), 2)
+        if n_cols
+        else 0
+        for i in range(n_rows)
+    ]
+    best_area = 0
+    best: tuple[int, tuple[int, ...], tuple[int, ...]] = (0, (), ())
+    full = (1 << n_cols) - 1
+    for subset in range(1, 1 << n_rows):
+        rows = [i for i in range(n_rows) if subset >> i & 1]
+        mask = full
+        for i in rows:
+            mask &= col_masks[i]
+            if not mask:
+                break
+        width = bin(mask).count("1")
+        area = len(rows) * width
+        if area > best_area:
+            cols = tuple(
+                j for j in range(n_cols) if mask >> (n_cols - 1 - j) & 1
+            )
+            best_area = area
+            best = (area, tuple(rows), cols)
+    return best
+
+
+def max_one_rectangle_greedy(
+    tm: TruthMatrix, rng=None, restarts: int = 32
+) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+    """A large (not necessarily maximum) 1-rectangle by randomized greedy.
+
+    Seed with a random 1-entry, grow by repeatedly adding the row/column
+    that keeps the rectangle all-ones and maximizes area.  ``restarts``
+    independent seeds; deterministic when ``rng`` is None (seeds iterate over
+    1-entries in order).
+    """
+    data = tm.data.astype(bool)
+    ones = np.argwhere(data)
+    if len(ones) == 0:
+        return 0, (), ()
+    if rng is None:
+        seeds = [tuple(ones[i * max(1, len(ones) // restarts) % len(ones)]) for i in range(min(restarts, len(ones)))]
+    else:
+        seeds = [tuple(ones[rng.randrange(len(ones))]) for _ in range(restarts)]
+    best = (0, (), ())
+    for si, sj in seeds:
+        rows = {int(si)}
+        cols = {int(sj)}
+        improved = True
+        while improved:
+            improved = False
+            col_list = sorted(cols)
+            # Try to add the row keeping all-ones that exists.
+            candidate_rows = [
+                i
+                for i in range(data.shape[0])
+                if i not in rows and data[i, col_list].all()
+            ]
+            row_list = sorted(rows)
+            candidate_cols = [
+                j
+                for j in range(data.shape[1])
+                if j not in cols and data[row_list, j].all()
+            ]
+            # Greedy: pick the move that adds the most area.
+            gain_row = len(cols) if candidate_rows else 0
+            gain_col = len(rows) if candidate_cols else 0
+            if gain_row == 0 and gain_col == 0:
+                break
+            if gain_row >= gain_col:
+                rows.add(candidate_rows[0])
+            else:
+                cols.add(candidate_cols[0])
+            improved = True
+        area = len(rows) * len(cols)
+        if area > best[0]:
+            best = (area, tuple(sorted(rows)), tuple(sorted(cols)))
+    return best
+
+
+def max_one_rectangle(tm: TruthMatrix) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+    """Exact when feasible (≤20 rows after transposing to the thin side),
+    greedy otherwise."""
+    n_rows, n_cols = tm.shape
+    if min(n_rows, n_cols) <= 20:
+        if n_rows <= n_cols:
+            return max_one_rectangle_exact(tm)
+        area, cols, rows = max_one_rectangle_exact(tm.transpose())
+        return area, rows, cols
+    return max_one_rectangle_greedy(tm)
+
+
+def greedy_monochromatic_partition(tm: TruthMatrix) -> list[tuple[tuple[int, ...], tuple[int, ...], int]]:
+    """Partition the truth matrix into disjoint monochromatic rectangles,
+    greedily (largest-first heuristic).
+
+    Returns ``[(rows, cols, value), …]``.  The count upper-bounds the optimal
+    partition number d(f) — and hence ``log2(count) + 2`` upper-bounds
+    nothing but *estimates* the Yao bound; the exact route is
+    :mod:`repro.comm.exhaustive` on small matrices.
+    """
+    remaining = np.ones(tm.shape, dtype=bool)
+    pieces: list[tuple[tuple[int, ...], tuple[int, ...], int]] = []
+    data = tm.data
+    while remaining.any():
+        # Work on the residual matrix: find a large rectangle monochromatic
+        # in `data` and fully inside `remaining`, rows-first greedy.
+        si, sj = map(int, np.argwhere(remaining)[0])
+        value = int(data[si, sj])
+        rows = [si]
+        cols = [sj]
+        # Greedily extend columns then rows while staying monochromatic and
+        # un-consumed.
+        for j in range(tm.shape[1]):
+            if j == sj:
+                continue
+            if all(data[i, j] == value and remaining[i, j] for i in rows):
+                cols.append(j)
+        for i in range(tm.shape[0]):
+            if i == si:
+                continue
+            if all(data[i, j] == value and remaining[i, j] for j in cols):
+                rows.append(i)
+        pieces.append((tuple(sorted(rows)), tuple(sorted(cols)), value))
+        remaining[np.ix_(sorted(rows), sorted(cols))] = False
+    return pieces
+
+
+def verify_partition(
+    tm: TruthMatrix,
+    pieces: Sequence[tuple[Sequence[int], Sequence[int], int]],
+) -> bool:
+    """Do the pieces tile the truth matrix disjointly and monochromatically?"""
+    covered = np.zeros(tm.shape, dtype=np.int32)
+    for rows, cols, value in pieces:
+        rows = list(rows)
+        cols = list(cols)
+        if not rows or not cols:
+            return False
+        block = tm.data[np.ix_(rows, cols)]
+        if not (block == value).all():
+            return False
+        covered[np.ix_(rows, cols)] += 1
+    return bool((covered == 1).all())
+
+
+def ones_covered_fraction(
+    tm: TruthMatrix, rows: Sequence[int], cols: Sequence[int]
+) -> float:
+    """Fraction of all 1-entries lying inside the rectangle — the quantity
+    claim (2b) bounds by q^{-Θ(n²)}."""
+    total_ones = tm.ones_count()
+    if total_ones == 0:
+        return 0.0
+    block = tm.data[np.ix_(list(rows), list(cols))]
+    return float(block.sum()) / total_ones

@@ -1,0 +1,169 @@
+"""Truth matrices: a two-argument Boolean function as a 0/1 matrix.
+
+Section 2 of the paper: fix the input size and the partition π; the
+computation becomes a function of two arguments (agent 0's bits, agent 1's
+bits), characterized by a *truth matrix* with one row per instance of the
+first argument and one column per instance of the second.
+
+Two builders:
+
+* :func:`truth_matrix_from_function` — generic: enumerate all assignments of
+  each agent's bit positions (only feasible for small bit counts);
+* :class:`TruthMatrix` also supports *restricted* families where rows and
+  columns are indexed by structured objects (e.g. instances of the paper's
+  submatrix blocks) rather than raw bit strings — that is exactly how the
+  paper's Section 3 argument selects a submatrix of the full truth matrix.
+
+The entry convention follows the paper: entry = 1 means "the corresponding
+input matrix is singular" (more generally, ``f = True``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.partition import Partition
+
+
+@dataclass
+class TruthMatrix:
+    """A dense 0/1 truth matrix with labeled rows and columns.
+
+    Attributes:
+        data: ``rows x cols`` uint8 array of 0/1 values.
+        row_labels: the instance of agent 0's argument for each row.
+        col_labels: the instance of agent 1's argument for each column.
+    """
+
+    data: np.ndarray
+    row_labels: tuple[Hashable, ...]
+    col_labels: tuple[Hashable, ...]
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=np.uint8)
+        if self.data.ndim != 2:
+            raise ValueError("truth matrix must be two-dimensional")
+        if self.data.shape != (len(self.row_labels), len(self.col_labels)):
+            raise ValueError("label counts must match the data shape")
+        if not np.isin(self.data, (0, 1)).all():
+            raise ValueError("truth matrix entries must be 0/1")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols)."""
+        return self.data.shape
+
+    def ones_count(self) -> int:
+        """Number of 1 ("singular") entries — the paper's claim (2a) quantity."""
+        return int(self.data.sum())
+
+    def zeros_count(self) -> int:
+        """Number of 0 entries."""
+        return self.data.size - self.ones_count()
+
+    def ones_fraction(self) -> float:
+        """ones / total entries."""
+        return self.ones_count() / self.data.size
+
+    def submatrix(self, rows: Sequence[int], cols: Sequence[int]) -> "TruthMatrix":
+        """The sub-truth-matrix on the given index sets (labels follow)."""
+        rows = list(rows)
+        cols = list(cols)
+        return TruthMatrix(
+            self.data[np.ix_(rows, cols)],
+            tuple(self.row_labels[i] for i in rows),
+            tuple(self.col_labels[j] for j in cols),
+        )
+
+    def transpose(self) -> "TruthMatrix":
+        """Swap the agents' roles."""
+        return TruthMatrix(self.data.T.copy(), self.col_labels, self.row_labels)
+
+    def distinct_rows(self) -> int:
+        """Number of distinct row vectors (drives fooling-set/rank bounds)."""
+        return len({tuple(row) for row in self.data.tolist()})
+
+    def distinct_cols(self) -> int:
+        """Number of distinct column vectors."""
+        return len({tuple(col) for col in self.data.T.tolist()})
+
+    def value(self, row_label: Hashable, col_label: Hashable) -> int:
+        """The entry addressed by labels (linear scan; small matrices)."""
+        i = self.row_labels.index(row_label)
+        j = self.col_labels.index(col_label)
+        return int(self.data[i, j])
+
+    def __repr__(self) -> str:
+        r, c = self.shape
+        return f"TruthMatrix({r}x{c}, ones={self.ones_count()})"
+
+
+def truth_matrix_from_function(
+    f: Callable[[Sequence[int]], bool],
+    partition: Partition,
+) -> TruthMatrix:
+    """Enumerate the full truth matrix of ``f`` (a function of the complete
+    bit string) under ``partition``.
+
+    Row label = agent 0's bit assignment (as a tuple over its sorted
+    positions); column label likewise for agent 1.  Exponential in the bit
+    counts: refuses more than 22 bits per side.
+    """
+    pos0 = sorted(partition.agent0)
+    pos1 = sorted(partition.agent1)
+    if len(pos0) > 22 or len(pos1) > 22:
+        raise ValueError(
+            f"truth matrix would have 2^{len(pos0)} x 2^{len(pos1)} entries; "
+            "use the restricted-family builders instead"
+        )
+    n_rows, n_cols = 1 << len(pos0), 1 << len(pos1)
+    data = np.zeros((n_rows, n_cols), dtype=np.uint8)
+    total = partition.total_bits
+    bits = [0] * total
+    row_labels = []
+    for r in range(n_rows):
+        for idx, p in enumerate(pos0):
+            bits[p] = (r >> idx) & 1
+        row_labels.append(tuple((r >> idx) & 1 for idx in range(len(pos0))))
+        for c in range(n_cols):
+            for idx, p in enumerate(pos1):
+                bits[p] = (c >> idx) & 1
+            data[r, c] = 1 if f(bits) else 0
+    col_labels = tuple(
+        tuple((c >> idx) & 1 for idx in range(len(pos1))) for c in range(n_cols)
+    )
+    return TruthMatrix(data, tuple(row_labels), col_labels)
+
+
+def truth_matrix_from_matrix_predicate(
+    predicate,
+    codec: MatrixBitCodec,
+    partition: Partition,
+) -> TruthMatrix:
+    """Truth matrix of a *matrix* predicate (e.g. singularity) under a
+    partition of the matrix-bit codec's positions."""
+
+    def f(bits: Sequence[int]) -> bool:
+        return bool(predicate(codec.decode(bits)))
+
+    return truth_matrix_from_function(f, partition)
+
+
+def truth_matrix_from_family(
+    predicate: Callable[[Hashable, Hashable], bool],
+    row_instances: Sequence[Hashable],
+    col_instances: Sequence[Hashable],
+) -> TruthMatrix:
+    """Truth matrix of a restricted family: rows and columns are arbitrary
+    structured instances (the paper's A-instances and B-instances)."""
+    rows = list(row_instances)
+    cols = list(col_instances)
+    data = np.zeros((len(rows), len(cols)), dtype=np.uint8)
+    for i, a in enumerate(rows):
+        for j, b in enumerate(cols):
+            data[i, j] = 1 if predicate(a, b) else 0
+    return TruthMatrix(data, tuple(rows), tuple(cols))

@@ -1,0 +1,133 @@
+"""Exact characteristic polynomials (Faddeev–LeVerrier).
+
+An extension substrate: the characteristic polynomial
+``p(λ) = λⁿ - c₁λⁿ⁻¹ - … - cₙ`` of an integer/rational matrix, computed
+exactly by the Faddeev–LeVerrier recurrence
+
+    M₁ = A,            c₁ = tr M₁,
+    M_{j+1} = A(M_j - c_j I),  c_{j+1} = tr M_{j+1} / (j+1).
+
+It gives yet another independent singularity oracle (``A singular ⇔
+constant term = 0 ⇔ det = 0``), exact eigenvalue *certificates* for
+rational eigenvalues (rational-root testing), and the Cayley–Hamilton
+identity as a strong whole-pipeline invariant for the property tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.exact.matrix import Matrix
+
+
+def characteristic_polynomial(a: Matrix) -> list[Fraction]:
+    """Coefficients ``[p₀, p₁, …, pₙ]`` of det(λI - A), ascending powers.
+
+    ``pₙ = 1`` (monic); ``p₀ = (-1)ⁿ det(A)``.
+    """
+    if not a.is_square:
+        raise ValueError("characteristic polynomial needs a square matrix")
+    n = a.num_rows
+    identity = Matrix.identity(n)
+    m = a
+    cs: list[Fraction] = []
+    for j in range(1, n + 1):
+        c = m.trace() / j
+        cs.append(c)
+        if j < n:
+            m = a @ (m - identity.scale(c))
+    # det(λI - A) = λ^n - c1 λ^{n-1} - c2 λ^{n-2} ... - cn
+    coefficients = [Fraction(0)] * (n + 1)
+    coefficients[n] = Fraction(1)
+    for j, c in enumerate(cs, start=1):
+        coefficients[n - j] = -c
+    return coefficients
+
+
+def determinant_via_charpoly(a: Matrix) -> Fraction:
+    """det(A) from the constant term: det = (-1)ⁿ · p₀."""
+    coefficients = characteristic_polynomial(a)
+    n = a.num_rows
+    return coefficients[0] if n % 2 == 0 else -coefficients[0]
+
+
+def is_singular_via_charpoly(a: Matrix) -> bool:
+    """Another independent singularity oracle."""
+    return determinant_via_charpoly(a) == 0
+
+
+def evaluate_poly_at_matrix(coefficients: list[Fraction], a: Matrix) -> Matrix:
+    """``Σ coefficients[i] · Aⁱ`` by Horner's rule."""
+    if not a.is_square:
+        raise ValueError("matrix polynomial evaluation needs a square matrix")
+    n = a.num_rows
+    result = Matrix.zeros(n, n)
+    for c in reversed(coefficients):
+        result = result @ a + Matrix.identity(n).scale(c)
+    return result
+
+
+def cayley_hamilton_holds(a: Matrix) -> bool:
+    """p(A) = 0 — the Cayley–Hamilton theorem as an executable invariant."""
+    p = characteristic_polynomial(a)
+    value = evaluate_poly_at_matrix(p, a)
+    return value == Matrix.zeros(a.num_rows, a.num_rows)
+
+
+def rational_eigenvalues(a: Matrix) -> list[Fraction]:
+    """All rational eigenvalues (with multiplicity 1 in the output list).
+
+    For an *integer* matrix the charpoly is monic with integer
+    coefficients, so rational roots are integers dividing the constant
+    term — tested exhaustively over its divisors.  For rational input,
+    clear denominators first (eigenvalues scale back).
+    """
+    if not a.is_integer():
+        raise ValueError("rational eigenvalue search expects an integer matrix")
+    coefficients = characteristic_polynomial(a)
+    ints = [int(c) for c in coefficients]  # monic integer charpoly
+
+    def value_at(x: int) -> int:
+        acc = 0
+        for c in reversed(ints):
+            acc = acc * x + c
+        return acc
+
+    constant = ints[0]
+    if constant == 0:
+        roots = {0}
+        # Deflate zeros: find the lowest nonzero coefficient.
+        shift = next(i for i, c in enumerate(ints) if c != 0)
+        deflated = ints[shift:]
+
+        def deflated_at(x: int) -> int:
+            acc = 0
+            for c in reversed(deflated):
+                acc = acc * x + c
+            return acc
+
+        candidates = _divisors(abs(deflated[0])) if deflated[0] else set()
+        for d in candidates:
+            for candidate in (d, -d):
+                if deflated_at(candidate) == 0:
+                    roots.add(candidate)
+        return sorted(Fraction(r) for r in roots)
+    roots = set()
+    for d in _divisors(abs(constant)):
+        for candidate in (d, -d):
+            if value_at(candidate) == 0:
+                roots.add(candidate)
+    return sorted(Fraction(r) for r in roots)
+
+
+def _divisors(value: int) -> set[int]:
+    if value == 0:
+        return set()
+    out = set()
+    d = 1
+    while d * d <= value:
+        if value % d == 0:
+            out.add(d)
+            out.add(value // d)
+        d += 1
+    return out

@@ -1,0 +1,123 @@
+"""Exact LUP decomposition over ℚ (Corollary 1.2(e)).
+
+``P @ M == L @ U`` with ``L`` unit lower triangular, ``U`` upper triangular
+(possibly rank-deficient — trailing zero rows), and ``P`` a permutation.
+The decomposition doubles as a singularity oracle: ``M`` is singular iff
+``U`` has a zero diagonal entry, which is the reduction Corollary 1.2(e)
+exploits (any device computing LUP — even just the *nonzero structure* of
+``U`` — answers singularity, so it inherits the Ω(k n²) bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.exact.matrix import Matrix, permutation_matrix
+
+
+@dataclass(frozen=True)
+class LUPDecomposition:
+    """``P @ M == L @ U`` (all exact).
+
+    Attributes:
+        l: unit lower-triangular square matrix.
+        u: upper-triangular (echelon) matrix, same shape as ``m``.
+        perm: the row permutation as an image list; ``P = permutation_matrix(perm)``.
+    """
+
+    l: Matrix
+    u: Matrix
+    perm: tuple[int, ...]
+
+    @property
+    def p(self) -> Matrix:
+        """The permutation matrix with ``P @ M == L @ U``."""
+        return permutation_matrix(self.perm)
+
+    def reconstruct(self) -> Matrix:
+        """``P^{-1} @ L @ U`` — must equal the original matrix."""
+        inverse = [0] * len(self.perm)
+        for i, target in enumerate(self.perm):
+            inverse[target] = i
+        return (self.l @ self.u).permute_rows(inverse)
+
+    def is_singular(self) -> bool:
+        """Square matrices only: singular iff some U diagonal entry is zero."""
+        n_rows, n_cols = self.u.shape
+        if n_rows != n_cols:
+            raise ValueError("singularity via LUP needs a square matrix")
+        return any(self.u[i, i] == 0 for i in range(n_rows))
+
+    def determinant(self) -> Fraction:
+        """det(M) from the factors (square case)."""
+        n_rows, n_cols = self.u.shape
+        if n_rows != n_cols:
+            raise ValueError("determinant needs a square matrix")
+        det = Fraction(1)
+        for i in range(n_rows):
+            det *= self.u[i, i]
+        # Sign of the permutation.
+        seen = [False] * n_rows
+        sign = 1
+        for start in range(n_rows):
+            if seen[start]:
+                continue
+            length = 0
+            j = start
+            while not seen[j]:
+                seen[j] = True
+                j = self.perm[j]
+                length += 1
+            if length % 2 == 0:
+                sign = -sign
+        return sign * det
+
+    def u_nonzero_structure(self) -> frozenset[tuple[int, int]]:
+        """Corollary 1.2's weakened output: only where U is nonzero."""
+        return self.u.nonzero_structure()
+
+
+def lup_decompose(m: Matrix) -> LUPDecomposition:
+    """LUP by exact partial pivoting (first nonzero pivot).
+
+    Works for any shape; rank-deficient columns simply contribute no pivot.
+    """
+    n_rows, n_cols = m.shape
+    u_rows = [list(r) for r in m.rows()]
+    l_rows = [[Fraction(1) if i == j else Fraction(0) for j in range(n_rows)] for i in range(n_rows)]
+    perm = list(range(n_rows))
+    pivot_row = 0
+    for col in range(n_cols):
+        if pivot_row >= n_rows:
+            break
+        found = None
+        for r in range(pivot_row, n_rows):
+            if u_rows[r][col] != 0:
+                found = r
+                break
+        if found is None:
+            continue
+        if found != pivot_row:
+            u_rows[pivot_row], u_rows[found] = u_rows[found], u_rows[pivot_row]
+            perm[pivot_row], perm[found] = perm[found], perm[pivot_row]
+            # Swap the already-built strictly-lower parts of L.
+            for c in range(pivot_row):
+                l_rows[pivot_row][c], l_rows[found][c] = (
+                    l_rows[found][c],
+                    l_rows[pivot_row][c],
+                )
+        pivot = u_rows[pivot_row][col]
+        for r in range(pivot_row + 1, n_rows):
+            if u_rows[r][col] != 0:
+                factor = u_rows[r][col] / pivot
+                l_rows[r][pivot_row] = factor
+                for c in range(col, n_cols):
+                    u_rows[r][c] -= factor * u_rows[pivot_row][c]
+        pivot_row += 1
+    return LUPDecomposition(Matrix(l_rows), Matrix(u_rows), tuple(perm))
+
+
+def is_singular_via_lup(m: Matrix) -> bool:
+    """Corollary 1.2(e)'s reduction, as an executable oracle."""
+    return lup_decompose(m).is_singular()

@@ -1,0 +1,423 @@
+"""Dense exact matrices over the rationals.
+
+Singularity over the integers is a *discrete* decision: one wrong bit flips
+the answer, so floating point is off-limits anywhere a decision is made.
+:class:`Matrix` stores entries as :class:`fractions.Fraction` (integers stay
+integral Fractions) and supports the operations the rest of the library
+needs: ring arithmetic, block composition, row/column permutation, and
+conversion to numpy only for *cross-checks*, never for decisions.
+
+Matrices are immutable and hashable so they can key truth-matrix rows and be
+shared between agents without defensive copies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from fractions import Fraction
+from typing import Union
+
+Scalar = Union[int, Fraction]
+
+
+def _as_fraction(value: Scalar) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"matrix entries must be int or Fraction, got {type(value).__name__}")
+
+
+class Matrix:
+    """An immutable ``rows x cols`` matrix of exact rationals.
+
+    >>> m = Matrix([[1, 2], [3, 4]])
+    >>> m.shape
+    (2, 2)
+    >>> (m @ Matrix.identity(2)) == m
+    True
+    """
+
+    __slots__ = ("_rows", "_shape", "_hash")
+
+    def __init__(self, rows: Sequence[Sequence[Scalar]]):
+        materialized = tuple(tuple(_as_fraction(x) for x in row) for row in rows)
+        if not materialized:
+            raise ValueError("a matrix needs at least one row")
+        width = len(materialized[0])
+        if width == 0:
+            raise ValueError("a matrix needs at least one column")
+        for r in materialized:
+            if len(r) != width:
+                raise ValueError("all rows must have equal length")
+        self._rows = materialized
+        self._shape = (len(materialized), width)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(rows: int, cols: int) -> "Matrix":
+        """The ``rows x cols`` zero matrix."""
+        return Matrix([[0] * cols for _ in range(rows)])
+
+    @staticmethod
+    def identity(n: int) -> "Matrix":
+        """The ``n x n`` identity."""
+        return Matrix([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def diagonal(values: Sequence[Scalar]) -> "Matrix":
+        """Square matrix with ``values`` on the diagonal."""
+        n = len(values)
+        return Matrix(
+            [[values[i] if i == j else 0 for j in range(n)] for i in range(n)]
+        )
+
+    @staticmethod
+    def from_function(rows: int, cols: int, fn: Callable[[int, int], Scalar]) -> "Matrix":
+        """Entry ``(i, j)`` is ``fn(i, j)``."""
+        return Matrix([[fn(i, j) for j in range(cols)] for i in range(rows)])
+
+    @staticmethod
+    def column(values: Sequence[Scalar]) -> "Matrix":
+        """An ``n x 1`` column matrix."""
+        return Matrix([[v] for v in values])
+
+    @staticmethod
+    def row_vector(values: Sequence[Scalar]) -> "Matrix":
+        """A ``1 x n`` row matrix."""
+        return Matrix([list(values)])
+
+    @staticmethod
+    def block(grid: Sequence[Sequence["Matrix"]]) -> "Matrix":
+        """Assemble a block matrix from a grid of conforming blocks.
+
+        >>> i2 = Matrix.identity(2)
+        >>> z = Matrix.zeros(2, 2)
+        >>> Matrix.block([[i2, z], [z, i2]]) == Matrix.identity(4)
+        True
+        """
+        if not grid or not grid[0]:
+            raise ValueError("block grid must be non-empty")
+        block_cols = len(grid[0])
+        for band in grid:
+            if len(band) != block_cols:
+                raise ValueError("ragged block grid")
+        rows: list[list[Fraction]] = []
+        for band in grid:
+            height = band[0].shape[0]
+            for blk in band:
+                if blk.shape[0] != height:
+                    raise ValueError("blocks in a band must share row count")
+            for i in range(height):
+                row: list[Fraction] = []
+                for blk in band:
+                    row.extend(blk._rows[i])
+                rows.append(row)
+        return Matrix(rows)
+
+    @staticmethod
+    def random_kbit(rng, rows: int, cols: int, k: int) -> "Matrix":
+        """Uniform matrix of k-bit integer entries (the paper's input model)."""
+        return Matrix(rng.kbit_matrix(rows, cols, k))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols)."""
+        return self._shape
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        """Number of columns."""
+        return self._shape[1]
+
+    @property
+    def is_square(self) -> bool:
+        """True when rows == cols."""
+        return self._shape[0] == self._shape[1]
+
+    def __getitem__(self, key: tuple[int, int]) -> Fraction:
+        i, j = key
+        return self._rows[i][j]
+
+    def rows(self) -> tuple[tuple[Fraction, ...], ...]:
+        """The entries as nested tuples (cheap; shared, immutable)."""
+        return self._rows
+
+    def row(self, i: int) -> tuple[Fraction, ...]:
+        """Row ``i`` as a tuple."""
+        return self._rows[i]
+
+    def col(self, j: int) -> tuple[Fraction, ...]:
+        """Column ``j`` as a tuple."""
+        return tuple(r[j] for r in self._rows)
+
+    def is_integer(self) -> bool:
+        """True when every entry has denominator 1."""
+        return all(x.denominator == 1 for row in self._rows for x in row)
+
+    def to_int_rows(self) -> list[list[int]]:
+        """Entries as plain ints; raises if any entry is non-integral."""
+        if not self.is_integer():
+            raise ValueError("matrix has non-integer entries")
+        return [[int(x) for x in row] for row in self._rows]
+
+    def max_abs_entry(self) -> Fraction:
+        """max |entry| — used by Hadamard bounds and fingerprint analysis."""
+        return max(abs(x) for row in self._rows for x in row)
+
+    def nonzero_structure(self) -> frozenset[tuple[int, int]]:
+        """Positions of nonzero entries.
+
+        Corollary 1.2 notes the lower bounds hold even when a decomposition
+        is only required up to its nonzero structure; this is the object that
+        captures "nonzero structure".
+        """
+        return frozenset(
+            (i, j)
+            for i, row in enumerate(self._rows)
+            for j, x in enumerate(row)
+            if x != 0
+        )
+
+    # ------------------------------------------------------------------
+    # Ring arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Matrix") -> "Matrix":
+        self._require_same_shape(other)
+        return Matrix(
+            [
+                [a + b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        self._require_same_shape(other)
+        return Matrix(
+            [
+                [a - b for a, b in zip(ra, rb)]
+                for ra, rb in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __neg__(self) -> "Matrix":
+        return Matrix([[-x for x in row] for row in self._rows])
+
+    def scale(self, scalar: Scalar) -> "Matrix":
+        """Entrywise multiplication by ``scalar``."""
+        s = _as_fraction(scalar)
+        return Matrix([[s * x for x in row] for row in self._rows])
+
+    def __mul__(self, scalar: Scalar) -> "Matrix":
+        return self.scale(scalar)
+
+    def __rmul__(self, scalar: Scalar) -> "Matrix":
+        return self.scale(scalar)
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        if self.num_cols != other.num_rows:
+            raise ValueError(
+                f"cannot multiply {self.shape} by {other.shape}: inner dims differ"
+            )
+        other_cols = list(zip(*other._rows))
+        return Matrix(
+            [
+                [sum(a * b for a, b in zip(row, col)) for col in other_cols]
+                for row in self._rows
+            ]
+        )
+
+    def matvec(self, vec: Sequence[Scalar]) -> tuple[Fraction, ...]:
+        """``self @ vec`` for a plain sequence, returned as a tuple."""
+        if len(vec) != self.num_cols:
+            raise ValueError("vector length must equal the column count")
+        v = [_as_fraction(x) for x in vec]
+        return tuple(sum(a * b for a, b in zip(row, v)) for row in self._rows)
+
+    def transpose(self) -> "Matrix":
+        """The transpose."""
+        return Matrix([list(col) for col in zip(*self._rows)])
+
+    @property
+    def T(self) -> "Matrix":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    def pow(self, exponent: int) -> "Matrix":
+        """Matrix power by repeated squaring (square matrices only)."""
+        if not self.is_square:
+            raise ValueError("matrix power needs a square matrix")
+        if exponent < 0:
+            raise ValueError("negative powers unsupported; invert explicitly")
+        result = Matrix.identity(self.num_rows)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result @ base
+            base = base @ base
+            exponent >>= 1
+        return result
+
+    def trace(self) -> Fraction:
+        """Sum of the diagonal entries (square matrices)."""
+        if not self.is_square:
+            raise ValueError("trace needs a square matrix")
+        return sum((self._rows[i][i] for i in range(self.num_rows)), Fraction(0))
+
+    # ------------------------------------------------------------------
+    # Slicing and rearrangement
+    # ------------------------------------------------------------------
+    def submatrix(
+        self, row_indices: Sequence[int], col_indices: Sequence[int]
+    ) -> "Matrix":
+        """The submatrix on the given (ordered, possibly repeating) indices."""
+        return Matrix(
+            [[self._rows[i][j] for j in col_indices] for i in row_indices]
+        )
+
+    def slice(self, r0: int, r1: int, c0: int, c1: int) -> "Matrix":
+        """Contiguous block ``[r0:r1, c0:c1]`` (half-open, like Python)."""
+        if not (0 <= r0 < r1 <= self.num_rows and 0 <= c0 < c1 <= self.num_cols):
+            raise ValueError(f"bad slice ({r0}:{r1}, {c0}:{c1}) of {self.shape}")
+        return Matrix([row[c0:c1] for row in self._rows[r0:r1]])
+
+    def with_entry(self, i: int, j: int, value: Scalar) -> "Matrix":
+        """A copy with entry ``(i, j)`` replaced."""
+        rows = [list(r) for r in self._rows]
+        rows[i][j] = _as_fraction(value)
+        return Matrix(rows)
+
+    def with_block(self, i: int, j: int, block: "Matrix") -> "Matrix":
+        """A copy with ``block`` pasted so its (0,0) lands at ``(i, j)``."""
+        br, bc = block.shape
+        if i + br > self.num_rows or j + bc > self.num_cols:
+            raise ValueError("block does not fit at that position")
+        rows = [list(r) for r in self._rows]
+        for di in range(br):
+            rows[i + di][j : j + bc] = list(block._rows[di])
+        return Matrix(rows)
+
+    def permute_rows(self, perm: Sequence[int]) -> "Matrix":
+        """Row ``i`` of the result is row ``perm[i]`` of ``self``."""
+        self._require_perm(perm, self.num_rows, "row")
+        return Matrix([self._rows[p] for p in perm])
+
+    def permute_cols(self, perm: Sequence[int]) -> "Matrix":
+        """Column ``j`` of the result is column ``perm[j]`` of ``self``."""
+        self._require_perm(perm, self.num_cols, "column")
+        return Matrix([[row[p] for p in perm] for row in self._rows])
+
+    def swap_rows(self, i: int, j: int) -> "Matrix":
+        """A copy with rows ``i`` and ``j`` exchanged."""
+        perm = list(range(self.num_rows))
+        perm[i], perm[j] = perm[j], perm[i]
+        return self.permute_rows(perm)
+
+    def swap_cols(self, i: int, j: int) -> "Matrix":
+        """A copy with columns ``i`` and ``j`` exchanged."""
+        perm = list(range(self.num_cols))
+        perm[i], perm[j] = perm[j], perm[i]
+        return self.permute_cols(perm)
+
+    def hstack(self, other: "Matrix") -> "Matrix":
+        """[self | other] — columns side by side."""
+        if self.num_rows != other.num_rows:
+            raise ValueError("hstack needs equal row counts")
+        return Matrix(
+            [list(a) + list(b) for a, b in zip(self._rows, other._rows)]
+        )
+
+    def vstack(self, other: "Matrix") -> "Matrix":
+        """self stacked above other."""
+        if self.num_cols != other.num_cols:
+            raise ValueError("vstack needs equal column counts")
+        return Matrix(list(self._rows) + list(other._rows))
+
+    def map(self, fn: Callable[[Fraction], Scalar]) -> "Matrix":
+        """Apply ``fn`` entrywise."""
+        return Matrix([[fn(x) for x in row] for row in self._rows])
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_numpy(self):
+        """Entries as a float64 numpy array.
+
+        Only for *cross-checks and visualization* — decisions must stay on
+        the exact path.  Import is deferred so the exact core has no hard
+        numpy dependency at import time.
+        """
+        import numpy as np
+
+        return np.array([[float(x) for x in row] for row in self._rows])
+
+    def mod(self, p: int) -> list[list[int]]:
+        """Entries reduced mod ``p`` (requires integer entries)."""
+        if p <= 1:
+            raise ValueError("modulus must be >= 2")
+        return [[int(x) % p for x in row] for row in self.to_int_rows()]
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._rows)
+        return self._hash
+
+    def __repr__(self) -> str:
+        r, c = self.shape
+        if r * c <= 36:
+            body = "; ".join(
+                " ".join(str(x) for x in row) for row in self._rows
+            )
+            return f"Matrix({r}x{c}: [{body}])"
+        return f"Matrix({r}x{c})"
+
+    def pretty(self) -> str:
+        """Multi-line aligned rendering (for examples and docs)."""
+        cells = [[str(x) for x in row] for row in self._rows]
+        widths = [max(len(cells[i][j]) for i in range(self.num_rows)) for j in range(self.num_cols)]
+        return "\n".join(
+            "[ " + "  ".join(c.rjust(w) for c, w in zip(row, widths)) + " ]"
+            for row in cells
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_same_shape(self, other: "Matrix") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    @staticmethod
+    def _require_perm(perm: Sequence[int], n: int, what: str) -> None:
+        if sorted(perm) != list(range(n)):
+            raise ValueError(f"not a valid {what} permutation of range({n}): {perm}")
+
+
+def permutation_matrix(perm: Sequence[int]) -> Matrix:
+    """The matrix ``P`` with ``P @ M == M.permute_rows(perm)``.
+
+    ``P[i, perm[i]] = 1``; applying on the right as ``M @ P.T`` permutes
+    columns the same way.
+    """
+    n = len(perm)
+    Matrix._require_perm(perm, n, "permutation")
+    return Matrix.from_function(n, n, lambda i, j: 1 if perm[i] == j else 0)

@@ -1,0 +1,260 @@
+"""Arithmetic mod p: elimination, determinants, ranks, primes, and CRT.
+
+This is the number-theoretic substrate of the *randomized* side of the paper:
+Leighton's O(n² max(log n, log k)) protocol reduces each agent's entries mod
+a public random prime of Θ(max(log n, log k)) bits and decides singularity of
+the reduced matrix.  Everything here works on plain ``list[list[int]]`` so
+the protocol agents can run it on wire-format data without constructing
+:class:`~repro.exact.matrix.Matrix` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+# ----------------------------------------------------------------------
+# Primality and prime sampling
+# ----------------------------------------------------------------------
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin, exact for all 64-bit inputs and reliable
+    far beyond (uses the standard deterministic witness set).
+
+    >>> [p for p in range(20) if is_prime(p)]
+    [2, 3, 5, 7, 11, 13, 17, 19]
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in _SMALL_PRIMES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def primes_in_range(lo: int, hi: int) -> list[int]:
+    """All primes in ``[lo, hi)`` (simple sieve; fine for protocol-sized ranges)."""
+    if hi <= 2 or hi <= lo:
+        return []
+    lo = max(lo, 2)
+    sieve = bytearray([1]) * (hi - lo)
+    for p in range(2, math.isqrt(hi - 1) + 1):
+        start = max(p * p, (lo + p - 1) // p * p)
+        for multiple in range(start, hi, p):
+            sieve[multiple - lo] = 0
+    return [lo + i for i, flag in enumerate(sieve) if flag]
+
+
+def random_prime_with_bits(rng, bits: int) -> int:
+    """A uniform-ish prime with exactly ``bits`` bits (top bit set).
+
+    Rejection sampling over odd ``bits``-bit integers; for protocol purposes
+    uniformity over the prime set is unnecessary — only that the draw covers
+    enough primes that a fixed nonzero determinant rarely vanishes mod p.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits for a prime")
+    if bits == 2:
+        return rng.choice([2, 3])
+    while True:
+        candidate = (1 << (bits - 1)) | rng.randrange(1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def count_primes_with_bits(bits: int) -> int:
+    """Exact count of primes with exactly ``bits`` bits (enumerative; small bits).
+
+    Used by the error analysis of the fingerprint protocol at the sizes the
+    benchmarks run; falls back to the prime number theorem estimate above 26
+    bits where the sieve gets expensive.
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits")
+    if bits <= 26:
+        return len(primes_in_range(1 << (bits - 1), 1 << bits))
+    lo, hi = 1 << (bits - 1), 1 << bits
+    return int(hi / math.log(hi) - lo / math.log(lo))
+
+
+# ----------------------------------------------------------------------
+# Mod-p linear algebra on wire-format matrices
+# ----------------------------------------------------------------------
+def mat_mod(rows: Sequence[Sequence[int]], p: int) -> list[list[int]]:
+    """Reduce every entry mod ``p``."""
+    if p <= 1:
+        raise ValueError("modulus must be >= 2")
+    return [[x % p for x in row] for row in rows]
+
+
+def _eliminate_mod(rows: list[list[int]], p: int) -> tuple[int, int, int]:
+    """In-place elimination mod prime ``p``.
+
+    Returns ``(rank, det_of_processed_square_part, sign_flips)`` where the
+    det value is the product of pivots mod p (0 if rank-deficient when
+    square).
+    """
+    n_rows = len(rows)
+    n_cols = len(rows[0]) if n_rows else 0
+    rank = 0
+    det = 1
+    swaps = 0
+    for col in range(n_cols):
+        if rank >= n_rows:
+            break
+        pivot_row = None
+        for r in range(rank, n_rows):
+            if rows[r][col] % p:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != rank:
+            rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+            swaps += 1
+        pivot = rows[rank][col] % p
+        det = det * pivot % p
+        inv = pow(pivot, p - 2, p)
+        for r in range(rank + 1, n_rows):
+            if rows[r][col] % p:
+                factor = rows[r][col] * inv % p
+                rows[r] = [
+                    (a - factor * b) % p for a, b in zip(rows[r], rows[rank])
+                ]
+        rank += 1
+    return rank, det, swaps
+
+
+def rank_mod(rows: Sequence[Sequence[int]], p: int) -> int:
+    """Rank of an integer matrix over the field GF(p) (``p`` prime)."""
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    if not rows or not rows[0]:
+        raise ValueError("matrix must be non-empty")
+    work = mat_mod(rows, p)
+    rank, _, _ = _eliminate_mod(work, p)
+    return rank
+
+
+def det_mod(rows: Sequence[Sequence[int]], p: int) -> int:
+    """Determinant of a square integer matrix mod prime ``p``."""
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    n = len(rows)
+    if any(len(r) != n for r in rows):
+        raise ValueError("determinant needs a square matrix")
+    work = mat_mod(rows, p)
+    rank, det, swaps = _eliminate_mod(work, p)
+    if rank < n:
+        return 0
+    return (p - det) % p if swaps % 2 else det
+
+
+def is_singular_mod(rows: Sequence[Sequence[int]], p: int) -> bool:
+    """Is the matrix singular over GF(p)?  (The fingerprint decision.)
+
+    Note the one-sided error direction: a matrix singular over ℚ is singular
+    mod every ``p``, but a nonsingular matrix can *look* singular mod an
+    unlucky prime dividing its determinant.
+    """
+    n = len(rows)
+    return rank_mod(rows, p) < n
+
+
+def solve_mod(
+    rows: Sequence[Sequence[int]], rhs: Sequence[int], p: int
+) -> list[int] | None:
+    """One solution of ``A x = b`` over GF(p), or ``None`` if inconsistent."""
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    n_rows = len(rows)
+    if len(rhs) != n_rows:
+        raise ValueError("rhs length mismatch")
+    augmented = [list(r) + [b] for r, b in zip(mat_mod(rows, p), [x % p for x in rhs])]
+    rank_aug, _, _ = _eliminate_mod(augmented, p)
+    n_cols = len(rows[0])
+    # Consistency: no pivot may land in the rhs column.
+    pivots: list[int] = []
+    for r in range(rank_aug):
+        for c, v in enumerate(augmented[r]):
+            if v % p:
+                pivots.append(c)
+                break
+    if pivots and pivots[-1] == n_cols:
+        return None
+    x = [0] * n_cols
+    for r in range(len(pivots) - 1, -1, -1):
+        col = pivots[r]
+        acc = augmented[r][n_cols]
+        for c in range(col + 1, n_cols):
+            acc = (acc - augmented[r][c] * x[c]) % p
+        x[col] = acc * pow(augmented[r][col], p - 2, p) % p
+    return x
+
+
+# ----------------------------------------------------------------------
+# Chinese remaindering
+# ----------------------------------------------------------------------
+def crt_combine(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """The unique ``x mod prod(moduli)`` with ``x ≡ residues[i] (mod moduli[i])``.
+
+    Moduli must be pairwise coprime (primes distinct in our use).
+    """
+    if len(residues) != len(moduli):
+        raise ValueError("residues and moduli must align")
+    if not moduli:
+        raise ValueError("need at least one modulus")
+    x, modulus = residues[0] % moduli[0], moduli[0]
+    for r, m in zip(residues[1:], moduli[1:]):
+        g = math.gcd(modulus, m)
+        if g != 1:
+            raise ValueError("moduli must be pairwise coprime")
+        inv = pow(modulus % m, m - 2, m) if is_prime(m) else pow(modulus, -1, m)
+        diff = (r - x) % m
+        x = x + modulus * (diff * inv % m)
+        modulus *= m
+    return x % modulus
+
+
+def primes_for_crt_bound(bound: int, start_bits: int = 31) -> list[int]:
+    """Enough distinct primes (each ~``start_bits`` bits) so their product
+    exceeds ``2*bound`` — the standard CRT determinant recipe."""
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    target = 2 * bound + 1
+    primes: list[int] = []
+    candidate = (1 << (start_bits - 1)) + 1
+    product = 1
+    while product < target:
+        candidate = next_prime(candidate)
+        primes.append(candidate)
+        product *= candidate
+        candidate += 2
+    return primes

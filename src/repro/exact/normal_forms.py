@@ -1,0 +1,272 @@
+"""Hermite and Smith normal forms over ℤ.
+
+The paper's matrices are *integer* matrices, and the two canonical forms over
+ℤ provide independent singularity/rank oracles plus genuinely integer-lattice
+information (elementary divisors) the field-based engines cannot see:
+
+* HNF: ``H = U @ M`` with ``U`` unimodular — row-style Hermite form; the
+  number of nonzero rows is the rank, and for square ``M`` the product of
+  the pivots is ``|det|``.
+* SNF: ``S = U @ M @ V`` diagonal with ``d_1 | d_2 | …`` — the elementary
+  divisors; ``prod(d_i) == |det|`` for square nonsingular ``M``.
+
+Both are exact witnesses used in the cross-validation test suite (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exact.matrix import Matrix
+
+
+@dataclass(frozen=True)
+class HermiteForm:
+    """Row-style HNF: ``h == u @ m`` with ``u`` unimodular (|det u| = 1)."""
+
+    h: Matrix
+    u: Matrix
+
+    @property
+    def rank(self) -> int:
+        """Number of nonzero rows of the Hermite form."""
+        return sum(
+            1
+            for i in range(self.h.num_rows)
+            if any(x != 0 for x in self.h.row(i))
+        )
+
+    def abs_determinant(self) -> int:
+        """|det| of a square input (product of pivots; 0 if rank-deficient)."""
+        n_rows, n_cols = self.h.shape
+        if n_rows != n_cols:
+            raise ValueError("determinant needs a square matrix")
+        if self.rank < n_rows:
+            return 0
+        det = 1
+        for i in range(n_rows):
+            pivot = next(x for x in self.h.row(i) if x != 0)
+            det *= int(pivot)
+        return abs(det)
+
+
+def hermite_normal_form(m: Matrix) -> HermiteForm:
+    """Row HNF by integer row operations (Euclidean pivoting).
+
+    Canonical form: pivots positive, entries above each pivot reduced into
+    ``[0, pivot)``.
+    """
+    rows = [list(map(int, r)) for r in m.to_int_rows()]
+    n_rows, n_cols = m.shape
+    u = [[1 if i == j else 0 for j in range(n_rows)] for i in range(n_rows)]
+
+    def row_op(dst: int, src: int, factor: int) -> None:
+        rows[dst] = [a - factor * b for a, b in zip(rows[dst], rows[src])]
+        u[dst] = [a - factor * b for a, b in zip(u[dst], u[src])]
+
+    def row_swap(i: int, j: int) -> None:
+        rows[i], rows[j] = rows[j], rows[i]
+        u[i], u[j] = u[j], u[i]
+
+    def row_negate(i: int) -> None:
+        rows[i] = [-x for x in rows[i]]
+        u[i] = [-x for x in u[i]]
+
+    pivot_row = 0
+    for col in range(n_cols):
+        if pivot_row >= n_rows:
+            break
+        # Euclidean reduction: shrink entries in this column below pivot_row
+        # until at most one is nonzero.
+        while True:
+            live = [r for r in range(pivot_row, n_rows) if rows[r][col] != 0]
+            if len(live) <= 1:
+                break
+            live.sort(key=lambda r: abs(rows[r][col]))
+            smallest = live[0]
+            for r in live[1:]:
+                factor = rows[r][col] // rows[smallest][col]
+                row_op(r, smallest, factor)
+        live = [r for r in range(pivot_row, n_rows) if rows[r][col] != 0]
+        if not live:
+            continue
+        if live[0] != pivot_row:
+            row_swap(pivot_row, live[0])
+        if rows[pivot_row][col] < 0:
+            row_negate(pivot_row)
+        pivot = rows[pivot_row][col]
+        # Canonical reduction of the entries above the pivot.
+        for r in range(pivot_row):
+            factor = rows[r][col] // pivot
+            if factor:
+                row_op(r, pivot_row, factor)
+        pivot_row += 1
+    return HermiteForm(Matrix(rows), Matrix(u))
+
+
+@dataclass(frozen=True)
+class SmithForm:
+    """``s == u @ m @ v`` with ``s`` diagonal, ``d_1 | d_2 | …``, u/v unimodular."""
+
+    s: Matrix
+    u: Matrix
+    v: Matrix
+
+    def elementary_divisors(self) -> tuple[int, ...]:
+        """The nonzero diagonal entries ``d_1 | d_2 | …``."""
+        n = min(self.s.shape)
+        divisors = []
+        for i in range(n):
+            d = int(self.s[i, i])
+            if d == 0:
+                break
+            divisors.append(d)
+        return tuple(divisors)
+
+    @property
+    def rank(self) -> int:
+        """Number of nonzero elementary divisors."""
+        return len(self.elementary_divisors())
+
+    def abs_determinant(self) -> int:
+        """|det| of a square input (product of elementary divisors)."""
+        n_rows, n_cols = self.s.shape
+        if n_rows != n_cols:
+            raise ValueError("determinant needs a square matrix")
+        if self.rank < n_rows:
+            return 0
+        out = 1
+        for d in self.elementary_divisors():
+            out *= d
+        return out
+
+
+DEFAULT_SNF_SIZE_LIMIT = 10
+
+
+def smith_normal_form(m: Matrix, size_limit: int = DEFAULT_SNF_SIZE_LIMIT) -> SmithForm:
+    """SNF by alternating row/column Euclidean reduction with divisibility fix-up.
+
+    Uses smallest-entry pivoting and balanced (minimal-absolute-remainder)
+    division to moderate coefficient growth, but the classical elimination
+    scheme still exhibits super-polynomial intermediate-entry blowup on some
+    inputs beyond ~10×10 (the known cure is a modular/Kannan–Bachem
+    algorithm, out of scope here — SNF is an auxiliary substrate the paper
+    itself never needs).  Inputs larger than ``size_limit`` in either
+    dimension are rejected with a clear error; raise the limit explicitly if
+    you accept potentially very long runtimes.
+    """
+    if max(m.shape) > size_limit:
+        raise ValueError(
+            f"smith_normal_form: input is {m.shape[0]}x{m.shape[1]}, above the "
+            f"size limit {size_limit}; the naive elimination can blow up on "
+            "large inputs — pass size_limit explicitly to override"
+        )
+    a = [list(map(int, r)) for r in m.to_int_rows()]
+    n_rows, n_cols = m.shape
+    u = [[1 if i == j else 0 for j in range(n_rows)] for i in range(n_rows)]
+    v = [[1 if i == j else 0 for j in range(n_cols)] for i in range(n_cols)]
+
+    def row_op(dst: int, src: int, factor: int) -> None:
+        a[dst] = [x - factor * y for x, y in zip(a[dst], a[src])]
+        u[dst] = [x - factor * y for x, y in zip(u[dst], u[src])]
+
+    def col_op(dst: int, src: int, factor: int) -> None:
+        for r in range(n_rows):
+            a[r][dst] -= factor * a[r][src]
+        for r in range(n_cols):
+            v[r][dst] -= factor * v[r][src]
+
+    def row_swap(i: int, j: int) -> None:
+        a[i], a[j] = a[j], a[i]
+        u[i], u[j] = u[j], u[i]
+
+    def col_swap(i: int, j: int) -> None:
+        for r in range(n_rows):
+            a[r][i], a[r][j] = a[r][j], a[r][i]
+        for r in range(n_cols):
+            v[r][i], v[r][j] = v[r][j], v[r][i]
+
+    def negate_row(i: int) -> None:
+        a[i] = [-x for x in a[i]]
+        u[i] = [-x for x in u[i]]
+
+    size = min(n_rows, n_cols)
+
+    def balanced_factor(x: int, d: int) -> int:
+        """The multiplier leaving the minimal-absolute remainder.
+
+        ``x - f*d`` lands in ``(-|d|/2, |d|/2]`` — balanced remainders keep
+        the intermediate entries polynomially sized where floor division
+        lets them explode doubly-exponentially (observed at 12x12).
+        """
+        f, r = divmod(x, d)
+        # Python's remainder has the sign of d (r in [0, d) or (d, 0]), so
+        # the balancing move is always f += 1: the remainder becomes r - d,
+        # which is the representative on the other side of zero.
+        if 2 * abs(r) > abs(d):
+            f += 1
+        return f
+
+    def diagonalize(start: int) -> None:
+        """Diagonalize the trailing block beginning at ``start``."""
+        for t in range(start, size):
+            # Pivot on the smallest-magnitude nonzero entry: the Euclidean
+            # reductions then shrink fast and the unimodular transforms stay
+            # polynomially sized (first-nonzero pivoting can blow entries up
+            # exponentially — measured on 10x10 inputs).
+            pivot = None
+            pivot_abs = None
+            for i in range(t, n_rows):
+                for j in range(t, n_cols):
+                    value = a[i][j]
+                    if value != 0 and (pivot_abs is None or abs(value) < pivot_abs):
+                        pivot = (i, j)
+                        pivot_abs = abs(value)
+            if pivot is None:
+                return
+            pi, pj = pivot
+            if pi != t:
+                row_swap(t, pi)
+            if pj != t:
+                col_swap(t, pj)
+            # Kill the rest of row t and column t; repeat until clean because
+            # column ops can re-dirty the row and vice versa.
+            while True:
+                dirty = False
+                for i in range(t + 1, n_rows):
+                    if a[i][t] != 0:
+                        factor = balanced_factor(a[i][t], a[t][t])
+                        row_op(i, t, factor)
+                        if a[i][t] != 0:  # remainder became the smaller pivot
+                            row_swap(t, i)
+                        dirty = True
+                for j in range(t + 1, n_cols):
+                    if a[t][j] != 0:
+                        factor = balanced_factor(a[t][j], a[t][t])
+                        col_op(j, t, factor)
+                        if a[t][j] != 0:
+                            col_swap(t, j)
+                        dirty = True
+                if not dirty:
+                    break
+            if a[t][t] < 0:
+                negate_row(t)
+
+    diagonalize(0)
+    # Divisibility chain fix-up: ensure d_t | d_{t+1} along the whole chain.
+    # Merging column t+1 into column t dirties the trailing block, so we
+    # re-diagonalize from t after each repair and sweep until stable
+    # (terminates: each repair strictly reduces d_t to gcd(d_t, d_{t+1})).
+    while True:
+        violation = None
+        for t in range(size - 1):
+            dt, dn = a[t][t], a[t + 1][t + 1]
+            if dt != 0 and dn % dt != 0:
+                violation = t
+                break
+        if violation is None:
+            break
+        col_op(violation, violation + 1, -1)  # col_t += col_{t+1}
+        diagonalize(violation)
+    return SmithForm(Matrix(a), Matrix(u), Matrix(v))

@@ -1,0 +1,108 @@
+"""Exact QR factorization over ℚ (Corollary 1.2(c)).
+
+A true orthonormal Q needs square roots, which leave ℚ.  We therefore compute
+the *rational* variant that carries exactly the information Corollary 1.2(c)
+needs: ``M == Q @ R`` with the nonzero columns of ``Q`` pairwise orthogonal
+(not normalized) and ``R`` upper triangular with unit diagonal.  Zero columns
+of ``Q`` mark linear dependence, so the nonzero structure of the factors
+reveals rank — and hence singularity, which is the reduction.
+
+(The classical normalized QR differs only by a diagonal scaling
+``Q·D, D^{-1}·R``; scaling never changes nonzero structure, so every
+conclusion drawn here applies verbatim to the numeric QR.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.exact.matrix import Matrix
+
+
+@dataclass(frozen=True)
+class QRDecomposition:
+    """``M == Q @ R`` with orthogonal (unnormalized) nonzero Q-columns.
+
+    Attributes:
+        q: same shape as ``M``; column ``j`` is the Gram–Schmidt residual of
+           ``M``'s column ``j`` (zero when that column is dependent).
+        r: square upper triangular with unit diagonal.
+    """
+
+    q: Matrix
+    r: Matrix
+
+    def reconstruct(self) -> Matrix:
+        """``Q @ R`` — must equal the original matrix."""
+        return self.q @ self.r
+
+    def rank(self) -> int:
+        """Number of nonzero Q columns == rank of M."""
+        return sum(
+            1
+            for j in range(self.q.num_cols)
+            if any(self.q[i, j] != 0 for i in range(self.q.num_rows))
+        )
+
+    def is_singular(self) -> bool:
+        """Square matrices: singular iff some Q column vanished."""
+        n_rows, n_cols = self.q.shape
+        if n_rows != n_cols:
+            raise ValueError("singularity via QR needs a square matrix")
+        return self.rank() < n_cols
+
+    def q_nonzero_structure(self) -> frozenset[tuple[int, int]]:
+        """Corollary 1.2(c)'s weakened output: only where Q is nonzero."""
+        return self.q.nonzero_structure()
+
+    def orthogonality_defect(self) -> Fraction:
+        """max |q_i · q_j| over distinct columns — zero iff truly orthogonal.
+
+        A diagnostic for the test suite; always 0 for a correct factorization.
+        """
+        cols = [self.q.col(j) for j in range(self.q.num_cols)]
+        worst = Fraction(0)
+        for a in range(len(cols)):
+            for b in range(a + 1, len(cols)):
+                inner = sum(
+                    (x * y for x, y in zip(cols[a], cols[b])), Fraction(0)
+                )
+                worst = max(worst, abs(inner))
+        return worst
+
+
+def qr_decompose(m: Matrix) -> QRDecomposition:
+    """Gram–Schmidt over ℚ, dependence-tolerant.
+
+    Column ``j`` of Q is ``m_j`` minus its projections onto the previous
+    *nonzero* Q columns; ``R[i, j]`` records the projection coefficients.
+    """
+    n_rows, n_cols = m.shape
+    q_cols: list[list[Fraction]] = []
+    r_rows = [
+        [Fraction(1) if i == j else Fraction(0) for j in range(n_cols)]
+        for i in range(n_cols)
+    ]
+    norms_sq: list[Fraction] = []
+    for j in range(n_cols):
+        v = [m[i, j] for i in range(n_rows)]
+        for i in range(j):
+            if norms_sq[i] == 0:
+                continue
+            inner = sum(
+                (a * b for a, b in zip(v, q_cols[i])), Fraction(0)
+            )
+            coeff = inner / norms_sq[i]
+            if coeff != 0:
+                r_rows[i][j] = coeff
+                v = [a - coeff * b for a, b in zip(v, q_cols[i])]
+        q_cols.append(v)
+        norms_sq.append(sum((x * x for x in v), Fraction(0)))
+    q = Matrix([[q_cols[j][i] for j in range(n_cols)] for i in range(n_rows)])
+    return QRDecomposition(q, Matrix(r_rows))
+
+
+def is_singular_via_qr(m: Matrix) -> bool:
+    """Corollary 1.2(c)'s reduction, as an executable oracle."""
+    return qr_decompose(m).is_singular()

@@ -1,0 +1,121 @@
+"""Exact linear-system solving and solvability (Corollary 1.3).
+
+Corollary 1.3 is about the *decision* problem "does A·x = b have a
+solution?".  Over ℚ that is a rank condition (Rouché–Capelli):
+``rank([A | b]) == rank(A)``.  We provide the decision, a witness solution,
+the full solution-set description (particular solution + nullspace basis),
+and exact inversion — everything the reductions and protocols consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.exact.elimination import rref
+from repro.exact.matrix import Matrix
+from repro.exact.rank import rank
+from repro.exact.vector import Vector
+
+
+def is_solvable(a: Matrix, b: Vector) -> bool:
+    """Rouché–Capelli: solvable iff appending ``b`` does not raise the rank."""
+    if len(b) != a.num_rows:
+        raise ValueError("b must have one entry per row of A")
+    augmented = a.hstack(Matrix.column(list(b)))
+    return rank(augmented) == rank(a)
+
+
+@dataclass(frozen=True)
+class SolutionSet:
+    """The affine solution set of ``A x = b`` (or its emptiness).
+
+    Attributes:
+        solvable: whether any solution exists.
+        particular: one solution (free variables zero), or None.
+        nullspace_basis: basis of the homogeneous solution space; the full
+            solution set is ``particular + span(nullspace_basis)``.
+    """
+
+    solvable: bool
+    particular: Vector | None
+    nullspace_basis: tuple[Vector, ...]
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the solution set (-1 when empty)."""
+        return len(self.nullspace_basis) if self.solvable else -1
+
+    def is_unique(self) -> bool:
+        """Exactly one solution (solvable, trivial nullspace)."""
+        return self.solvable and not self.nullspace_basis
+
+    def sample(self, coefficients) -> Vector:
+        """``particular + sum(c_i * basis_i)`` — any member of the set."""
+        if not self.solvable:
+            raise ValueError("the system is unsolvable; no samples exist")
+        assert self.particular is not None
+        point = self.particular
+        coeffs = list(coefficients)
+        if len(coeffs) != len(self.nullspace_basis):
+            raise ValueError("one coefficient per nullspace basis vector")
+        for c, v in zip(coeffs, self.nullspace_basis):
+            point = point + v.scale(c)
+        return point
+
+
+def solve(a: Matrix, b: Vector) -> SolutionSet:
+    """Full exact solution of ``A x = b`` via RREF of the augmented matrix."""
+    if len(b) != a.num_rows:
+        raise ValueError("b must have one entry per row of A")
+    n_cols = a.num_cols
+    augmented = a.hstack(Matrix.column(list(b)))
+    ech = rref(augmented)
+    # Inconsistent iff a pivot falls in the appended column.
+    if any(col == n_cols for col in ech.pivot_cols):
+        return SolutionSet(False, None, ())
+    pivot_cols = [c for c in ech.pivot_cols if c < n_cols]
+    pivot_set = set(pivot_cols)
+    free_cols = [c for c in range(n_cols) if c not in pivot_set]
+    reduced = ech.matrix
+    # Particular solution: free variables zero.
+    x = [Fraction(0)] * n_cols
+    for row_idx, col in enumerate(pivot_cols):
+        x[col] = reduced[row_idx, n_cols]
+    particular = Vector(x)
+    # Nullspace basis: one vector per free column.
+    basis: list[Vector] = []
+    for free in free_cols:
+        v = [Fraction(0)] * n_cols
+        v[free] = Fraction(1)
+        for row_idx, col in enumerate(pivot_cols):
+            v[col] = -reduced[row_idx, free]
+        basis.append(Vector(v))
+    return SolutionSet(True, particular, tuple(basis))
+
+
+def nullspace(a: Matrix) -> tuple[Vector, ...]:
+    """Basis of ``{x : A x = 0}``."""
+    return solve(a, Vector.zeros(a.num_rows)).nullspace_basis
+
+
+def nullity(a: Matrix) -> int:
+    """dim ker(A) == num_cols - rank (rank–nullity, asserted in tests)."""
+    return len(nullspace(a))
+
+
+def invert(m: Matrix) -> Matrix:
+    """Exact inverse of a nonsingular square matrix via ``rref([M | I])``."""
+    if not m.is_square:
+        raise ValueError("only square matrices can be inverted")
+    n = m.num_rows
+    augmented = m.hstack(Matrix.identity(n))
+    ech = rref(augmented)
+    if tuple(ech.pivot_cols[:n]) != tuple(range(n)) or ech.rank < n:
+        raise ValueError("matrix is singular")
+    return ech.matrix.slice(0, n, n, 2 * n)
+
+
+def verify_solution(a: Matrix, x: Vector, b: Vector) -> bool:
+    """``A x == b`` exactly — the checkable certificate of solvability."""
+    return Vector(list(a.matvec(list(x)))) == b

@@ -1,0 +1,243 @@
+"""Vector subspaces of ℚ^n: spans, membership, sums, intersections.
+
+The paper's combinatorial core manipulates the spaces ``Span(A)`` spanned by
+the column vectors of the restricted submatrices ``A`` (Lemma 3.2 onward),
+intersects many of them (Lemma 3.6), and projects them (Lemma 3.7).  This
+module gives those operations an exact, canonical-form implementation:
+
+* a subspace is represented by the RREF of a spanning set, so equality of
+  subspaces is equality of canonical matrices (this is what makes Lemma 3.4's
+  "distinct C give distinct Span(A)" checkable by hashing);
+* intersection uses the Zassenhaus algorithm;
+* projection is entrywise coordinate selection followed by re-canonicalization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from fractions import Fraction
+
+from repro.exact.elimination import rref
+from repro.exact.matrix import Matrix
+from repro.exact.vector import Vector
+
+
+class Subspace:
+    """A linear subspace of ℚ^ambient in canonical (RREF-basis) form.
+
+    The canonical basis is stored as the *rows* of an RREF matrix; two
+    Subspace objects are equal iff they are the same subspace.
+
+    >>> s = Subspace.span([Vector([1, 0]), Vector([2, 0])])
+    >>> s.dimension
+    1
+    >>> Vector([5, 0]) in s
+    True
+    """
+
+    __slots__ = ("_ambient", "_basis_rows", "_hash")
+
+    def __init__(self, ambient: int, basis_rows: tuple[tuple[Fraction, ...], ...]):
+        # Internal constructor: callers must pass already-canonical rows.
+        self._ambient = ambient
+        self._basis_rows = basis_rows
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def span(vectors: Iterable[Vector | Sequence]) -> "Subspace":
+        """The span of the given vectors (at least one, to fix the ambient)."""
+        vecs = [v if isinstance(v, Vector) else Vector(list(v)) for v in vectors]
+        if not vecs:
+            raise ValueError("span() needs at least one vector to know the ambient dimension")
+        ambient = len(vecs[0])
+        if any(len(v) != ambient for v in vecs):
+            raise ValueError("all vectors must share the ambient dimension")
+        return Subspace._from_row_matrix(ambient, Matrix([list(v) for v in vecs]))
+
+    @staticmethod
+    def column_space(m: Matrix) -> "Subspace":
+        """The span of the *columns* of ``m`` — the paper's ``Span(A)``."""
+        return Subspace._from_row_matrix(m.num_rows, m.transpose())
+
+    @staticmethod
+    def zero(ambient: int) -> "Subspace":
+        """The zero subspace of ℚ^ambient."""
+        if ambient < 1:
+            raise ValueError("ambient dimension must be >= 1")
+        return Subspace(ambient, ())
+
+    @staticmethod
+    def full(ambient: int) -> "Subspace":
+        """All of ℚ^ambient."""
+        return Subspace.column_space(Matrix.identity(ambient))
+
+    @staticmethod
+    def _from_row_matrix(ambient: int, rows_matrix: Matrix) -> "Subspace":
+        ech = rref(rows_matrix)
+        canonical = tuple(
+            ech.matrix.row(i) for i in range(ech.rank)
+        )
+        return Subspace(ambient, canonical)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ambient(self) -> int:
+        """Dimension of the surrounding space ℚ^ambient."""
+        return self._ambient
+
+    @property
+    def dimension(self) -> int:
+        """dim of the subspace (canonical basis size)."""
+        return len(self._basis_rows)
+
+    def basis(self) -> list[Vector]:
+        """The canonical (RREF) basis vectors."""
+        return [Vector(row) for row in self._basis_rows]
+
+    def basis_matrix(self) -> Matrix | None:
+        """Basis vectors as the rows of a matrix (``None`` for the zero space)."""
+        if not self._basis_rows:
+            return None
+        return Matrix([list(r) for r in self._basis_rows])
+
+    def is_zero(self) -> bool:
+        """The zero subspace?"""
+        return not self._basis_rows
+
+    def is_full(self) -> bool:
+        """The whole ambient space?"""
+        return self.dimension == self._ambient
+
+    # ------------------------------------------------------------------
+    # Membership and comparison
+    # ------------------------------------------------------------------
+    def contains(self, vec: Vector | Sequence) -> bool:
+        """Exact membership test by reduction against the canonical basis."""
+        v = list(vec.entries() if isinstance(vec, Vector) else (Fraction(x) for x in vec))
+        if len(v) != self._ambient:
+            raise ValueError("vector must live in the ambient space")
+        residual = [Fraction(x) for x in v]
+        for row in self._basis_rows:
+            # Canonical rows have a unit leading 1; find its column.
+            lead = next(j for j, x in enumerate(row) if x != 0)
+            if residual[lead] != 0:
+                coeff = residual[lead]
+                for j in range(lead, self._ambient):
+                    residual[j] -= coeff * row[j]
+        return all(x == 0 for x in residual)
+
+    def __contains__(self, vec) -> bool:
+        return self.contains(vec)
+
+    def contains_subspace(self, other: "Subspace") -> bool:
+        """Is ``other`` ⊆ ``self``?"""
+        self._require_same_ambient(other)
+        return all(self.contains(Vector(row)) for row in other._basis_rows)
+
+    def __le__(self, other: "Subspace") -> bool:
+        return other.contains_subspace(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subspace):
+            return NotImplemented
+        return self._ambient == other._ambient and self._basis_rows == other._basis_rows
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._ambient, self._basis_rows))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Subspace(dim={self.dimension}, ambient={self._ambient})"
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def sum(self, other: "Subspace") -> "Subspace":
+        """``self + other`` — the span of the union (the span problem's join)."""
+        self._require_same_ambient(other)
+        rows = list(self._basis_rows) + list(other._basis_rows)
+        if not rows:
+            return Subspace.zero(self._ambient)
+        return Subspace._from_row_matrix(self._ambient, Matrix([list(r) for r in rows]))
+
+    def __add__(self, other: "Subspace") -> "Subspace":
+        return self.sum(other)
+
+    def intersect(self, other: "Subspace") -> "Subspace":
+        """``self ∩ other`` by the Zassenhaus block trick.
+
+        Row-reduce ``[[B1 B1],[B2 0]]``; rows whose left half is zero carry
+        the intersection basis in their right half.
+        """
+        self._require_same_ambient(other)
+        if self.is_zero() or other.is_zero():
+            return Subspace.zero(self._ambient)
+        n = self._ambient
+        block_rows: list[list[Fraction]] = []
+        for row in self._basis_rows:
+            block_rows.append(list(row) + list(row))
+        for row in other._basis_rows:
+            block_rows.append(list(row) + [Fraction(0)] * n)
+        ech = rref(Matrix(block_rows))
+        inter_rows: list[list[Fraction]] = []
+        for i in range(ech.rank):
+            row = ech.matrix.row(i)
+            if all(x == 0 for x in row[:n]):
+                inter_rows.append(list(row[n:]))
+        if not inter_rows:
+            return Subspace.zero(n)
+        return Subspace._from_row_matrix(n, Matrix(inter_rows))
+
+    def __and__(self, other: "Subspace") -> "Subspace":
+        return self.intersect(other)
+
+    def project(self, indices: Sequence[int]) -> "Subspace":
+        """Image under the coordinate projection onto ``indices``.
+
+        Lemma 3.7 projects onto components ``(n+1)/2 … n-1`` (the map ``p``);
+        the image of a subspace under a coordinate projection is the span of
+        the projected basis vectors.
+        """
+        idx = list(indices)
+        if not idx:
+            raise ValueError("projection needs at least one coordinate")
+        if any(not 0 <= i < self._ambient for i in idx):
+            raise ValueError("projection index out of range")
+        if self.is_zero():
+            return Subspace.zero(len(idx))
+        projected = [[row[i] for i in idx] for row in self._basis_rows]
+        return Subspace._from_row_matrix(len(idx), Matrix(projected))
+
+    # ------------------------------------------------------------------
+    # Bulk operations used by the lemma checkers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def intersection_of(spaces: Sequence["Subspace"]) -> "Subspace":
+        """``spaces[0] ∩ … ∩ spaces[-1]`` (Lemma 3.6's object)."""
+        if not spaces:
+            raise ValueError("need at least one subspace")
+        acc = spaces[0]
+        for s in spaces[1:]:
+            acc = acc.intersect(s)
+            if acc.is_zero():
+                break
+        return acc
+
+    def spans_with(self, other: "Subspace") -> bool:
+        """Does ``self ∪ other`` span the whole ambient space?
+
+        This is the *vector space span problem* decision (Lovász–Saks).
+        """
+        return self.sum(other).is_full()
+
+    def _require_same_ambient(self, other: "Subspace") -> None:
+        if self._ambient != other._ambient:
+            raise ValueError(
+                f"ambient mismatch: {self._ambient} vs {other._ambient}"
+            )

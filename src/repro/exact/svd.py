@@ -1,0 +1,94 @@
+"""SVD structure over ℚ (Corollary 1.2(d)) and a numeric cross-check.
+
+Exact singular values live in algebraic extensions of ℚ, but Corollary
+1.2(d) explicitly weakens the requirement to the *nonzero structure* of the
+factors — and the nonzero structure of Σ is determined entirely by the rank:
+Σ has exactly ``rank(M)`` nonzero diagonal entries.  So the executable
+content of the corollary is:
+
+* :func:`svd_structure` — the exact Σ-pattern (from exact rank) plus the
+  multiset of squared singular values as the characteristic data of
+  ``MᵀM`` (its nonzero eigenvalue count equals the rank; we expose the exact
+  rank of ``MᵀM`` and Gram matrices for tests);
+* :func:`is_singular_via_svd` — Corollary 1.2(d)'s reduction;
+* :func:`numeric_svd_check` — numpy's SVD agrees with the exact rank up to
+  tolerance (cross-check only; never used for decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import rank
+
+
+@dataclass(frozen=True)
+class SVDStructure:
+    """The decision-relevant part of an SVD of an ``r x c`` matrix.
+
+    Attributes:
+        shape: shape of the input matrix.
+        rank: exact rank — the number of nonzero singular values.
+        sigma_pattern: positions of nonzero entries in the ``r x c`` Σ factor
+            (the leading ``rank`` diagonal slots).
+    """
+
+    shape: tuple[int, int]
+    rank: int
+    sigma_pattern: frozenset[tuple[int, int]]
+
+    def num_nonzero_singular_values(self) -> int:
+        """= rank (the Σ pattern's population)."""
+        return self.rank
+
+    def is_singular(self) -> bool:
+        """Square matrices: singular iff rank < order."""
+        r, c = self.shape
+        if r != c:
+            raise ValueError("singularity via SVD needs a square matrix")
+        return self.rank < r
+
+
+def svd_structure(m: Matrix) -> SVDStructure:
+    """Exact Σ nonzero structure, computed without ever leaving ℚ."""
+    r = rank(m)
+    pattern = frozenset((i, i) for i in range(r))
+    return SVDStructure(m.shape, r, pattern)
+
+
+def is_singular_via_svd(m: Matrix) -> bool:
+    """Corollary 1.2(d)'s reduction, as an executable oracle."""
+    return svd_structure(m).is_singular()
+
+
+def gram_matrix(m: Matrix) -> Matrix:
+    """``MᵀM`` — its rank equals rank(M) over ℚ, and its nonzero eigenvalues
+    are the squared singular values."""
+    return m.transpose() @ m
+
+
+def gram_rank_agrees(m: Matrix) -> bool:
+    """Invariant: rank(MᵀM) == rank(M) over ℚ (true over any subfield of ℝ)."""
+    return rank(gram_matrix(m)) == rank(m)
+
+
+def numeric_svd_check(m: Matrix, rel_tol: float = 1e-9) -> bool:
+    """Does numpy's floating SVD see the same rank as the exact path?
+
+    Counts singular values above ``rel_tol * sigma_max * max(shape)`` — the
+    usual numerical-rank convention.  May legitimately disagree for horribly
+    conditioned matrices; the test suite only applies it to modest entries.
+    """
+    import numpy as np
+
+    a = m.to_numpy()
+    singular_values = np.linalg.svd(a, compute_uv=False)
+    if singular_values.size == 0:
+        return rank(m) == 0
+    sigma_max = float(singular_values[0])
+    if sigma_max == 0.0:
+        return rank(m) == 0
+    threshold = rel_tol * sigma_max * max(m.shape)
+    numeric_rank = int((singular_values > threshold).sum())
+    return numeric_rank == rank(m)

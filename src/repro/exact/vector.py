@@ -1,0 +1,184 @@
+"""Exact rational vectors.
+
+A thin immutable companion to :class:`repro.exact.matrix.Matrix`.  The
+singularity construction manipulates a handful of named vectors — the paper's
+``u = [(-q)^{n-2}, ..., (-q)^1, (-q)^0]^T`` and
+``w = [(-q)^{n-4-ceil(log_q n)}, ..., -q, 1]^T`` — and the span machinery
+needs inner products, scaling, and membership-friendly tuples, all exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from fractions import Fraction
+from typing import Union
+
+Scalar = Union[int, Fraction]
+
+
+def _as_fraction(value: Scalar) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"vector entries must be int or Fraction, got {type(value).__name__}")
+
+
+class Vector:
+    """An immutable exact vector.
+
+    >>> v = Vector([1, 2, 3])
+    >>> v.dot(v)
+    Fraction(14, 1)
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Sequence[Scalar]):
+        entries = tuple(_as_fraction(x) for x in data)
+        if not entries:
+            raise ValueError("a vector needs at least one entry")
+        self._data = entries
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(n: int) -> "Vector":
+        """The zero vector of length ``n``."""
+        return Vector([0] * n)
+
+    @staticmethod
+    def unit(n: int, index: int) -> "Vector":
+        """The ``index``-th standard basis vector of length ``n``."""
+        if not 0 <= index < n:
+            raise ValueError("unit index out of range")
+        return Vector([1 if i == index else 0 for i in range(n)])
+
+    @staticmethod
+    def from_function(n: int, fn: Callable[[int], Scalar]) -> "Vector":
+        """Entry ``i`` is ``fn(i)``."""
+        return Vector([fn(i) for i in range(n)])
+
+    @staticmethod
+    def geometric(ratio: Scalar, length: int, descending: bool = True) -> "Vector":
+        """``[ratio^{length-1}, ..., ratio, 1]`` (or ascending if asked).
+
+        The paper's vectors ``u`` and ``w`` are geometric in ``-q``; building
+        them through one audited helper keeps the sign/exponent conventions
+        in a single place.
+        """
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        r = _as_fraction(ratio)
+        powers = [r**i for i in range(length)]
+        if descending:
+            powers.reverse()
+        return Vector(powers)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return Vector(self._data[i])
+        return self._data[i]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def entries(self) -> tuple[Fraction, ...]:
+        """The entries as a tuple."""
+        return self._data
+
+    def is_zero(self) -> bool:
+        """True when every entry is 0."""
+        return all(x == 0 for x in self._data)
+
+    def is_integer(self) -> bool:
+        """True when every entry has denominator 1."""
+        return all(x.denominator == 1 for x in self._data)
+
+    def to_ints(self) -> list[int]:
+        """Entries as plain ints (raises on non-integral entries)."""
+        if not self.is_integer():
+            raise ValueError("vector has non-integer entries")
+        return [int(x) for x in self._data]
+
+    def max_abs_entry(self) -> Fraction:
+        """max |entry|."""
+        return max(abs(x) for x in self._data)
+
+    def support(self) -> frozenset[int]:
+        """Indices of nonzero entries."""
+        return frozenset(i for i, x in enumerate(self._data) if x != 0)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Vector") -> "Vector":
+        self._require_same_length(other)
+        return Vector([a + b for a, b in zip(self._data, other._data)])
+
+    def __sub__(self, other: "Vector") -> "Vector":
+        self._require_same_length(other)
+        return Vector([a - b for a, b in zip(self._data, other._data)])
+
+    def __neg__(self) -> "Vector":
+        return Vector([-x for x in self._data])
+
+    def scale(self, scalar: Scalar) -> "Vector":
+        """Entrywise multiplication by ``scalar``."""
+        s = _as_fraction(scalar)
+        return Vector([s * x for x in self._data])
+
+    def __mul__(self, scalar: Scalar) -> "Vector":
+        return self.scale(scalar)
+
+    def __rmul__(self, scalar: Scalar) -> "Vector":
+        return self.scale(scalar)
+
+    def dot(self, other: "Vector | Sequence[Scalar]") -> Fraction:
+        """Inner product with ``other``."""
+        data = other._data if isinstance(other, Vector) else [
+            _as_fraction(x) for x in other
+        ]
+        if len(data) != len(self._data):
+            raise ValueError("dot product needs equal lengths")
+        return sum((a * b for a, b in zip(self._data, data)), Fraction(0))
+
+    def concat(self, other: "Vector") -> "Vector":
+        """self followed by other."""
+        return Vector(self._data + other._data)
+
+    def project(self, indices: Sequence[int]) -> "Vector":
+        """The subvector on ``indices`` (the paper's projection ``p``)."""
+        return Vector([self._data[i] for i in indices])
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vector):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._data)
+        return self._hash
+
+    def __repr__(self) -> str:
+        if len(self._data) <= 12:
+            return f"Vector([{', '.join(str(x) for x in self._data)}])"
+        return f"Vector(len={len(self._data)})"
+
+    def _require_same_length(self, other: "Vector") -> None:
+        if len(self._data) != len(other._data):
+            raise ValueError(
+                f"length mismatch: {len(self._data)} vs {len(other._data)}"
+            )

@@ -1,0 +1,102 @@
+"""Self-delimiting wire encodings for protocol payloads.
+
+The channel carries raw bits, so any structured payload (exact rationals,
+variable-size bases) needs explicit framing.  Formats here are simple and
+auditable rather than tight — the *asymptotic* cost statements in the
+benchmarks always cite the payload term, and the framing overhead is
+reported separately where it matters.
+
+Formats:
+
+* varint — ``[bit-length : 16][sign : 1][magnitude, LSB first]``;
+* fraction — numerator varint then denominator varint;
+* fraction matrix — header ``[rows : 16][body bit-length : 32]`` followed by
+  ``rows × ambient`` fractions (the column count is contextual).  A ``None``
+  matrix (zero-dimensional basis) is ``rows = 0`` with an empty body.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.comm.bits import bits_to_int, int_to_bits
+from repro.exact.matrix import Matrix
+
+HEADER_BITS = 48  # 16 rows + 32 body length
+
+
+def encode_varint(value: int) -> list[int]:
+    """Signed integer -> self-delimiting bits (16-bit length prefix)."""
+    magnitude = abs(value)
+    length = max(1, magnitude.bit_length())
+    if length >= 1 << 16:
+        raise ValueError("varint magnitude too large for 16-bit length prefix")
+    bits = list(int_to_bits(length, 16))
+    bits.append(1 if value < 0 else 0)
+    bits.extend(int_to_bits(magnitude, length))
+    return bits
+
+
+def decode_varint(bits, cursor: int) -> tuple[int, int]:
+    """(value, next cursor).  Raises ValueError on truncated input."""
+    if cursor + 17 > len(bits):
+        raise ValueError("truncated varint header on the wire")
+    length = bits_to_int(bits[cursor : cursor + 16])
+    cursor += 16
+    sign = bits[cursor]
+    cursor += 1
+    if cursor + length > len(bits):
+        raise ValueError("truncated varint payload on the wire")
+    magnitude = bits_to_int(bits[cursor : cursor + length])
+    cursor += length
+    return (-magnitude if sign else magnitude), cursor
+
+
+def encode_fraction(value: Fraction) -> list[int]:
+    """Numerator varint then denominator varint."""
+    return encode_varint(value.numerator) + encode_varint(value.denominator)
+
+
+def decode_fraction(bits, cursor: int) -> tuple[Fraction, int]:
+    """(fraction, next cursor); validates the denominator."""
+    numerator, cursor = decode_varint(bits, cursor)
+    denominator, cursor = decode_varint(bits, cursor)
+    if denominator <= 0:
+        raise ValueError("corrupt fraction on the wire")
+    return Fraction(numerator, denominator), cursor
+
+
+def encode_fraction_matrix(matrix: Matrix | None, ambient: int) -> list[int]:
+    """Header + row-major fractions; ``matrix`` rows must have length ``ambient``."""
+    if matrix is None:
+        return list(int_to_bits(0, 16)) + list(int_to_bits(0, 32))
+    if matrix.num_cols != ambient:
+        raise ValueError("matrix width must equal the contextual ambient")
+    body: list[int] = []
+    for i in range(matrix.num_rows):
+        for value in matrix.row(i):
+            body.extend(encode_fraction(value))
+    header = list(int_to_bits(matrix.num_rows, 16)) + list(
+        int_to_bits(len(body), 32)
+    )
+    return header + body
+
+
+def decode_fraction_matrix(bits, ambient: int) -> Matrix | None:
+    """Inverse of :func:`encode_fraction_matrix` (None for an empty basis)."""
+    rows = bits_to_int(bits[:16])
+    body_bits = bits_to_int(bits[16:48])
+    if rows == 0:
+        return None
+    cursor = HEADER_BITS
+    end = HEADER_BITS + body_bits
+    out: list[list[Fraction]] = []
+    for _ in range(rows):
+        row: list[Fraction] = []
+        for _ in range(ambient):
+            value, cursor = decode_fraction(bits, cursor)
+            row.append(value)
+        out.append(row)
+    if cursor != end:
+        raise ValueError("matrix body length mismatch on the wire")
+    return Matrix(out)

@@ -1,0 +1,175 @@
+"""Every quantitative bound of Section 3, as exact calculators.
+
+The paper's numbers are all of the form ``q^{polynomial(n)} · n^{O(n)}``.
+Printing them positionally is useless and floating them loses everything,
+so each bound is represented by :class:`QPower` — an exact
+``q^{a} · n^{b}`` with Fraction exponents — with log2/log_q evaluators for
+table output.  The Theorem 1.1 chain is assembled at the end:
+
+    ones ≥ q^{h·e_width}·q^{h²}   (claims 2a over all rows)
+    covered-per-rectangle ≤ max(small-row case, big-row case)
+    CC ≥ log2(total ones / max covered) - 2          (Yao)
+        = Ω(k n²)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.singularity.family import RestrictedFamily
+
+
+@dataclass(frozen=True)
+class QPower:
+    """An exact ``q^{q_exp} · n^{n_exp}`` (exponents rational, possibly
+    negative) — the currency of the paper's counting arguments."""
+
+    q: int
+    n: int
+    q_exp: Fraction
+    n_exp: Fraction = Fraction(0)
+
+    def log2(self) -> float:
+        """log base 2 of the value."""
+        return float(self.q_exp) * math.log2(self.q) + float(self.n_exp) * math.log2(self.n)
+
+    def log_q(self) -> float:
+        """Exponent base q (the paper writes everything as q^{...})."""
+        if self.q < 2:
+            raise ValueError("log_q needs q >= 2")
+        return float(self.q_exp) + float(self.n_exp) * math.log(self.n) / math.log(self.q)
+
+    def __mul__(self, other: "QPower") -> "QPower":
+        self._compatible(other)
+        return QPower(self.q, self.n, self.q_exp + other.q_exp, self.n_exp + other.n_exp)
+
+    def __truediv__(self, other: "QPower") -> "QPower":
+        self._compatible(other)
+        return QPower(self.q, self.n, self.q_exp - other.q_exp, self.n_exp - other.n_exp)
+
+    def exact_value(self) -> int:
+        """The exact integer when both exponents are non-negative integers."""
+        if self.q_exp.denominator != 1 or self.n_exp.denominator != 1:
+            raise ValueError("exponents are not integral")
+        if self.q_exp < 0 or self.n_exp < 0:
+            raise ValueError("value is not an integer (negative exponent)")
+        return self.q ** int(self.q_exp) * self.n ** int(self.n_exp)
+
+    def _compatible(self, other: "QPower") -> None:
+        if self.q != other.q or self.n != other.n:
+            raise ValueError("QPower arithmetic requires matching (q, n)")
+
+    def __repr__(self) -> str:
+        parts = [f"q^{self.q_exp}"]
+        if self.n_exp:
+            parts.append(f"n^{self.n_exp}")
+        return " * ".join(parts) + f"  (q={self.q}, n={self.n})"
+
+
+class TheoremBounds:
+    """All Section 3 quantities for one (n, k), in π₀ and proper variants.
+
+    ``variant='pi0'`` uses the fixed-partition exponents of the main text;
+    ``variant='proper'`` uses the halved exponents of the arbitrary-partition
+    adaptation at the end of Section 3.
+    """
+
+    def __init__(self, family: RestrictedFamily, variant: str = "pi0"):
+        if variant not in ("pi0", "proper"):
+            raise ValueError("variant must be 'pi0' or 'proper'")
+        self.family = family
+        self.variant = variant
+        self.q = family.q
+        self.n = family.n
+
+    def _qp(self, q_exp, n_exp=0) -> QPower:
+        return QPower(self.q, self.n, Fraction(q_exp), Fraction(n_exp))
+
+    # -- row structure ---------------------------------------------------
+    def rows(self) -> QPower:
+        """#truth-matrix rows: q^{(n-1)²/4} (π₀) or q^{(n-1)²/8} (proper)."""
+        exponent = Fraction((self.n - 1) ** 2, 4 if self.variant == "pi0" else 8)
+        return self._qp(exponent)
+
+    def exact_rows(self) -> int:
+        """The exact count for π₀ (the family's C enumeration)."""
+        if self.variant != "pi0":
+            raise ValueError("exact row count is defined for the π₀ variant")
+        return self.family.count_c_instances()
+
+    # -- claim (2a): ones ------------------------------------------------
+    def ones_per_row_lower(self) -> QPower:
+        """q^{n²/2 - O(n log_q n)} (π₀) / q^{n²/4 - O(n log_q n)} (proper).
+
+        Exactly: q^{h·e_width} distinct E's per row (halved bit-freedom for
+        proper partitions)."""
+        base = Fraction(self.family.h * self.family.e_width)
+        if self.variant == "proper":
+            base = base / 2
+        return self._qp(base)
+
+    def ones_per_row_upper(self) -> QPower:
+        """q^{(n²-1)/2}: all of B's freedom."""
+        return self._qp(Fraction(self.n * self.n - 1, 2))
+
+    def total_ones_lower(self) -> QPower:
+        """Claim (2a): rows x per-row lower bound."""
+        return self.rows() * self.ones_per_row_lower()
+
+    # -- claim (2b): rectangle caps ---------------------------------------
+    def row_threshold_r(self) -> QPower:
+        """r = q^{n²/16 + n·log_q n} = q^{n²/16} · n^n (both variants)."""
+        return QPower(self.q, self.n, Fraction(self.n**2, 16), Fraction(self.n))
+
+    def few_rows_covered_fraction(self) -> QPower:
+        """Rectangles with < r rows cover ≤ r/#rows of rows, so a
+        q^{-3n²/16 + O(n log_q n)} fraction of ones (paper's arithmetic)."""
+        return self.row_threshold_r() / self.rows()
+
+    def many_rows_column_cap(self) -> QPower:
+        """Rectangles with ≥ r rows: ≤ q^{3n²/8} (π₀) / q^{3n²/16} (proper)
+        columns, up to q^{O(n log_q n)}."""
+        exponent = Fraction(3 * self.n**2, 8 if self.variant == "pi0" else 16)
+        return self._qp(exponent)
+
+    def many_rows_covered_ones(self) -> QPower:
+        """Ones covered by a ≥r-row rectangle: ≤ #rows · column-cap."""
+        return self.rows() * self.many_rows_column_cap()
+
+    def max_covered_fraction_log2(self) -> float:
+        """log2 of the max fraction of ones a single 1-rectangle covers —
+        the max of the two cases (both negative; closer to 0 wins)."""
+        few = self.few_rows_covered_fraction().log2()
+        many = (self.many_rows_covered_ones() / self.total_ones_lower()).log2()
+        return max(few, many)
+
+    # -- the theorem -----------------------------------------------------
+    def yao_lower_bound_bits(self) -> float:
+        """CC ≥ log2(#1-rectangles needed) - 2 ≥ -log2(max fraction) - 2."""
+        return max(0.0, -self.max_covered_fraction_log2() - 2)
+
+    def knsquared(self) -> float:
+        """The yardstick k·n² the theorem is measured against."""
+        return self.family.k * self.n**2
+
+
+def trivial_upper_bound_bits(n: int, k: int) -> int:
+    """One agent ships its entire half of a 2n×2n k-bit matrix: 2k n² bits
+    (plus one answer bit back)."""
+    return k * (2 * n) * (2 * n) // 2 + 1
+
+
+def randomized_upper_bound_bits(n: int, k: int, constant: int = 4) -> int:
+    """Leighton's O(n² max(log n, log k)): each agent sends its half reduced
+    mod a ~max(log n, log k)-bit public prime."""
+    prime_bits = constant * max(max(n, 2).bit_length(), max(k, 2).bit_length())
+    return (2 * n) * (2 * n) // 2 * prime_bits + 1
+
+
+def theorem_ratio(n: int, k: int) -> float:
+    """lower-bound bits / (k n²): should flatten to a positive constant as
+    n, k grow — the executable meaning of "Θ(k n²)"."""
+    bounds = TheoremBounds(RestrictedFamily(n, k))
+    return bounds.yao_lower_bound_bits() / bounds.knsquared()

@@ -1,0 +1,424 @@
+"""The paper's restricted input family (Figures 1 and 3).
+
+Theorem 1.1 is proven on a carefully restricted set of ``2n x 2n`` matrices
+(n odd) of k-bit entries in ``[0, q]``, ``q = 2^k - 1``:
+
+Figure 1 — the frame.  Column 0 is ``e_1``; column ``n`` is ``e_n``; columns
+``1..n-1`` have zero top halves and carry the free ``n x (n-1)`` submatrix
+``A`` in their bottom halves; columns ``n+1..2n-1`` carry ``B`` (same shape)
+in their bottom halves, while the top-right quadrant holds a fixed pattern of
+1's on the anti-diagonal ``i + j = 2n - 1`` and q's on ``i + j = 2n``
+(0-indexed).  That pattern *forces* the coefficients of the last ``n-1``
+columns in any linear dependence to be the geometric vector
+``u = [(-q)^{n-2}, …, (-q)^0]`` — which is why singularity collapses to
+``B·u ∈ Span(A)`` (Lemma 3.2) and why ``B·u`` still *encodes all of B's free
+entries* (the protocol cannot summarize it cheaply).
+
+Figure 3 — the free blocks.  Within ``A``: unit diagonal, ``q`` on the
+superdiagonal of the first ``(n-1)/2`` columns, the free block ``C``
+(``h x h``, ``h = (n-1)/2``) in rows ``0..h-1`` × columns ``h..n-2``, and a
+lone 1 in the bottom-left corner.  Within ``B``: the free block ``D``
+(``h x (⌈log_q n⌉+2)``) in the top-left, the free block ``E``
+(``h x (n-3-⌈log_q n⌉)``) in rows ``h..n-2`` × the last columns, and the
+free row ``y`` (length ``n-1``) at the bottom.  All free entries range over
+``[0, q-1]``.
+
+The block placement is reconstructed from the lemma proofs (the journal
+figure is not machine-readable); every structural property the proofs use is
+asserted by the test suite:
+
+* the columns of ``A`` are independent for every ``C`` (Lemma 3.2's premise);
+* row ``i`` of ``A``, ``i < h``: ``a_i·x = x_i + q·x_{i+1} + c_i·x_tail``
+  (the completion recurrence of Lemma 3.5);
+* rows ``h..n-2`` of ``A`` are unit vectors (so ``x_i = b_i·u`` is forced);
+* ``p(B·u) = E·w`` for the projection ``p`` onto components ``h..n-2`` and
+  ``w = [(-q)^{e_width-1}, …, 1]`` (Lemma 3.7's identity);
+* the first ``h`` columns of ``A`` project to zero under ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.comm.bits import MatrixBitCodec
+from repro.exact.matrix import Matrix
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+from repro.util.itertools2 import mixed_radix_counter
+
+
+def ceil_log(base: int, value: int) -> int:
+    """Exact ``⌈log_base(value)⌉`` for integers (no floating point)."""
+    if base < 2 or value < 1:
+        raise ValueError("need base >= 2 and value >= 1")
+    t = 0
+    power = 1
+    while power < value:
+        power *= base
+        t += 1
+    return t
+
+
+Block = tuple[tuple[int, ...], ...]
+
+
+def _freeze(rows: Sequence[Sequence[int]]) -> Block:
+    return tuple(tuple(int(x) for x in row) for row in rows)
+
+
+class RestrictedFamily:
+    """All dimensional data and constructors for the Fig. 1/3 family.
+
+    >>> fam = RestrictedFamily(n=7, k=2)
+    >>> fam.q, fam.h, fam.d_width, fam.e_width
+    (3, 3, 4, 2)
+    """
+
+    def __init__(self, n: int, k: int):
+        if n < 3 or n % 2 == 0:
+            raise ValueError("the construction needs odd n >= 3")
+        if k < 2:
+            raise ValueError(
+                "k >= 2 required: q = 2^k - 1 must be >= 3 for the free "
+                "entries [0, q-1] and the base-(-q) representations to exist"
+            )
+        self.n = n
+        self.k = k
+        self.q = (1 << k) - 1
+        self.h = (n - 1) // 2
+        self.log_term = ceil_log(self.q, n)
+        self.d_width = self.log_term + 2
+        self.e_width = n - 3 - self.log_term
+        if self.e_width < 0:
+            raise ValueError(
+                f"n={n}, k={k} is too small: E would have width {self.e_width}; "
+                f"need n >= 3 + ceil(log_q n) = {3 + self.log_term}"
+            )
+        if self.d_width > n - 1:
+            raise ValueError(
+                f"n={n}, k={k} is too small: D would be wider than B"
+            )
+        self.m_size = 2 * n
+
+    # ------------------------------------------------------------------
+    # The paper's named vectors
+    # ------------------------------------------------------------------
+    def u(self) -> Vector:
+        """``[(-q)^{n-2}, …, (-q)^1, (-q)^0]`` (Definition 3.1)."""
+        return Vector.geometric(-self.q, self.n - 1, descending=True)
+
+    def w(self) -> Vector:
+        """``[(-q)^{e_width-1}, …, -q, 1]`` (Lemma 3.7); empty-width guarded."""
+        if self.e_width == 0:
+            raise ValueError("w is undefined when E has width 0")
+        return Vector.geometric(-self.q, self.e_width, descending=True)
+
+    def projection_indices(self) -> list[int]:
+        """0-indexed coordinates ``h..n-2`` — the paper's projection p."""
+        return list(range(self.h, self.n - 1))
+
+    # ------------------------------------------------------------------
+    # Block validation and random generation
+    # ------------------------------------------------------------------
+    def _check_block(self, block: Sequence[Sequence[int]], rows: int, cols: int, name: str) -> Block:
+        frozen = _freeze(block) if rows and cols else tuple(tuple() for _ in range(rows))
+        if len(frozen) != rows or any(len(r) != cols for r in frozen):
+            raise ValueError(f"{name} must be {rows}x{cols}")
+        for r in frozen:
+            for x in r:
+                if not 0 <= x <= self.q - 1:
+                    raise ValueError(
+                        f"{name} entries must lie in [0, {self.q - 1}], got {x}"
+                    )
+        return frozen
+
+    def check_c(self, c: Sequence[Sequence[int]]) -> Block:
+        """Validate and freeze a C block (h x h, entries in [0, q-1])."""
+        return self._check_block(c, self.h, self.h, "C")
+
+    def check_d(self, d: Sequence[Sequence[int]]) -> Block:
+        """Validate and freeze a D block (h x d_width)."""
+        return self._check_block(d, self.h, self.d_width, "D")
+
+    def check_e(self, e: Sequence[Sequence[int]]) -> Block:
+        """Validate and freeze an E block (h x e_width)."""
+        return self._check_block(e, self.h, self.e_width, "E")
+
+    def check_y(self, y: Sequence[int]) -> tuple[int, ...]:
+        """Validate and freeze a y row (length n-1, entries in [0, q-1])."""
+        row = tuple(int(x) for x in y)
+        if len(row) != self.n - 1:
+            raise ValueError(f"y must have {self.n - 1} components")
+        for x in row:
+            if not 0 <= x <= self.q - 1:
+                raise ValueError(f"y entries must lie in [0, {self.q - 1}]")
+        return row
+
+    def random_c(self, rng) -> Block:
+        """A uniform C block."""
+        return _freeze(rng.matrix_below(self.h, self.h, self.q))
+
+    def random_d(self, rng) -> Block:
+        """A uniform D block."""
+        return _freeze(rng.matrix_below(self.h, self.d_width, self.q))
+
+    def random_e(self, rng) -> Block:
+        """A uniform E block (empty rows when e_width = 0)."""
+        return _freeze(rng.matrix_below(self.h, self.e_width, self.q)) if self.e_width else tuple(tuple() for _ in range(self.h))
+
+    def random_y(self, rng) -> tuple[int, ...]:
+        """A uniform y row."""
+        return tuple(rng.entry_below(self.q) for _ in range(self.n - 1))
+
+    # ------------------------------------------------------------------
+    # Exact instance counts (big ints)
+    # ------------------------------------------------------------------
+    def count_c_instances(self) -> int:
+        """``q^{h²} = q^{(n-1)²/4}`` — the paper's row count (Lemma 3.4)."""
+        return self.q ** (self.h * self.h)
+
+    def count_e_instances(self) -> int:
+        """``q^{h·e_width} = q^{n²/2 - O(n log_q n)}`` — claim (2a)'s engine."""
+        return self.q ** (self.h * self.e_width)
+
+    def count_b_instances(self) -> int:
+        """``q^{(n²-1)/2}`` — free entries of B: (n-1)²/2 + (n-1)."""
+        free = self.h * (self.d_width + self.e_width) + (self.n - 1)
+        assert free == (self.n * self.n - 1) // 2
+        return self.q**free
+
+    # ------------------------------------------------------------------
+    # Enumeration (tiny families only; counts above tell you when)
+    # ------------------------------------------------------------------
+    def enumerate_c(self) -> Iterator[Block]:
+        """All C instances in odometer order (count = q^{h²})."""
+        cells = self.h * self.h
+        for combo in mixed_radix_counter([self.q] * cells):
+            yield tuple(
+                combo[i * self.h : (i + 1) * self.h] for i in range(self.h)
+            )
+
+    def enumerate_e(self) -> Iterator[Block]:
+        """All E instances in odometer order (count = q^{h*e_width})."""
+        cells = self.h * self.e_width
+        for combo in mixed_radix_counter([self.q] * cells):
+            yield tuple(
+                combo[i * self.e_width : (i + 1) * self.e_width]
+                for i in range(self.h)
+            )
+
+    def enumerate_b_blocks(self) -> Iterator[tuple[Block, Block, tuple[int, ...]]]:
+        """All (D, E, y) triples — use only when count_b_instances() is tiny."""
+        d_cells = self.h * self.d_width
+        e_cells = self.h * self.e_width
+        y_cells = self.n - 1
+        for combo in mixed_radix_counter([self.q] * (d_cells + e_cells + y_cells)):
+            d_flat = combo[:d_cells]
+            e_flat = combo[d_cells : d_cells + e_cells]
+            y = combo[d_cells + e_cells :]
+            d = tuple(
+                d_flat[i * self.d_width : (i + 1) * self.d_width]
+                for i in range(self.h)
+            )
+            e = tuple(
+                e_flat[i * self.e_width : (i + 1) * self.e_width]
+                for i in range(self.h)
+            )
+            yield d, e, tuple(y)
+
+    # ------------------------------------------------------------------
+    # Matrix builders
+    # ------------------------------------------------------------------
+    def build_a(self, c: Sequence[Sequence[int]]) -> Matrix:
+        """The ``n x (n-1)`` submatrix A of Fig. 3 for a given C block."""
+        c = self.check_c(c)
+        n, h, q = self.n, self.h, self.q
+        rows = [[0] * (n - 1) for _ in range(n)]
+        for j in range(n - 1):
+            rows[j][j] = 1  # unit diagonal
+        for i in range(h - 1):
+            rows[i][i + 1] = q  # superdiagonal q in the first h columns
+        for i in range(h):
+            for j in range(h):
+                rows[i][h + j] = c[i][j]
+        rows[n - 1][0] = 1  # the lone anchor in the bottom-left corner
+        # Rows h..n-2 must remain unit vectors; the loops above never touch
+        # them beyond the diagonal, which the tests assert structurally.
+        return Matrix(rows)
+
+    def build_b(
+        self,
+        d: Sequence[Sequence[int]],
+        e: Sequence[Sequence[int]],
+        y: Sequence[int],
+    ) -> Matrix:
+        """The ``n x (n-1)`` submatrix B of Fig. 3 for given D, E, y blocks."""
+        d = self.check_d(d)
+        e = self.check_e(e)
+        y = self.check_y(y)
+        n, h = self.n, self.h
+        rows = [[0] * (n - 1) for _ in range(n)]
+        for i in range(h):
+            for j in range(self.d_width):
+                rows[i][j] = d[i][j]
+        offset = (n - 1) - self.e_width
+        for i in range(h):
+            for j in range(self.e_width):
+                rows[h + i][offset + j] = e[i][j]
+        rows[n - 1] = list(y)
+        return Matrix(rows)
+
+    def build_m(self, a: Matrix, b: Matrix) -> Matrix:
+        """Assemble the ``2n x 2n`` input matrix M of Fig. 1."""
+        n, q = self.n, self.q
+        if a.shape != (n, n - 1) or b.shape != (n, n - 1):
+            raise ValueError(f"A and B must be {n}x{n - 1}")
+        size = 2 * n
+        rows = [[0] * size for _ in range(size)]
+        rows[0][0] = 1          # column 0 is e_1
+        # Top-right quadrant: anti-diagonal of 1's (i+j = 2n-1) and q's
+        # (i+j = 2n); this includes M[n-1][n] = 1, the fixed column n.
+        for i in range(n):
+            for j in range(n, size):
+                if i + j == size - 1:
+                    rows[i][j] = 1
+                elif i + j == size:
+                    rows[i][j] = q
+        a_rows = a.to_int_rows()
+        b_rows = b.to_int_rows()
+        for i in range(n):
+            for j in range(n - 1):
+                rows[n + i][1 + j] = a_rows[i][j]      # A under columns 1..n-1
+                rows[n + i][n + 1 + j] = b_rows[i][j]  # B under columns n+1..2n-1
+        return Matrix(rows)
+
+    def build_m_from_blocks(
+        self,
+        c: Sequence[Sequence[int]],
+        d: Sequence[Sequence[int]],
+        e: Sequence[Sequence[int]],
+        y: Sequence[int],
+    ) -> Matrix:
+        """Assemble M directly from the four free blocks."""
+        return self.build_m(self.build_a(c), self.build_b(d, e, y))
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def span_a(self, c: Sequence[Sequence[int]]) -> Subspace:
+        """``Span(A)`` — the column space of A (ambient ℚ^n)."""
+        return Subspace.column_space(self.build_a(c))
+
+    def b_times_u(self, b: Matrix) -> Vector:
+        """The famous vector ``B·u`` that encodes all of B's free entries."""
+        return Vector(list(b.matvec(list(self.u()))))
+
+    def b_times_u_from_blocks(self, d, e, y) -> Vector:
+        """``B·u`` assembled directly from the blocks."""
+        return self.b_times_u(self.build_b(d, e, y))
+
+    def e_dot_w(self, e: Sequence[Sequence[int]]) -> Vector:
+        """``E·w`` — equals ``p(B·u)`` per Lemma 3.7's identity."""
+        e = self.check_e(e)
+        w = self.w()
+        return Vector(
+            [sum(int(x) * wv for x, wv in zip(row, w)) for row in e]
+        )
+
+    # ------------------------------------------------------------------
+    # Bit-position geometry (for partitions; Definition 3.8 / Lemma 3.9)
+    # ------------------------------------------------------------------
+    def codec(self) -> MatrixBitCodec:
+        """The bit codec of the full ``2n x 2n`` k-bit input."""
+        return MatrixBitCodec(self.m_size, self.m_size, self.k)
+
+    def c_cells(self) -> list[tuple[int, int]]:
+        """The (row, col) positions of C's cells inside M."""
+        return [
+            (self.n + i, 1 + self.h + j)
+            for i in range(self.h)
+            for j in range(self.h)
+        ]
+
+    def d_cells(self) -> list[tuple[int, int]]:
+        """The (row, col) positions of D's cells inside M."""
+        return [
+            (self.n + i, self.n + 1 + j)
+            for i in range(self.h)
+            for j in range(self.d_width)
+        ]
+
+    def e_row_cells(self, e_row: int) -> list[tuple[int, int]]:
+        """The cells of row ``e_row`` (0-based within E) inside M."""
+        if not 0 <= e_row < self.h:
+            raise ValueError("E has h rows")
+        offset = (self.n - 1) - self.e_width
+        return [
+            (self.n + self.h + e_row, self.n + 1 + offset + j)
+            for j in range(self.e_width)
+        ]
+
+    def e_cells(self) -> list[tuple[int, int]]:
+        """The (row, col) positions of all of E's cells inside M."""
+        return [cell for r in range(self.h) for cell in self.e_row_cells(r)]
+
+    def y_cells(self) -> list[tuple[int, int]]:
+        """The (row, col) positions of y's cells inside M."""
+        return [(2 * self.n - 1, self.n + 1 + j) for j in range(self.n - 1)]
+
+    def free_cells(self) -> list[tuple[int, int]]:
+        """All free entry positions of M — their bit count is Θ(k n²)."""
+        return self.c_cells() + self.d_cells() + self.e_cells() + self.y_cells()
+
+    def free_bit_count(self) -> int:
+        """``k · (#C + #D + #E + #y)`` — the information content of the family."""
+        return self.k * len(self.free_cells())
+
+    def __repr__(self) -> str:
+        return (
+            f"RestrictedFamily(n={self.n}, k={self.k}, q={self.q}, h={self.h}, "
+            f"d_width={self.d_width}, e_width={self.e_width})"
+        )
+
+
+@dataclass(frozen=True)
+class FamilyInstance:
+    """One fully specified member of the restricted family."""
+
+    family: RestrictedFamily
+    c: Block
+    d: Block
+    e: Block
+    y: tuple[int, ...]
+
+    @staticmethod
+    def random(family: RestrictedFamily, rng) -> "FamilyInstance":
+        """Uniform free blocks."""
+        return FamilyInstance(
+            family,
+            family.random_c(rng),
+            family.random_d(rng),
+            family.random_e(rng),
+            family.random_y(rng),
+        )
+
+    def a_matrix(self) -> Matrix:
+        """The assembled A."""
+        return self.family.build_a(self.c)
+
+    def b_matrix(self) -> Matrix:
+        """The assembled B."""
+        return self.family.build_b(self.d, self.e, self.y)
+
+    def m_matrix(self) -> Matrix:
+        """The assembled 2n x 2n input matrix."""
+        return self.family.build_m(self.a_matrix(), self.b_matrix())
+
+    def b_times_u(self) -> Vector:
+        """This instance's B·u."""
+        return self.family.b_times_u(self.b_matrix())
+
+    def span_a(self) -> Subspace:
+        """This instance's Span(A)."""
+        return self.family.span_a(self.c)

@@ -1,0 +1,131 @@
+"""Lemma 3.2 — singularity collapses to a span-membership test.
+
+    *Assume that Span(A) has dimension n-1.  Then M is singular if and
+    only if B·u ∈ Span(A).*
+
+This module makes both directions executable and auditable:
+
+* :func:`check_equivalence` — decide both sides independently (exact rank of
+  the full 2n×2n matrix vs. exact span membership) and compare;
+* :func:`forced_coefficients` — re-derive, by explicit back-substitution on
+  the top half of M, that any dependence must weight the last ``n-1``
+  columns by ``u`` (the inductive argument in the lemma's proof);
+* :func:`dependence_witness` — when M is singular, produce the exact vector
+  of 2n coefficients certifying it (checkable by multiplication).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import column_space_contains, is_singular, rank
+from repro.exact.solve import solve
+from repro.exact.vector import Vector
+from repro.singularity.family import FamilyInstance, RestrictedFamily
+
+
+def span_a_has_full_dimension(family: RestrictedFamily, c) -> bool:
+    """The lemma's premise: dim Span(A) = n-1.
+
+    Under the Fig. 3 restrictions this is *always* true (unit diagonal plus
+    the anchor row force independence) — asserted, not assumed, by tests.
+    """
+    return rank(family.build_a(c)) == family.n - 1
+
+
+def check_equivalence(instance: FamilyInstance) -> bool:
+    """Decide both sides of Lemma 3.2 independently; True iff they agree.
+
+    Left side: exact singularity of the assembled ``2n x 2n`` matrix.
+    Right side: exact membership of ``B·u`` in the column space of ``A``.
+    """
+    family = instance.family
+    if not span_a_has_full_dimension(family, instance.c):
+        raise AssertionError(
+            "Fig. 3 restrictions failed to give Span(A) full dimension — "
+            "family construction bug"
+        )
+    singular = is_singular(instance.m_matrix())
+    member = column_space_contains(instance.a_matrix(), instance.b_times_u())
+    return singular == member
+
+
+def forced_coefficients(family: RestrictedFamily) -> Vector:
+    """Re-derive ``u`` from the top-right quadrant by back-substitution.
+
+    The proof's induction: to cancel column 0 (``e_1``) against columns
+    ``n+1..2n-1``, the top-half equations force the coefficient of column
+    ``2n-1-i`` to be ``(-q)^i``.  We solve that triangular system here
+    rather than quoting it, and the result must equal ``family.u()``.
+    """
+    n, q = family.n, family.q
+    # Build the top-right n x (n-1) block for columns n+1..2n-1 (column n is
+    # e_n and never helps cancel e_1's top because its only 1 sits at row
+    # n-1 where nothing else lives... it *could* participate; the proof's
+    # reasoning shows its coefficient is forced too, but only the B-columns
+    # carry u.  We include column n and check its coefficient comes out 0 is
+    # NOT the case — the proof fixes it by the row n-1 equation; we instead
+    # solve for all n right-half coefficients and return the tail n-1.
+    top_right = Matrix.from_function(
+        n,
+        n,
+        lambda i, j: 1 if i + (n + j) == 2 * n - 1 else (q if i + (n + j) == 2 * n else 0),
+    )
+    target = Vector.unit(n, 0)  # the top half of column 0
+    solution = solve(top_right, target)
+    if not solution.solvable or not solution.is_unique():
+        raise AssertionError("top-right quadrant must force unique coefficients")
+    coeffs = solution.particular
+    assert coeffs is not None
+    # coeffs[0] multiplies column n (the e_n column); columns n+1..2n-1
+    # (the B columns) carry the paper's u.
+    return Vector(list(coeffs)[1:])
+
+
+def dependence_witness(instance: FamilyInstance) -> Vector | None:
+    """For a singular M, the full coefficient vector z with ``M·z = 0``,
+    ``z ≠ 0``, built the way the proof does: coefficient 1 on column 0...
+
+    Actually returned in the form: ``z[0] = -1`` (column 0), ``z[n..2n-1]``
+    = the forced geometric coefficients, ``z[1..n-1]`` = the solution x of
+    ``A·x = -B·u``.  Returns None when M is nonsingular.
+    """
+    family = instance.family
+    a = instance.a_matrix()
+    bu = instance.b_times_u()
+    x_solution = solve(a, Vector([-v for v in bu]))
+    if not x_solution.solvable:
+        return None
+    assert x_solution.particular is not None
+    n = family.n
+    z = [Fraction(0)] * (2 * n)
+    z[0] = Fraction(-1)
+    for j, value in enumerate(x_solution.particular):
+        z[1 + j] = value
+    # Column n's coefficient: forced by the row n-1 equation of the top
+    # half.  Row n-1 reads: -1·M[n-1,0] + coeff_n·1 + Σ u_j·top(B col j).
+    # M[n-1,0] = 0 and the anti-diagonal gives top contributions at row n-1
+    # only from column n (the 1) — so coeff_n must cancel whatever the u
+    # weights contribute at row n-1, which is 0 except via column n itself.
+    # The assembled check below keeps us honest whatever the bookkeeping.
+    u = family.u()
+    for j, uv in enumerate(u):
+        z[n + 1 + j] = Fraction(uv)
+    m = instance.m_matrix()
+    residual = m.matvec([Fraction(v) for v in z])
+    # Solve for z[n] from the single row where column n is nonzero (row n-1).
+    # Column n is e_n: adjusting z[n] only changes row n-1's residual.
+    z[n] = -residual[n - 1]
+    final = m.matvec([Fraction(v) for v in z])
+    if any(v != 0 for v in final):
+        raise AssertionError("witness construction failed — family layout bug")
+    return Vector(z)
+
+
+def verify_witness(instance: FamilyInstance, z: Vector) -> bool:
+    """``M·z = 0`` and ``z ≠ 0`` — the checkable certificate."""
+    if z.is_zero():
+        return False
+    product = instance.m_matrix().matvec(list(z))
+    return all(v == 0 for v in product)

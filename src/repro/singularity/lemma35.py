@@ -1,0 +1,283 @@
+"""Lemma 3.5 — the constructive completion, and claim (2a)'s counting.
+
+    *(a) For all instances of C and E, there are instances of D and y such
+    that B·u ∈ Span(A).*
+    *(b) Each of the q^{(n-1)²/4} rows of the restricted truth matrix
+    contains at least q^{n²/2 - O(n log_q n)} and at most q^{n²/2} "one"
+    entries.*
+
+Part (a) is a *construction*, and :func:`complete` implements it exactly as
+the proof prescribes:
+
+1. the unit rows of A force ``x_i = b_i·u = e_i·w`` for the tail
+   coordinates (each bounded by ``m = q^{e_width}`` in magnitude);
+2. the head coordinates are chosen by the mod-m recurrence
+   ``x_i ≡ -q·x_{i+1} - c_i·x_tail (mod m)``, making every head row satisfy
+   ``a_i·x ≡ 0 (mod m)`` with small magnitude;
+3. the quotient ``a_i·x / m`` is written in base ``-q`` with
+   ``⌈log_q n⌉ + 2`` digits — those digits are row i of D;
+4. ``x_1`` itself is written in base ``-q`` with ``n-1`` digits — that is y.
+
+The result is an exact witness ``A·x = B·u``; the checker then confirms the
+assembled 2n×2n matrix is singular with an independent rank computation.
+
+Part (b) is counted: the *lower* bound by enumerating/sampling distinct E's
+(each completes to a distinct singular column), the *upper* bound by the
+free-entry count of B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.exact.rank import is_singular
+from repro.exact.vector import Vector
+from repro.singularity.family import Block, FamilyInstance, RestrictedFamily
+from repro.singularity.negabase import negabase_digits
+
+
+class CompletionError(Exception):
+    """The parameters are too small for the proof's representations to fit.
+
+    The paper is asymptotic; at the tiniest (n, k) the negabase coverage
+    interval can miss the required quotient.  We fail loudly instead of
+    silently producing a nonsingular matrix.
+    """
+
+
+@dataclass(frozen=True)
+class Completion:
+    """The output of the Lemma 3.5(a) construction, with its witness."""
+
+    d: Block
+    y: tuple[int, ...]
+    x: tuple[Fraction, ...]  # the coefficient witness with A·x = B·u
+
+    def instance(self, family: RestrictedFamily, c: Block, e: Block) -> FamilyInstance:
+        """The full family member this completion produces."""
+        return FamilyInstance(family, c, self.d, e, self.y)
+
+
+def complete(family: RestrictedFamily, c: Block, e: Block) -> Completion:
+    """Lemma 3.5(a): given C and E, produce D and y making M singular."""
+    c = family.check_c(c)
+    e = family.check_e(e)
+    n, h, q = family.n, family.h, family.q
+    m = q**family.e_width  # the proof's modulus (1 when E is empty)
+
+    # Step 1: tail coordinates forced by the unit rows of A.
+    x: list[int] = [0] * (n - 1)
+    if family.e_width:
+        w = family.w()
+        for r in range(h):
+            value = sum(int(ev) * int(wv) for ev, wv in zip(e[r], w))
+            x[h + r] = value
+            assert abs(value) < m, "|e_i·w| < m is guaranteed by digit bounds"
+    x_tail = x[h : n - 1]
+
+    def c_dot_tail(row: int) -> int:
+        return sum(int(cv) * xv for cv, xv in zip(c[row], x_tail))
+
+    # Steps 2–3: head coordinates and D rows, from i = h-1 down to 0.
+    d_rows: list[tuple[int, ...]] = [()] * h
+    sign = -1 if family.e_width % 2 else 1  # (-q)^e_width = sign * m
+
+    def fit_digits(quotient: int) -> tuple[int, ...] | None:
+        digits = negabase_digits(sign * quotient, q, family.d_width)
+        if digits is None:
+            return None
+        return tuple(reversed(digits))  # D columns run high power -> low
+
+    for i in range(h - 1, -1, -1):
+        base = (q * x[i + 1] if i < h - 1 else 0) + c_dot_tail(i)
+        residue = (-base) % m  # candidate representative in [0, m)
+        chosen = None
+        for candidate in (residue, residue - m):
+            s = candidate + base  # a_i·x for this representative
+            assert s % m == 0
+            digits = fit_digits(s // m)
+            if digits is not None:
+                chosen = (candidate, digits)
+                break
+        if chosen is None:
+            raise CompletionError(
+                f"row {i}: quotient does not fit in {family.d_width} "
+                f"negabase-{q} digits (n={n}, k={family.k} too small)"
+            )
+        x[i], d_rows[i] = chosen
+
+    # Step 4: y from x_1 = x[0] (row n-1 of A is the unit on coordinate 0).
+    y_digits = negabase_digits(x[0], q, n - 1)
+    if y_digits is None:
+        raise CompletionError(
+            f"x_1 = {x[0]} does not fit in {n - 1} negabase-{q} digits"
+        )
+    y = tuple(reversed(y_digits))
+
+    completion = Completion(
+        tuple(d_rows), y, tuple(Fraction(v) for v in x)
+    )
+    _verify(family, c, e, completion)
+    return completion
+
+
+def _verify(family: RestrictedFamily, c: Block, e: Block, completion: Completion) -> None:
+    """A·x == B·u exactly, independent of how the pieces were derived."""
+    a = family.build_a(c)
+    b = family.build_b(completion.d, e, completion.y)
+    ax = a.matvec(list(completion.x))
+    bu = family.b_times_u(b)
+    if Vector(list(ax)) != bu:
+        raise AssertionError("completion witness failed: A·x != B·u")
+
+
+def complete_and_check_singular(
+    family: RestrictedFamily, c: Block, e: Block
+) -> FamilyInstance:
+    """Run the completion and confirm singularity by exact rank — the full
+    executable statement of Lemma 3.5(a)."""
+    completion = complete(family, c, e)
+    instance = completion.instance(family, c, e)
+    if not is_singular(instance.m_matrix()):
+        raise AssertionError(
+            "Lemma 3.5(a) violated: completed matrix is nonsingular"
+        )
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Part (b): counting "one" entries per truth-matrix row
+# ----------------------------------------------------------------------
+def ones_lower_bound(family: RestrictedFamily) -> int:
+    """≥ #distinct E instances: each E completes to a distinct singular
+    column (distinct E ⇒ distinct E·w ⇒ distinct B·u ⇒ distinct B)."""
+    return family.count_e_instances()
+
+def ones_upper_bound(family: RestrictedFamily) -> int:
+    """≤ #B instances = q^{(n²-1)/2} (B has (n²-1)/2 free entries)."""
+    return family.count_b_instances()
+
+
+def distinct_e_give_distinct_columns(
+    family: RestrictedFamily, c: Block, e_blocks
+) -> bool:
+    """The injectivity behind the lower bound, checked on explicit E's."""
+    if family.e_width == 0:
+        return True
+    seen_bu: set = set()
+    count = 0
+    for e in e_blocks:
+        completion = complete(family, c, e)
+        instance = completion.instance(family, c, e)
+        seen_bu.add(instance.b_times_u())
+        count += 1
+    return len(seen_bu) == count
+
+
+def count_singular_columns_exhaustive(
+    family: RestrictedFamily, c: Block, limit: int = 2_000_000
+) -> int:
+    """Exact count of B instances making M(A(C), B) singular.
+
+    Feasible only when ``count_b_instances()`` ≤ ``limit``; uses Lemma 3.2
+    (span membership of B·u) instead of 2n×2n ranks for speed, which is
+    valid because Span(A) always has full dimension under Fig. 3.
+    """
+    total = family.count_b_instances()
+    if total > limit:
+        raise ValueError(
+            f"B has {total} instances; exhaustive counting capped at {limit}"
+        )
+    span = family.span_a(c)
+    count = 0
+    for d, e, y in family.enumerate_b_blocks():
+        bu = family.b_times_u_from_blocks(d, e, y)
+        if bu in span:
+            count += 1
+    return count
+
+
+def count_singular_columns_sampled(
+    family: RestrictedFamily, c: Block, rng, samples: int
+) -> tuple[int, int]:
+    """(singular hits, samples) over uniform random B instances.
+
+    The singular fraction of a row is astronomically small (claim 2a gives
+    ~q^{-O(n log_q n)} of all columns); this sampler is for *shape* plots
+    and for falsification attempts, not precision estimates.
+    """
+    span = family.span_a(c)
+    hits = 0
+    for _ in range(samples):
+        d = family.random_d(rng)
+        e = family.random_e(rng)
+        y = family.random_y(rng)
+        if family.b_times_u_from_blocks(d, e, y) in span:
+            hits += 1
+    return hits, samples
+
+
+def count_singular_columns_exact(family: RestrictedFamily, c: Block) -> int:
+    """Exact count of singular columns per row — at ANY family size.
+
+    The polynomial-time replacement for brute force: Span(A) has dimension
+    n-1, so its complement is the line of the left null vector ``z``
+    (``zᵀA = 0``), and ``B·u ∈ Span(A)  ⇔  z·(B·u) = 0``.  The rows of B
+    are free independently, so the number of zeros of the linear form
+
+        z·(B·u) = Σ_{i<h} z_i·(D_i·u_head) + Σ_r z_{h+r}·(E_r·w) + z_{n-1}·(y·u)
+
+    is a convolution of per-row value distributions — computed exactly with
+    dictionaries of big ints.  Cross-validated against the brute-force
+    enumerator at the one family size where brute force is feasible.
+    """
+    from repro.exact.solve import nullspace
+
+    c = family.check_c(c)
+    a = family.build_a(c)
+    left_null = nullspace(a.transpose())
+    if len(left_null) != 1:
+        raise AssertionError("Span(A) must have codimension exactly 1")
+    # Scale z to integers.
+    z_frac = list(left_null[0])
+    from math import lcm
+
+    denominator = lcm(*(f.denominator for f in z_frac))
+    z = [int(f * denominator) for f in z_frac]
+
+    n, h, q = family.n, family.h, family.q
+    u = [int(v) for v in family.u()]
+    u_head = u[: family.d_width]
+    w = u[len(u) - family.e_width :] if family.e_width else []
+
+    def digit_distribution(weights: list[int]) -> dict[int, int]:
+        """Distribution of Σ d_j * weights[j] over digits d_j in [0, q-1]."""
+        dist = {0: 1}
+        for weight in weights:
+            new: dict[int, int] = {}
+            for value, count in dist.items():
+                for digit in range(q):
+                    key = value + digit * weight
+                    new[key] = new.get(key, 0) + count
+            dist = new
+        return dist
+
+    total_dist = {0: 1}
+
+    def convolve(dist: dict[int, int]) -> None:
+        nonlocal total_dist
+        new: dict[int, int] = {}
+        for v1, c1 in total_dist.items():
+            for v2, c2 in dist.items():
+                key = v1 + v2
+                new[key] = new.get(key, 0) + c1 * c2
+        total_dist = new
+
+    for i in range(h):  # D rows
+        convolve(digit_distribution([z[i] * uv for uv in u_head]))
+    for r in range(h):  # E rows
+        if family.e_width:
+            convolve(digit_distribution([z[h + r] * wv for wv in w]))
+    convolve(digit_distribution([z[n - 1] * uv for uv in u]))  # the y row
+    return total_dist.get(0, 0)

@@ -1,0 +1,211 @@
+"""Lemmas 3.3, 3.6 and 3.7 — why 1-chromatic submatrices must be small.
+
+Lemma 3.3: a 1-chromatic submatrix with rows A_1..A_r and columns B_1..B_s
+satisfies ``{B_1·u, …, B_s·u} ⊆ Span(A_1) ∩ … ∩ Span(A_r)``.
+
+Lemma 3.6: r = q^{n²/16 + n·log_q n} rows force
+``dim(∩ Span(A_i)) < 7n/8 - 1`` — many rows squeeze the common space.
+
+Lemma 3.7: via the projection ``p`` (coordinates h..n-2) and the identity
+``p(B·u) = E·w``, a 1-chromatic submatrix with ≥ r rows has at most
+``q^{3n²/8 + O(n log_q n)}`` columns — the quantitative claim (2b).
+
+The bounds are asymptotic; what *is* exactly checkable at any size (and is
+checked here) is the mechanism:
+
+* the intersection containment (Lemma 3.3) holds for every 1-chromatic
+  rectangle we can construct;
+* the projected intersection kills the first h columns of A;
+* the counting step — "a subspace V' of dimension d' contains at most
+  q^{d'·(row-length)} of the E·w vectors" — via exact enumeration on
+  small instances (:func:`count_ew_vectors_in_subspace`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+from repro.singularity.family import Block, FamilyInstance, RestrictedFamily
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.3 — the containment
+# ----------------------------------------------------------------------
+def lemma33_containment(
+    family: RestrictedFamily,
+    c_blocks: Sequence[Block],
+    b_instances: Sequence[tuple[Block, Block, tuple[int, ...]]],
+) -> bool:
+    """If every (A_i, B_j) pair is singular, then every B_j·u lies in the
+    intersection of all Span(A_i).
+
+    We *verify the premise too*: the function returns True only when the
+    given rows × columns really form a 1-chromatic rectangle and the
+    containment holds (so a False return localizes which part broke).
+    """
+    spans = [family.span_a(c) for c in c_blocks]
+    intersection = Subspace.intersection_of(spans)
+    from repro.exact.rank import is_singular
+
+    for d, e, y in b_instances:
+        bu = family.b_times_u_from_blocks(d, e, y)
+        for c, span in zip(c_blocks, spans):
+            m = family.build_m(family.build_a(c), family.build_b(d, e, y))
+            if not is_singular(m):
+                return False  # premise fails: not 1-chromatic
+            if bu not in span:
+                return False  # Lemma 3.2 would already be broken
+        if bu not in intersection:
+            return False  # the containment itself fails
+    return True
+
+
+def intersection_dimension(
+    family: RestrictedFamily, c_blocks: Iterable[Block]
+) -> int:
+    """dim(∩ Span(A_i)) — Lemma 3.6's measured quantity."""
+    spans = [family.span_a(c) for c in c_blocks]
+    return Subspace.intersection_of(spans).dimension
+
+
+def intersection_dimension_profile(
+    family: RestrictedFamily, c_blocks: Sequence[Block]
+) -> list[int]:
+    """dim(∩_{i<=t} Span(A_i)) for t = 1..len(c_blocks) — the decay curve.
+
+    The paper needs the dimension to fall below 7n/8 - 1 once the row count
+    reaches r; at experiment scale we watch the whole curve instead.
+    """
+    profile: list[int] = []
+    acc: Subspace | None = None
+    for c in c_blocks:
+        span = family.span_a(c)
+        acc = span if acc is None else acc.intersect(span)
+        profile.append(acc.dimension)
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.6 — the enumeration bound
+# ----------------------------------------------------------------------
+def lemma36_row_threshold_log2(family: RestrictedFamily) -> float:
+    """log2 of r = q^{n²/16 + n·log_q n} = q^{n²/16} · n^n (exact algebra,
+    float log only at the end)."""
+    n, q = family.n, family.q
+    return (n * n / 16) * math.log2(q) + n * math.log2(n)
+
+
+def lemma36_enumeration_capacity_log2(family: RestrictedFamily, shared_dim: int) -> float:
+    """log2 of the number of distinct Span(A_i) enumerable when all share a
+    fixed subspace of dimension ``shared_dim`` = 7n/8 - 1.
+
+    The proof counts: each Span(A_i) is determined by n/8 extra basis
+    vectors chosen from the ≤ (n-1)/2 · q^{(n+1)/2}... candidate pool of the
+    last columns; its total is q^{n²/16 + (n log_q n)/2} < r.  We expose the
+    paper's exponent so the benchmark can print the r-vs-capacity gap.
+    """
+    n, q = family.n, family.q
+    extra = (n - 1) - shared_dim  # columns not already in the shared space
+    if extra < 0:
+        return 0.0
+    # Pool size per extra basis vector: h * q^{(n+1)/2} candidates.
+    pool_log2 = math.log2(family.h) + ((n + 1) / 2) * math.log2(q) if family.h else 0.0
+    return extra * pool_log2
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.7 — the projected counting
+# ----------------------------------------------------------------------
+def projected_intersection_dimension(
+    family: RestrictedFamily, c_blocks: Iterable[Block]
+) -> int:
+    """dim p(∩ Span(A_i)) — drops by h relative to the unprojected one
+    because the first h columns of A (present in every Span(A_i)) project
+    to zero."""
+    spans = [family.span_a(c) for c in c_blocks]
+    inter = Subspace.intersection_of(spans)
+    return inter.project(family.projection_indices()).dimension
+
+
+def count_ew_vectors_in_subspace(
+    family: RestrictedFamily, space: Subspace, limit: int = 2_000_000
+) -> int:
+    """Exactly how many of the q^{h·e_width} vectors E·w lie in ``space``.
+
+    This is the proof's final counting step, run literally: enumerate every
+    E and test membership of E·w (each a length-h integer vector).
+    """
+    if family.e_width == 0:
+        raise ValueError("E is empty at these parameters")
+    if space.ambient != family.h:
+        raise ValueError("space must live in the projected ambient Q^h")
+    total = family.count_e_instances()
+    if total > limit:
+        raise ValueError(f"{total} E instances; enumeration capped at {limit}")
+    count = 0
+    for e in family.enumerate_e():
+        if family.e_dot_w(e) in space:
+            count += 1
+    return count
+
+
+def lemma37_column_bound_log2(family: RestrictedFamily) -> float:
+    """log2 of the paper's column cap q^{3n²/8} for rectangles with ≥ r rows
+    (π₀ case; the proper-partition variant uses 3n²/16)."""
+    n, q = family.n, family.q
+    return (3 * n * n / 8) * math.log2(q)
+
+
+def ew_count_upper_bound(family: RestrictedFamily, projected_dim: int) -> int:
+    """The proof's cap: a subspace of dimension d' < 3n/8 contains at most
+    q^{d'·n}... sharpened here to the exact argument: each E·w vector in V'
+    is determined by d' of its coordinates, and each coordinate, being
+    ``e_row·w``, takes < q^{e_width} < q^n values.  Exact big int."""
+    if projected_dim < 0:
+        raise ValueError("dimension cannot be negative")
+    return (family.q ** family.e_width) ** projected_dim if family.e_width else 1
+
+
+def one_rectangle_column_cap(
+    family: RestrictedFamily, c_blocks: Sequence[Block]
+) -> int:
+    """The executable Lemma 3.7 chain for an explicit row set:
+
+    rows → V = ∩ Span(A_i) → V' = p(V) → cap = (#values per coordinate)^dim V'.
+
+    Any 1-chromatic rectangle on these rows has at most ``cap`` columns
+    *with distinct E blocks* (columns sharing E differ only in D, y).
+    """
+    spans = [family.span_a(c) for c in c_blocks]
+    inter = Subspace.intersection_of(spans)
+    projected = inter.project(family.projection_indices())
+    return ew_count_upper_bound(family, projected.dimension)
+
+
+def verify_column_cap_on_rectangle(
+    family: RestrictedFamily,
+    c_blocks: Sequence[Block],
+    e_blocks: Sequence[Block],
+) -> bool:
+    """Sanity loop: complete each (C_1, E_j) and check that whenever *all*
+    rows are singular against the completed column, E·w lies in the
+    projected intersection (the mechanism behind the cap)."""
+    from repro.exact.rank import is_singular
+    from repro.singularity.lemma35 import complete
+
+    spans = [family.span_a(c) for c in c_blocks]
+    inter = Subspace.intersection_of(spans)
+    projected = inter.project(family.projection_indices())
+    for e in e_blocks:
+        completion = complete(family, c_blocks[0], e)
+        b = family.build_b(completion.d, e, completion.y)
+        all_singular = all(
+            is_singular(family.build_m(family.build_a(c), b)) for c in c_blocks
+        )
+        if all_singular and family.e_width:
+            if family.e_dot_w(e) not in projected:
+                return False
+    return True

@@ -1,0 +1,76 @@
+"""Negative-base (base ``-q``) digit representations.
+
+The paper's completion argument (Lemma 3.5) silently relies on the fact that
+any integer of bounded magnitude can be written as ``Σ d_s (-q)^s`` with
+digits ``d_s ∈ [0, q-1]`` — that is how the free blocks ``D`` and ``y`` of
+the submatrix ``B`` are chosen to make ``B·u`` land in ``Span(A)``
+(``u`` and ``w`` are geometric vectors in ``-q``, so inner products against
+digit vectors are exactly negabase evaluations).
+
+This module provides the encoder/decoder plus the exact coverage interval of
+a fixed digit count, so the completion can *prove* a representation exists
+before committing to it.
+"""
+
+from __future__ import annotations
+
+
+def negabase_digits(value: int, q: int, width: int | None = None) -> list[int] | None:
+    """Digits ``d`` with ``value == Σ d[s] * (-q)**s`` and ``d[s] ∈ [0, q-1]``.
+
+    Standard division algorithm for negative bases: at each step take the
+    remainder in ``[0, q-1]`` and divide by ``-q`` exactly.
+
+    With ``width=None`` the representation uses however many digits it needs
+    (every integer has exactly one).  With a fixed ``width``, returns the
+    zero-padded digit list of length ``width``, or ``None`` when the value
+    does not fit (the caller treats that as "this branch of the completion
+    is infeasible").
+
+    >>> negabase_digits(7, 3)     # 7 = 1 - 3·(-1)... check: 1·1 + 2·(-3) + 1·9
+    [1, 2, 1]
+    >>> sum(d * (-3)**s for s, d in enumerate(negabase_digits(-11, 3)))
+    -11
+    """
+    if q < 2:
+        raise ValueError("negabase needs q >= 2")
+    digits: list[int] = []
+    v = value
+    while v != 0:
+        r = v % q  # Python's % already gives a representative in [0, q-1]
+        digits.append(r)
+        v = (v - r) // (-q)
+    if not digits:
+        digits = [0]
+    if width is None:
+        return digits
+    if len(digits) > width:
+        return None
+    return digits + [0] * (width - len(digits))
+
+
+def negabase_value(digits: list[int], q: int) -> int:
+    """Inverse of :func:`negabase_digits`: ``Σ digits[s] * (-q)**s``."""
+    return sum(d * (-q) ** s for s, d in enumerate(digits))
+
+
+def negabase_range(q: int, width: int) -> tuple[int, int]:
+    """The exact (min, max) of values representable with ``width`` digits.
+
+    Max: all even positions at q-1.  Min: all odd positions at q-1.  The
+    representable set is exactly the integer interval [min, max] (standard
+    fact; asserted by the property tests).
+    """
+    if q < 2:
+        raise ValueError("negabase needs q >= 2")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    hi = sum((q - 1) * q**s for s in range(0, width, 2))
+    lo = -sum((q - 1) * q**s for s in range(1, width, 2))
+    return lo, hi
+
+
+def fits_in_negabase(value: int, q: int, width: int) -> bool:
+    """Cheap coverage test without computing digits."""
+    lo, hi = negabase_range(q, width)
+    return lo <= value <= hi

@@ -1,0 +1,85 @@
+"""The general-case padding reduction (Section 3, opening).
+
+The lower bound is proven for ``2n x 2n`` inputs with n odd.  For an
+arbitrary ``m x m`` input the paper restricts attention to matrices whose
+last ``d`` rows and columns are an identity tail:
+
+    d := (m - 2) mod 4,  n := (m - d) / 2   (which makes n odd)
+
+and M'[m-1-i, m-1-i] = 1 for i < d with zeros elsewhere in the tail.  Then
+M' is singular iff its leading ``2n x 2n`` block is — so any protocol for
+``m x m`` singularity solves ``2n x 2n`` singularity at the same cost, and
+the Θ(k n²) = Θ(k m²) bound transfers to every size.
+"""
+
+from __future__ import annotations
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular, rank
+
+
+def padding_parameters(m: int) -> tuple[int, int]:
+    """(n, d) for an ``m x m`` input: d = (m-2) mod 4, n = (m-d)/2, n odd."""
+    if m < 2:
+        raise ValueError("padding needs m >= 2")
+    d = (m - 2) % 4
+    n = (m - d) // 2
+    if n % 2 != 1 or 2 * n + d != m:
+        raise AssertionError("padding arithmetic broke — check the formula")
+    return n, d
+
+
+def pad(block: Matrix, m: int) -> Matrix:
+    """Embed a ``2n x 2n`` matrix as the leading block of the ``m x m``
+    identity-tail form."""
+    n, d = padding_parameters(m)
+    if block.shape != (2 * n, 2 * n):
+        raise ValueError(
+            f"for m={m} the leading block must be {2 * n}x{2 * n}, got {block.shape}"
+        )
+    if d == 0:
+        return block
+    rows = [[0] * m for _ in range(m)]
+    src = block.to_int_rows() if block.is_integer() else None
+    for i in range(2 * n):
+        for j in range(2 * n):
+            rows[i][j] = src[i][j] if src is not None else block[i, j]
+    for i in range(d):
+        rows[m - 1 - i][m - 1 - i] = 1
+    return Matrix(rows)
+
+
+def unpad(padded: Matrix) -> Matrix:
+    """Extract the leading ``2n x 2n`` block (after validating the tail)."""
+    m = padded.num_rows
+    if not padded.is_square:
+        raise ValueError("padded matrix must be square")
+    n, d = padding_parameters(m)
+    if d and not has_identity_tail(padded, d):
+        raise ValueError("matrix does not carry the required identity tail")
+    return padded.slice(0, 2 * n, 0, 2 * n)
+
+
+def has_identity_tail(matrix: Matrix, d: int) -> bool:
+    """Is the trailing d x d corner an identity with zero borders?"""
+    m = matrix.num_rows
+    if d == 0:
+        return True
+    for i in range(m):
+        for j in range(m - d, m):
+            expected = 1 if (i == j and i >= m - d) else 0
+            if matrix[i, j] != expected or matrix[j, i] != expected:
+                return False
+    return True
+
+
+def padding_preserves_singularity(block: Matrix, m: int) -> bool:
+    """The reduction's correctness on one instance:
+    singular(2n block) == singular(padded m x m)."""
+    return is_singular(block) == is_singular(pad(block, m))
+
+
+def padding_rank_identity(block: Matrix, m: int) -> bool:
+    """Quantitatively: rank(padded) == rank(block) + d."""
+    _, d = padding_parameters(m)
+    return rank(pad(block, m)) == rank(block) + d

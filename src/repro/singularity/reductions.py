@@ -1,0 +1,205 @@
+"""Corollaries 1.2 and 1.3, plus the matrix-product rank construction.
+
+The paper transfers the Θ(k n²) bound by *reductions*: a device solving
+problem P also decides singularity, so P inherits the bound.  Each reduction
+here is an executable object with three parts — instance transport, answer
+extraction, and a correctness check — so the tests can verify the transfer
+on real matrices rather than trusting the prose.
+
+* Corollary 1.2(a–e): determinant, rank, QR, SVD, LUP — extraction uses only
+  the *output the corollary grants* (e.g. for QR/SVD/LUP the *nonzero
+  structure* of the factors, never their values).
+* Corollary 1.3: solvability of ``M'·x = b`` where b is the first column of
+  the Fig. 1 matrix and M' has that column zeroed.
+* Introduction: ``M = [[I, B], [A, C]]`` has rank n iff ``A·B = C`` (the
+  Lin–Wu-style construction the paper uses for the rank-n/2 and SVD-range
+  results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+from repro.exact.determinant import determinant
+from repro.exact.lu import lup_decompose
+from repro.exact.matrix import Matrix
+from repro.exact.qr import qr_decompose
+from repro.exact.rank import is_singular, rank
+from repro.exact.solve import is_solvable
+from repro.exact.svd import svd_structure
+from repro.exact.vector import Vector
+from repro.singularity.family import FamilyInstance, RestrictedFamily
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """Singularity ≤ P: any solver of problem ``solve`` decides singularity
+    through ``extract``.
+
+    Attributes:
+        name: corollary label.
+        solve: the P-solver (full-information; stands in for the device).
+        extract: maps P's output to the singularity answer.
+    """
+
+    name: str
+    solve: Callable[[Matrix], object]
+    extract: Callable[[object], bool]
+
+    def decide_singularity(self, m: Matrix) -> bool:
+        """Solve problem P on ``m`` and extract the singularity answer."""
+        return self.extract(self.solve(m))
+
+    def agrees_with_ground_truth(self, m: Matrix) -> bool:
+        """Does the reduction's answer match the exact rank decision?"""
+        return self.decide_singularity(m) == is_singular(m)
+
+
+def determinant_reduction() -> Reduction:
+    """1.2(a): singular iff det = 0."""
+    return Reduction("corollary-1.2a-determinant", determinant, lambda det: det == 0)
+
+
+def rank_reduction() -> Reduction:
+    """1.2(b): singular iff rank < n.  The extractor needs the matrix order,
+    so the solver returns (rank, order)."""
+    return Reduction(
+        "corollary-1.2b-rank",
+        lambda m: (rank(m), m.num_rows),
+        lambda pair: pair[0] < pair[1],
+    )
+
+
+def qr_reduction() -> Reduction:
+    """1.2(c): singular iff the *nonzero structure* of Q misses a column.
+
+    Deliberately extracts from ``q_nonzero_structure()`` alone — the
+    corollary's strengthened form ("even if we only require ... the nonzero
+    structure of the factor matrices").
+    """
+
+    def solve(m: Matrix):
+        return qr_decompose(m).q_nonzero_structure(), m.num_rows
+
+    def extract(payload) -> bool:
+        structure, order = payload
+        populated_cols = {j for (_, j) in structure}
+        return len(populated_cols) < order
+
+    return Reduction("corollary-1.2c-qr-structure", solve, extract)
+
+
+def svd_reduction() -> Reduction:
+    """1.2(d): singular iff Σ's nonzero pattern has fewer than n entries."""
+
+    def solve(m: Matrix):
+        return svd_structure(m).sigma_pattern, m.num_rows
+
+    def extract(payload) -> bool:
+        pattern, order = payload
+        return len(pattern) < order
+
+    return Reduction("corollary-1.2d-svd-structure", solve, extract)
+
+
+def lup_reduction() -> Reduction:
+    """1.2(e): singular iff U's nonzero structure misses a diagonal slot."""
+
+    def solve(m: Matrix):
+        return lup_decompose(m).u_nonzero_structure(), m.num_rows
+
+    def extract(payload) -> bool:
+        structure, order = payload
+        return any((i, i) not in structure for i in range(order))
+
+    return Reduction("corollary-1.2e-lup-structure", solve, extract)
+
+
+def all_corollary_12_reductions() -> list[Reduction]:
+    """The five Corollary 1.2 reductions, (a) through (e)."""
+    return [
+        determinant_reduction(),
+        rank_reduction(),
+        qr_reduction(),
+        svd_reduction(),
+        lup_reduction(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Corollary 1.3 — linear-system solvability
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolvabilityInstance:
+    """The Corollary 1.3 instance derived from a Fig. 1 matrix M:
+    A' = M with its first column zeroed, b = that first column."""
+
+    a_prime: Matrix
+    b: Vector
+
+
+def corollary_13_instance(m: Matrix) -> SolvabilityInstance:
+    """Transport: zero out column 0, keep it as the right-hand side."""
+    b = Vector(list(m.col(0)))
+    zeroed = m.with_block(0, 0, Matrix.zeros(m.num_rows, 1))
+    return SolvabilityInstance(zeroed, b)
+
+
+def corollary_13_holds(instance: FamilyInstance) -> bool:
+    """On family members (whose last 2n-1 columns are independent by Fig. 3):
+    M singular ⇔ M'·x = b solvable.  Returns whether the biconditional holds.
+    """
+    m = instance.m_matrix()
+    reduced = corollary_13_instance(m)
+    return is_singular(m) == is_solvable(reduced.a_prime, reduced.b)
+
+
+def corollary_13_requires_family(
+    family: RestrictedFamily,
+) -> tuple[Matrix, bool, bool]:
+    """Ablation: on an *unrestricted* singular matrix the biconditional can
+    fail (e.g. the zero matrix: singular, and 0·x = 0 IS solvable — pick a
+    sharper witness: a matrix whose first column is outside the span of the
+    rest yet rank-deficient).  Returns (matrix, singular, solvable) with
+    singular=True, solvable=False impossible under the family but realized
+    here, documenting why Fig. 3's independence matters."""
+    size = 2 * family.n
+    rows = [[0] * size for _ in range(size)]
+    rows[0][0] = 1  # first column nonzero, all later columns zero
+    m = Matrix(rows)
+    reduced = corollary_13_instance(m)
+    return m, is_singular(m), is_solvable(reduced.a_prime, reduced.b)
+
+
+# ----------------------------------------------------------------------
+# The [[I, B], [A, C]] construction (Section 1)
+# ----------------------------------------------------------------------
+def product_verification_matrix(a: Matrix, b: Matrix, c: Matrix) -> Matrix:
+    """``M = [[I, B], [A, C]]`` with I of order n: rank(M) = n + rank(C - AB),
+    so A·B = C iff rank(M) = n."""
+    n = a.num_rows
+    if a.shape != (n, n) or b.shape != (n, n) or c.shape != (n, n):
+        raise ValueError("the construction needs three n x n matrices")
+    return Matrix.block([[Matrix.identity(n), b], [a, c]])
+
+
+def product_equals_via_rank(a: Matrix, b: Matrix, c: Matrix) -> bool:
+    """Decide A·B = C through the rank of the block matrix (never forming
+    the product) — the reduction's executable form."""
+    m = product_verification_matrix(a, b, c)
+    return rank(m) == a.num_rows
+
+
+def rank_identity_holds(a: Matrix, b: Matrix, c: Matrix) -> bool:
+    """The algebra behind it: rank([[I,B],[A,C]]) == n + rank(C - A·B)."""
+    n = a.num_rows
+    m = product_verification_matrix(a, b, c)
+    return rank(m) == n + rank(c - (a @ b))
+
+
+def half_rank_instance(a: Matrix, b: Matrix, c: Matrix) -> Matrix:
+    """The "rank n/2 of a 2n x 2n matrix" decision instance the paper derives:
+    the block matrix has rank exactly half its order iff A·B = C."""
+    return product_verification_matrix(a, b, c)

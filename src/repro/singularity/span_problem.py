@@ -1,0 +1,98 @@
+"""The vector space span problem (Lovász–Saks) and its bounds.
+
+Section 1: let X be a finite set of vectors spanning the space U and let
+``L = {V : V is spanned by some subset of X}``.  Given V₁, V₂ ∈ L, decide
+whether their union spans U.
+
+* Lovász–Saks (1988): the *fixed-partition* communication complexity is
+  ``log₂ #L`` (one agent holds V₁, the other V₂).
+* Theorem 1.1 settles the *unrestricted* complexity when X is the set of
+  integer vectors with k-bit components: Θ(k n²), because the singularity
+  instance "do the columns held by agent 0 and the columns held by agent 1
+  jointly have full rank?" *is* a span-problem instance.
+
+Executable content: the decision itself (:func:`spans_union`), exact
+enumeration of L for small X (:func:`enumerate_l`), the log #L bound, and
+the bridge from a π₀-split matrix to a span instance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exact.matrix import Matrix
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+
+
+@dataclass(frozen=True)
+class SpanInstance:
+    """One instance: two subspaces of the same ambient space."""
+
+    v1: Subspace
+    v2: Subspace
+
+    def __post_init__(self):
+        if self.v1.ambient != self.v2.ambient:
+            raise ValueError("V1 and V2 must share the ambient space")
+
+    def union_spans(self) -> bool:
+        """The decision: does V1 ∪ V2 span the whole ambient space?"""
+        return self.v1.spans_with(self.v2)
+
+
+def spans_union(v1: Subspace, v2: Subspace) -> bool:
+    """The span-problem decision on a pair of subspaces."""
+    return SpanInstance(v1, v2).union_spans()
+
+
+def enumerate_l(vectors: Sequence[Vector]) -> set[Subspace]:
+    """The lattice L: spans of all subsets of X (exponential — small X only).
+
+    The empty subset contributes the zero subspace.
+    """
+    if not vectors:
+        raise ValueError("X must be non-empty")
+    if len(vectors) > 16:
+        raise ValueError("2^|X| subsets; enumeration capped at |X| = 16")
+    ambient = len(vectors[0])
+    spaces: set[Subspace] = {Subspace.zero(ambient)}
+    for mask in range(1, 1 << len(vectors)):
+        subset = [vectors[i] for i in range(len(vectors)) if mask >> i & 1]
+        spaces.add(Subspace.span(subset))
+    return spaces
+
+
+def lovasz_saks_bound_bits(vectors: Sequence[Vector]) -> float:
+    """log₂ #L — the fixed-partition communication complexity."""
+    return math.log2(len(enumerate_l(vectors)))
+
+
+def matrix_to_span_instance(m: Matrix) -> SpanInstance:
+    """The π₀ bridge: agent 0's columns span V₁, agent 1's span V₂; M is
+    nonsingular iff V₁ ∪ V₂ spans ℚ^{2m} — so singularity testing *is* the
+    span problem on k-bit integer vectors."""
+    if not m.is_square or m.num_cols % 2:
+        raise ValueError("the π₀ bridge needs a 2m x 2m matrix")
+    half = m.num_cols // 2
+    v1 = Subspace.column_space(m.slice(0, m.num_rows, 0, half))
+    v2 = Subspace.column_space(m.slice(0, m.num_rows, half, m.num_cols))
+    return SpanInstance(v1, v2)
+
+
+def span_instance_agrees_with_singularity(m: Matrix) -> bool:
+    """nonsingular(M) == union_spans(bridge(M)) — the reduction's soundness."""
+    from repro.exact.rank import is_singular
+
+    return (not is_singular(m)) == matrix_to_span_instance(m).union_spans()
+
+
+def kbit_span_universe_log2(n: int, k: int) -> float:
+    """log₂ |X| for X = all k-bit integer vectors of length n: k·n bits.
+
+    The lattice L is far larger; Theorem 1.1 gives the Θ(k n²) answer that
+    log #L alone (fixed-partition) could not transfer to arbitrary
+    partitions."""
+    return float(k * n)

@@ -1,0 +1,138 @@
+"""Builders for the *restricted* truth matrix of Section 3.
+
+The paper's argument lives on the truth matrix whose rows are instances of
+the first agent's free block (C) and whose columns are instances of the
+second agent's free blocks (D, E, y).  Experiments E1/E6 and the integration
+tests all need the same construction; this module owns it:
+
+* rows and columns sampled reproducibly (with completions mixed in so the
+  matrix actually contains ones — random columns alone are almost never
+  singular against any row);
+* the predicate evaluated through Lemma 3.2's cheap surrogate
+  (``B·u ∈ Span(A)``), with spans cached per row;
+* helper measurements (ones per row, max 1-rectangle fraction) in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.truth_matrix import TruthMatrix, truth_matrix_from_family
+from repro.singularity.family import Block, RestrictedFamily
+from repro.singularity.lemma35 import complete
+from repro.util.rng import ReproducibleRNG
+
+BColumn = tuple[Block, Block, tuple[int, ...]]
+
+
+def sample_distinct_rows(
+    family: RestrictedFamily, rng: ReproducibleRNG, count: int
+) -> list[Block]:
+    """``count`` distinct C blocks (raises if the family is too small)."""
+    if count > family.count_c_instances():
+        raise ValueError(
+            f"family has only {family.count_c_instances()} C instances"
+        )
+    rows: list[Block] = []
+    seen: set[Block] = set()
+    attempts = 0
+    while len(rows) < count:
+        c = family.random_c(rng)
+        attempts += 1
+        if c not in seen:
+            seen.add(c)
+            rows.append(c)
+        if attempts > 100 * count + 1000:
+            raise RuntimeError("sampling stalled — family too small for count")
+    return rows
+
+
+def completed_columns(
+    family: RestrictedFamily,
+    rows: list[Block],
+    rng: ReproducibleRNG,
+    per_row: int = 1,
+) -> list[BColumn]:
+    """Columns guaranteed singular against their source row: for each of the
+    first rows, ``per_row`` completions with fresh E blocks."""
+    columns: list[BColumn] = []
+    for c in rows:
+        for _ in range(per_row):
+            e = family.random_e(rng)
+            completion = complete(family, c, e)
+            columns.append((completion.d, e, completion.y))
+    return columns
+
+
+def random_columns(
+    family: RestrictedFamily, rng: ReproducibleRNG, count: int
+) -> list[BColumn]:
+    """Uniform (D, E, y) triples — the background population."""
+    return [
+        (family.random_d(rng), family.random_e(rng), family.random_y(rng))
+        for _ in range(count)
+    ]
+
+
+def restricted_truth_matrix(
+    family: RestrictedFamily,
+    rows: list[Block],
+    columns: list[BColumn],
+) -> TruthMatrix:
+    """The Section 3 truth matrix on explicit row/column instances.
+
+    Entry (C, B) = 1 iff M(A(C), B) is singular, decided via Lemma 3.2's
+    span-membership surrogate (valid because Span(A) always has full
+    dimension under Fig. 3; the equivalence itself is test-certified).
+    """
+    spans = {c: family.span_a(c) for c in rows}
+
+    def predicate(c: Block, column: BColumn) -> bool:
+        return family.b_times_u_from_blocks(*column) in spans[c]
+
+    return truth_matrix_from_family(predicate, rows, columns)
+
+
+@dataclass(frozen=True)
+class RestrictedMatrixReport:
+    """Summary measurements of one sampled restricted truth matrix."""
+
+    shape: tuple[int, int]
+    ones: int
+    max_rectangle_area: int
+    max_rectangle_fraction: float
+    ones_per_row_max: int
+
+    @property
+    def is_degenerate(self) -> bool:
+        """A single rectangle covering everything — the e_width = 0 disease."""
+        return self.ones > 0 and self.max_rectangle_fraction >= 1.0
+
+
+def build_and_measure(
+    family: RestrictedFamily,
+    seed: int,
+    n_rows: int = 20,
+    completions_per_row: int = 1,
+    n_random_columns: int = 20,
+    completion_rows: int | None = None,
+) -> RestrictedMatrixReport:
+    """One-call pipeline: sample, build, measure (used by E1/E6 and tests)."""
+    from repro.comm.rectangles import max_one_rectangle
+
+    rng = ReproducibleRNG(seed)
+    rows = sample_distinct_rows(family, rng, n_rows)
+    source_rows = rows[: completion_rows if completion_rows is not None else n_rows // 2]
+    columns = completed_columns(family, source_rows, rng, completions_per_row)
+    columns += random_columns(family, rng, n_random_columns)
+    tm = restricted_truth_matrix(family, rows, columns)
+    area, _, _ = max_one_rectangle(tm)
+    ones = tm.ones_count()
+    per_row_max = int(tm.data.sum(axis=1).max()) if ones else 0
+    return RestrictedMatrixReport(
+        tm.shape,
+        ones,
+        area,
+        (area / ones) if ones else 0.0,
+        per_row_max,
+    )

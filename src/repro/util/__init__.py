@@ -1,0 +1,27 @@
+"""Small shared utilities: enumeration, reproducible RNG, table formatting.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` may import from here, but :mod:`repro.util` imports nothing from
+the rest of the library.
+"""
+
+from repro.util.itertools2 import (
+    mixed_radix_counter,
+    product_grid,
+    sample_distinct,
+    take,
+)
+from repro.util.rng import ReproducibleRNG, derive_seed
+from repro.util.fmt import Table, format_si, format_pow
+
+__all__ = [
+    "mixed_radix_counter",
+    "product_grid",
+    "sample_distinct",
+    "take",
+    "ReproducibleRNG",
+    "derive_seed",
+    "Table",
+    "format_si",
+    "format_pow",
+]

@@ -1,0 +1,122 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The benchmark harness prints the same rows EXPERIMENTS.md records; this module
+owns the formatting so every experiment's output looks the same and the bench
+files stay focused on the science.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Format ``value`` with an SI suffix: 1234 -> '1.23k'.
+
+    >>> format_si(1234)
+    '1.23k'
+    >>> format_si(0.5)
+    '0.500'
+    """
+    if value == 0:
+        return "0"
+    suffixes = ["", "k", "M", "G", "T", "P", "E"]
+    magnitude = 0
+    v = abs(value)
+    while v >= 1000 and magnitude < len(suffixes) - 1:
+        v /= 1000.0
+        magnitude += 1
+    sign = "-" if value < 0 else ""
+    return f"{sign}{v:.{digits}g}{suffixes[magnitude]}"
+
+
+def format_pow(value: int, base: int = 2) -> str:
+    """Render a huge positive integer as ``base^exponent`` (approximately).
+
+    Exact-count experiments produce numbers like q^(n^2/2); printing them in
+    positional notation is useless, so we print the exponent instead.
+
+    >>> format_pow(1024)
+    '2^10.0'
+    """
+    if value <= 0:
+        return str(value)
+    exponent = _log(value, base)
+    return f"{base}^{exponent:.1f}"
+
+
+def _log(value: int, base: int) -> float:
+    """log_base(value) that survives ints larger than float range."""
+    if value < (1 << 53):
+        return math.log(value, base)
+    bits = value.bit_length()
+    # value = mantissa * 2^(bits-53) with mantissa in [2^52, 2^53)
+    mantissa = value >> (bits - 53)
+    return (math.log(mantissa, 2) + (bits - 53)) / math.log(base, 2)
+
+
+def log2_big(value: int) -> float:
+    """Accurate ``log2`` of an arbitrarily large positive integer."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return _log(value, 2)
+
+
+class Table:
+    """Accumulate rows, render aligned plain text.
+
+    >>> t = Table(["n", "bits"], title="demo")
+    >>> t.add_row([3, 18])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    n | bits
+    --+-----
+    3 | 18
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row (one value per column; floats get 4 sig figs)."""
+        row = [self._cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """The aligned plain-text table."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows), 1)
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)).rstrip()
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        body = "\n".join(lines)
+        return f"{self.title}\n{body}" if self.title else body
+
+    def print(self) -> None:
+        """Print the rendered table to stdout."""
+        print(self.render())
+
+    def as_dicts(self) -> list[dict[str, str]]:
+        """Rows as column-name keyed dicts (for programmatic assertions)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]

@@ -1,0 +1,140 @@
+"""Enumeration helpers used by the exhaustive truth-matrix builders.
+
+The communication-complexity experiments enumerate every assignment of the
+*free* entries of a matrix family.  Those assignments are naturally
+mixed-radix numbers (each free entry ranges over ``[0, radix)`` for its own
+radix), so the helpers here are phrased in terms of mixed-radix counting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def mixed_radix_counter(radices: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Yield every tuple ``t`` with ``0 <= t[i] < radices[i]``.
+
+    The *last* coordinate varies fastest (odometer order), matching the
+    row-major enumeration order used by :mod:`repro.comm.truth_matrix`.
+
+    >>> list(mixed_radix_counter([2, 3]))
+    [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    An empty radix list yields the single empty tuple (the unique assignment
+    of zero variables), and any radix of zero yields nothing.
+    """
+    for r in radices:
+        if r < 0:
+            raise ValueError(f"radices must be non-negative, got {r}")
+    yield from itertools.product(*(range(r) for r in radices))
+
+
+def mixed_radix_decode(index: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """Decode ``index`` into the ``index``-th tuple of :func:`mixed_radix_counter`.
+
+    This lets samplers address a random cell of an astronomically large
+    enumeration without materializing it.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    digits = [0] * len(radices)
+    for pos in range(len(radices) - 1, -1, -1):
+        r = radices[pos]
+        if r <= 0:
+            raise ValueError("all radices must be positive to decode")
+        index, digits[pos] = divmod(index, r)
+    if index:
+        raise ValueError("index out of range for the given radices")
+    return tuple(digits)
+
+
+def mixed_radix_encode(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Inverse of :func:`mixed_radix_decode`."""
+    if len(digits) != len(radices):
+        raise ValueError("digits and radices must have equal length")
+    value = 0
+    for d, r in zip(digits, radices):
+        if not 0 <= d < r:
+            raise ValueError(f"digit {d} out of range for radix {r}")
+        value = value * r + d
+    return value
+
+
+def mixed_radix_size(radices: Sequence[int]) -> int:
+    """Number of tuples :func:`mixed_radix_counter` yields (exact big int)."""
+    size = 1
+    for r in radices:
+        size *= r
+    return size
+
+
+def product_grid(**axes: Sequence[object]) -> Iterator[dict[str, object]]:
+    """Cartesian product of named parameter axes, as dicts.
+
+    Used by benchmark sweeps:
+
+    >>> rows = list(product_grid(n=[3, 5], k=[1, 2]))
+    >>> rows[0] == {"n": 3, "k": 1}
+    True
+    >>> len(rows)
+    4
+    """
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, combo))
+
+
+def take(iterable: Iterable[T], n: int) -> list[T]:
+    """First ``n`` items of ``iterable`` as a list (fewer if it is shorter)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return list(itertools.islice(iterable, n))
+
+
+def sample_distinct(
+    rng,
+    universe_size: int,
+    count: int,
+) -> list[int]:
+    """``count`` distinct integers drawn uniformly from ``range(universe_size)``.
+
+    Works for universes far too large for :func:`random.sample`'s population
+    materialization because it only ever stores the chosen set.  ``rng`` must
+    expose ``randrange`` (e.g. :class:`random.Random` or
+    :class:`repro.util.rng.ReproducibleRNG`).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count > universe_size:
+        raise ValueError(
+            f"cannot sample {count} distinct values from a universe of {universe_size}"
+        )
+    # Dense case: a partial Fisher-Yates over an explicit list is cheaper.
+    if universe_size <= 4 * count and universe_size <= 10_000_000:
+        pool = list(range(universe_size))
+        for i in range(count):
+            j = rng.randrange(i, universe_size)
+            pool[i], pool[j] = pool[j], pool[i]
+        return pool[:count]
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        chosen.add(rng.randrange(universe_size))
+    return sorted(chosen)
+
+
+def chunked(iterable: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Yield successive lists of at most ``size`` items."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    it = iter(iterable)
+    while chunk := list(itertools.islice(it, size)):
+        yield chunk
+
+
+def pairs(items: Sequence[T]) -> Iterator[tuple[T, T]]:
+    """All unordered pairs ``(items[i], items[j])`` with ``i < j``."""
+    yield from itertools.combinations(items, 2)

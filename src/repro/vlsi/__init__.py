@@ -1,0 +1,65 @@
+"""VLSI area–time substrate: simulated chips, Thompson cuts, tradeoffs.
+
+The paper's motivation ("In the design of VLSI systems … this complexity
+dictates an area × time² lower bound") made executable:
+
+* :mod:`repro.vlsi.layout` — grid chips with input ports (row-major,
+  boundary-only, scattered, column-block placements);
+* :mod:`repro.vlsi.cuts` — Thompson's even bisection found constructively;
+  a cut induces an input :class:`~repro.comm.partition.Partition`, turning
+  any chip into a two-agent protocol;
+* :mod:`repro.vlsi.tradeoffs` — AT² = Ω(k²n⁴), A·T = Ω(k^{3/2}n³),
+  T = Ω(k^{1/2}n) calculators with shape-exponent verification;
+* :mod:`repro.vlsi.chazelle_monier` — the 1985 baseline model and the
+  paper's improvement table.
+"""
+
+from repro.vlsi.layout import (
+    ChipLayout,
+    boundary_layout,
+    column_blocks_layout,
+    row_major_layout,
+    scattered_layout,
+)
+from repro.vlsi.cuts import (
+    Cut,
+    best_time_bound_over_area,
+    cut_bound_on_time,
+    thompson_cut,
+)
+from repro.vlsi.chip_sim import (
+    FunnelRun,
+    measured_vs_bound,
+    simulate_funnel,
+    sweep_heights,
+)
+from repro.vlsi.tradeoffs import VLSIBounds, empirical_exponent, shape_exponents
+from repro.vlsi.chazelle_monier import (
+    ChazelleMonierBounds,
+    Comparison,
+    boundary_area_penalty,
+    model_assumptions,
+)
+
+__all__ = [
+    "ChipLayout",
+    "boundary_layout",
+    "column_blocks_layout",
+    "row_major_layout",
+    "scattered_layout",
+    "Cut",
+    "best_time_bound_over_area",
+    "cut_bound_on_time",
+    "thompson_cut",
+    "FunnelRun",
+    "measured_vs_bound",
+    "simulate_funnel",
+    "sweep_heights",
+    "VLSIBounds",
+    "empirical_exponent",
+    "shape_exponents",
+    "ChazelleMonierBounds",
+    "Comparison",
+    "boundary_area_penalty",
+    "model_assumptions",
+]

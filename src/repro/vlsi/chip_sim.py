@@ -1,0 +1,122 @@
+"""A cycle-accurate toy chip: measure an actual (A, T) point.
+
+The tradeoff calculators in :mod:`repro.vlsi.tradeoffs` are lower bounds;
+this module builds a matching *upper-bound artifact* — a concrete simulated
+design whose measured area and cycle count realize a point near the bound,
+so the benchmark can print measured-vs-bound on the same axes.
+
+Design (deliberately simple): a **funnel chip**.  Input bits sit in
+registers on a W×H grid; every cycle, each register shifts its queued bits
+one cell toward the right edge along its row (W-wide bus of 1-bit lanes,
+i.e. ``H`` wires cross every vertical line); a decision column on the right
+edge absorbs arriving bits.  When all bits have crossed, the decision logic
+(assumed combinational, as in Thompson's model where only communication is
+charged) outputs the answer.
+
+Measured time = the exact number of shift cycles until the last bit lands.
+For a W×H funnel holding I bits this is ``W - 1 + max-queue-drain`` — the
+simulation computes it by actually moving the bits, and the A·T product can
+then be swept against the theory: widening the chip (more area) shortens
+the drain (less time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vlsi.layout import ChipLayout, row_major_layout
+
+
+@dataclass(frozen=True)
+class FunnelRun:
+    """One simulated execution of the funnel chip."""
+
+    width: int
+    height: int
+    input_bits: int
+    cycles: int
+
+    @property
+    def area(self) -> int:
+        """width x height."""
+        return self.width * self.height
+
+    @property
+    def at_product(self) -> int:
+        """A x T."""
+        return self.area * self.cycles
+
+    @property
+    def at2_product(self) -> int:
+        """A x T^2."""
+        return self.area * self.cycles * self.cycles
+
+
+def simulate_funnel(total_bits: int, height: int) -> FunnelRun:
+    """Run the funnel chip cycle by cycle and count until drained.
+
+    ``height`` is the number of parallel lanes (wires crossing any vertical
+    cut); the width is whatever is needed to seat all bits.  The simulation
+    literally moves bit tokens; the cycle count is observed, not derived.
+    """
+    if total_bits < 1 or height < 1:
+        raise ValueError("need at least one bit and one lane")
+    width = max(2, -(-total_bits // height))  # ceil division, min 2 columns
+    # queue[y][x] = number of bit tokens currently at cell (x, y).
+    queue = [[0] * width for _ in range(height)]
+    seated = 0
+    for index in range(total_bits):
+        x = index % width
+        y = (index // width) % height
+        queue[y][x] += 1
+        seated += 1
+    assert seated == total_bits
+    arrived = 0
+    cycles = 0
+    # Each cycle: the rightmost column's tokens are absorbed (one per lane
+    # per cycle — a 1-bit-per-wire channel), every other token moves right.
+    while arrived < total_bits:
+        cycles += 1
+        for y in range(height):
+            if queue[y][width - 1] > 0:
+                queue[y][width - 1] -= 1
+                arrived += 1
+        for y in range(height):
+            # Shift one token per cell toward the right (bus discipline:
+            # a cell forwards at most one token per cycle).
+            for x in range(width - 2, -1, -1):
+                if queue[y][x] > 0 and cycles >= 1:
+                    queue[y][x] -= 1
+                    queue[y][x + 1] += 1
+        if cycles > 10 * (total_bits + width):
+            raise AssertionError("funnel failed to drain — simulation bug")
+    return FunnelRun(width, height, total_bits, cycles)
+
+
+def sweep_heights(total_bits: int, heights) -> list[FunnelRun]:
+    """The area–time sweep: taller chips (more wires) drain faster."""
+    return [simulate_funnel(total_bits, h) for h in heights]
+
+
+def measured_vs_bound(total_bits: int, comm_lower_bound: float, heights) -> list[dict]:
+    """For each design point: measured A, T, A·T² alongside the
+    Thompson-style floor ``T ≥ comm / (wires at the cut)`` (wires = height)."""
+    rows = []
+    for run in sweep_heights(total_bits, heights):
+        floor = comm_lower_bound / run.height
+        rows.append(
+            {
+                "height": run.height,
+                "area": run.area,
+                "cycles": run.cycles,
+                "time_floor": floor,
+                "at2": run.at2_product,
+                "respects_floor": run.cycles >= floor - 1e-9,
+            }
+        )
+    return rows
+
+
+def layout_of(run: FunnelRun) -> ChipLayout:
+    """The funnel's port layout (for feeding the cut machinery)."""
+    return row_major_layout(run.input_bits, width=run.width)

@@ -1,0 +1,119 @@
+"""Simulated VLSI chip layouts (Thompson's grid model).
+
+The paper's area–time corollaries rest on Thompson (1979): a chip computing
+f in a two-dimensional layout of area A can be cut into two parts receiving
+about half the input bits each, with only O(√A) wires crossing the cut —
+hence T ≥ Comm(f)/O(√A).  We *simulate* the hardware side (the substitution
+for real chips): a chip is a W×H grid of unit cells; input bits are assigned
+to port cells; wires run along grid edges.  Cutting along a (possibly once-
+jogged) vertical line severs at most ``height + 1`` edges, and a jog
+position always exists that splits the ports exactly evenly — which the cut
+search below finds constructively rather than by citation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.comm.partition import Partition
+
+
+@dataclass(frozen=True)
+class ChipLayout:
+    """A rectangular grid chip with input ports.
+
+    Attributes:
+        width, height: grid dimensions; area = width · height.
+        ports: ports[bit position] = (x, y) cell holding that input bit.
+            Multiple bits may share a cell (a cell can hold a register of
+            several bits); the cut argument only needs positions.
+    """
+
+    width: int
+    height: int
+    ports: tuple[tuple[int, int], ...]
+
+    def __post_init__(self):
+        if self.width < 1 or self.height < 1:
+            raise ValueError("chip dimensions must be positive")
+        for x, y in self.ports:
+            if not (0 <= x < self.width and 0 <= y < self.height):
+                raise ValueError(f"port cell ({x}, {y}) outside the chip")
+
+    @property
+    def area(self) -> int:
+        """width x height."""
+        return self.width * self.height
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input bits placed on the chip."""
+        return len(self.ports)
+
+    def oriented_tall(self) -> "ChipLayout":
+        """Rotate so height ≤ width (cut across the shorter dimension)."""
+        if self.height <= self.width:
+            return self
+        return ChipLayout(
+            self.height, self.width, tuple((y, x) for x, y in self.ports)
+        )
+
+
+# ----------------------------------------------------------------------
+# Placement strategies
+# ----------------------------------------------------------------------
+def row_major_layout(total_bits: int, width: int | None = None) -> ChipLayout:
+    """Bits packed row-major into a near-square grid (the generic chip)."""
+    if total_bits < 1:
+        raise ValueError("need at least one input bit")
+    if width is None:
+        width = max(1, int(total_bits**0.5))
+    height = (total_bits + width - 1) // width
+    ports = tuple((i % width, i // width) for i in range(total_bits))
+    return ChipLayout(width, height, ports)
+
+
+def boundary_layout(total_bits: int) -> ChipLayout:
+    """All ports on the chip boundary — Chazelle–Monier's assumption.
+
+    The perimeter must hold every port, so the side length grows linearly in
+    the bit count (area Θ(I²) unless the interior is used for logic only).
+    """
+    if total_bits < 1:
+        raise ValueError("need at least one input bit")
+    side = max(2, (total_bits + 3) // 4 + 1)
+    cells: list[tuple[int, int]] = []
+    for x in range(side):
+        cells.append((x, 0))
+    for y in range(1, side):
+        cells.append((side - 1, y))
+    for x in range(side - 2, -1, -1):
+        cells.append((x, side - 1))
+    for y in range(side - 2, 0, -1):
+        cells.append((0, y))
+    if total_bits > len(cells):
+        raise ValueError("perimeter too short — widen the chip")
+    return ChipLayout(side, side, tuple(cells[:total_bits]))
+
+
+def scattered_layout(rng, total_bits: int, width: int, height: int) -> ChipLayout:
+    """Adversarially scattered ports on a fixed-size chip."""
+    if width * height < 1:
+        raise ValueError("chip too small")
+    ports = tuple(
+        (rng.randrange(width), rng.randrange(height)) for _ in range(total_bits)
+    )
+    return ChipLayout(width, height, ports)
+
+
+def column_blocks_layout(total_bits: int, columns: int) -> ChipLayout:
+    """Bits grouped into vertical blocks (models column-of-the-matrix
+    locality — the layout a π₀-style design would choose)."""
+    if columns < 1:
+        raise ValueError("need at least one column block")
+    per_column = (total_bits + columns - 1) // columns
+    ports = tuple(
+        (i // per_column, i % per_column) for i in range(total_bits)
+    )
+    return ChipLayout(columns, per_column, ports)

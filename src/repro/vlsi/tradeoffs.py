@@ -1,0 +1,102 @@
+"""The paper's VLSI corollaries: AT², A·T and T bounds for singularity.
+
+From Comm(singularity) = Ω(k n²) (Theorem 1.1) plus the standard chip
+inequalities:
+
+* Thompson (1979):  A·T² = Ω(Comm²) = Ω(k² n⁴);
+* Brent–Kung / Vuillemin / Yao:  A = Ω(I) = Ω(k n²)  (the chip must touch
+  every input bit);
+* combining ("AT^{2a} = Ω(I^{1+a})" with a interpolating):  minimizing A·T
+  under both constraints gives  A·T = Ω(k^{3/2} n³);
+* and at minimal area,  T = Ω(√(Comm²/A)) = Ω(k^{1/2} n).
+
+Everything is a plain calculator over (n, k) with the Ω-constants carried
+explicitly (default 1), so benchmark tables can print the paper's
+comparison against Chazelle–Monier verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VLSIBounds:
+    """All derived chip bounds for one (n, k) and one Ω-constant."""
+
+    n: int
+    k: int
+    comm_constant: float = 1.0  # Comm >= comm_constant * k * n^2
+
+    @property
+    def comm_bits(self) -> float:
+        """The Theorem 1.1 information bound the chip must move."""
+        return self.comm_constant * self.k * self.n**2
+
+    @property
+    def input_bits(self) -> int:
+        """I = k · (2n)² — every input bit must be read."""
+        return self.k * (2 * self.n) ** 2
+
+    def at2(self) -> float:
+        """A·T² ≥ Comm² = Ω(k² n⁴)."""
+        return self.comm_bits**2
+
+    def area(self) -> float:
+        """A ≥ I = Ω(k n²)."""
+        return float(self.input_bits)
+
+    def at(self) -> float:
+        """A·T ≥ Comm · √I = Ω(k^{3/2} n³).
+
+        Derivation: T ≥ Comm/√A (Thompson), so A·T ≥ Comm·√A ≥ Comm·√I.
+        """
+        return self.comm_bits * self.input_bits**0.5
+
+    def time_at_area(self, area: float) -> float:
+        """T ≥ Comm/√A for a chip of the given area."""
+        if area < self.input_bits:
+            raise ValueError("area below the Ω(I) floor is impossible")
+        return self.comm_bits / area**0.5
+
+    def min_time(self) -> float:
+        """T at the minimum legal area: Ω(k^{1/2} n)."""
+        return self.time_at_area(self.area())
+
+    def at_general_alpha(self, alpha: float) -> float:
+        """The interpolated family A·T^{2α} = Ω(I^{1+α}), 0 ≤ α ≤ 1.
+
+        α = 0 recovers A = Ω(I); α = 1 gives A·T² = Ω(I²) (with I in place
+        of Comm — the weaker generic form the introduction quotes).
+        """
+        if not 0 <= alpha <= 1:
+            raise ValueError("alpha must lie in [0, 1]")
+        return float(self.input_bits) ** (1 + alpha)
+
+
+def shape_exponents() -> dict[str, tuple[float, float]]:
+    """The (k-exponent, n-exponent) of each bound — the 'shape' the
+    reproduction must match (asserted by tests via finite differencing)."""
+    return {
+        "comm": (1.0, 2.0),
+        "at2": (2.0, 4.0),
+        "area": (1.0, 2.0),
+        "at": (1.5, 3.0),
+        "min_time": (0.5, 1.0),
+    }
+
+
+def empirical_exponent(values: list[float], params: list[float]) -> float:
+    """Least-squares slope of log(value) vs log(param) — how benchmarks
+    verify the exponents in :func:`shape_exponents` from computed tables."""
+    import math
+
+    if len(values) != len(params) or len(values) < 2:
+        raise ValueError("need at least two matched samples")
+    xs = [math.log(p) for p in params]
+    ys = [math.log(v) for v in values]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den

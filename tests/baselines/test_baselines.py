@@ -1,0 +1,145 @@
+"""Tests for the prior-work baseline calculators."""
+
+import pytest
+
+from repro.baselines.jaja_kumar import (
+    decision_from_solver,
+    decision_matches_ground_truth,
+    output_bits_of_solving,
+    solving_bound_bits,
+)
+from repro.baselines.lin_wu import (
+    matmul_cc_bound_bits,
+    rank_deficit,
+    rank_half_instance,
+    why_it_stops_at_half,
+)
+from repro.baselines.lovasz_saks import (
+    find_meet_closure_failure,
+    fixed_partition_bound_bits,
+    join_closed,
+    lattice_size,
+    meet_closure_failure_example,
+    unrestricted_bound_bits,
+)
+from repro.baselines.savage import (
+    lin_wu_bound_bits,
+    output_counting_argument,
+    savage_bound_bits,
+    sharpening_factor,
+)
+from repro.baselines.vuillemin import (
+    best_known_identity_embedding_bits,
+    embedding_is_correct,
+    embedding_matrix,
+    gap_to_theorem,
+    transitivity_bound,
+)
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular, rank
+from repro.exact.vector import Vector
+from repro.util.rng import ReproducibleRNG
+
+
+class TestVuillemin:
+    def test_transitivity_bound(self):
+        assert transitivity_bound(10) == 100.0
+        with pytest.raises(ValueError):
+            transitivity_bound(-1)
+
+    def test_embedding_size(self):
+        assert best_known_identity_embedding_bits(7, 2) == 14
+
+    def test_embedding_completeness(self):
+        # Equal columns force singularity.
+        x = [1, 2, 3, 4]
+        assert embedding_is_correct(x, x)
+        assert is_singular(embedding_matrix(x, x))
+
+    def test_embedding_one_sidedness(self):
+        # The obstruction: unequal yet dependent columns are also singular.
+        x = [1, 2, 3, 4]
+        y = [2, 4, 6, 8]
+        assert x != y
+        assert is_singular(embedding_matrix(x, y))
+
+    def test_gap_is_quadratic_in_n(self):
+        assert gap_to_theorem(100, 4) == pytest.approx(100.0**2)
+
+    def test_embedding_validation(self):
+        with pytest.raises(ValueError):
+            embedding_matrix([1, 2], [1, 2])
+
+
+class TestLinWuSavage:
+    def test_bound_values(self):
+        assert matmul_cc_bound_bits(10, 3) == 300.0
+        assert savage_bound_bits(10) == 100.0
+        assert lin_wu_bound_bits(10, 3) == 300.0
+        assert sharpening_factor(10, 3) == 3.0
+        assert output_counting_argument(10) == 100
+
+    def test_rank_deficit_zero_iff_product(self):
+        rng = ReproducibleRNG(0)
+        a = Matrix.random_kbit(rng, 3, 3, 2)
+        b = Matrix.random_kbit(rng, 3, 3, 2)
+        assert rank_deficit(a, b, a @ b) == 0
+        wrong = (a @ b).with_entry(0, 0, (a @ b)[0, 0] + 1)
+        assert rank_deficit(a, b, wrong) >= 1
+
+    def test_rank_half_instance_range(self):
+        rng = ReproducibleRNG(1)
+        a = Matrix.random_kbit(rng, 3, 3, 2)
+        b = Matrix.random_kbit(rng, 3, 3, 2)
+        c = Matrix.random_kbit(rng, 3, 3, 2)
+        assert 3 <= rank(rank_half_instance(a, b, c)) <= 6
+
+    def test_explanation_mentions_the_gap(self):
+        text = why_it_stops_at_half(5)
+        assert "rank" in text and "Theorem 1.1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            savage_bound_bits(0)
+        with pytest.raises(ValueError):
+            lin_wu_bound_bits(1, 0)
+
+
+class TestJaJaKumar:
+    def test_bound_values(self):
+        assert solving_bound_bits(10, 2) == 200.0
+        assert output_bits_of_solving(10, 2) == 20
+
+    def test_solver_gives_decision(self):
+        rng = ReproducibleRNG(2)
+        for _ in range(10):
+            a = Matrix.random_kbit(rng, 3, 3, 2)
+            b = Vector([rng.kbit_entry(2) for _ in range(3)])
+            assert decision_matches_ground_truth(a, b)
+
+    def test_unsolvable_case(self):
+        a = Matrix([[1, 1], [1, 1]])
+        assert decision_from_solver(a, Vector([0, 1])) is False
+
+
+class TestLovaszSaks:
+    def test_lattice_size_and_bound(self):
+        xs = [Vector([1, 0]), Vector([0, 1])]
+        assert lattice_size(xs) == 4
+        assert fixed_partition_bound_bits(xs) == pytest.approx(2.0)
+
+    def test_join_closed_always(self):
+        xs = [Vector([1, 0, 0]), Vector([0, 1, 0]), Vector([1, 1, 1])]
+        assert join_closed(xs)
+
+    def test_meet_closure_failure(self):
+        vectors, v1, v2 = meet_closure_failure_example()
+        failure = find_meet_closure_failure(vectors)
+        assert failure is not None
+
+    def test_meet_closed_small_example(self):
+        xs = [Vector([1, 0]), Vector([0, 1])]
+        assert find_meet_closure_failure(xs) is None
+
+    def test_unrestricted_bound(self):
+        assert unrestricted_bound_bits(10, 3) == 300.0

@@ -1,0 +1,127 @@
+"""Tests for the matrix bit codec."""
+
+import pytest
+
+from repro.comm.bits import MatrixBitCodec, bits_to_int, int_to_bits
+from repro.exact.matrix import Matrix
+from repro.util.rng import ReproducibleRNG
+
+
+class TestIntBits:
+    def test_roundtrip(self):
+        for value in (0, 1, 5, 255):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_lsb_first(self):
+        assert int_to_bits(1, 3) == (1, 0, 0)
+        assert int_to_bits(4, 3) == (0, 0, 1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+
+class TestCodec:
+    def test_total_bits(self):
+        assert MatrixBitCodec(3, 4, 2).total_bits == 24
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MatrixBitCodec(0, 1, 1)
+        with pytest.raises(ValueError):
+            MatrixBitCodec(1, 1, 0)
+
+    def test_encode_decode_roundtrip(self):
+        rng = ReproducibleRNG(0)
+        codec = MatrixBitCodec(3, 3, 3)
+        for _ in range(10):
+            m = Matrix.random_kbit(rng, 3, 3, 3)
+            assert codec.decode(codec.encode(m)) == m
+
+    def test_encode_shape_check(self):
+        codec = MatrixBitCodec(2, 2, 1)
+        with pytest.raises(ValueError):
+            codec.encode(Matrix.identity(3))
+
+    def test_encode_range_check(self):
+        codec = MatrixBitCodec(1, 1, 2)
+        with pytest.raises(ValueError):
+            codec.encode(Matrix([[4]]))
+
+    def test_decode_length_check(self):
+        with pytest.raises(ValueError):
+            MatrixBitCodec(2, 2, 1).decode([0, 1])
+
+    def test_bit_index_inverse(self):
+        codec = MatrixBitCodec(3, 4, 2)
+        for p in range(codec.total_bits):
+            i, j, b = codec.entry_of_bit(p)
+            assert codec.bit_index(i, j, b) == p
+
+    def test_bit_index_bounds(self):
+        codec = MatrixBitCodec(2, 2, 2)
+        with pytest.raises(ValueError):
+            codec.bit_index(2, 0, 0)
+        with pytest.raises(ValueError):
+            codec.bit_index(0, 0, 2)
+        with pytest.raises(ValueError):
+            codec.entry_of_bit(codec.total_bits)
+
+    def test_entry_positions(self):
+        codec = MatrixBitCodec(2, 2, 3)
+        assert list(codec.entry_positions(0, 1)) == [3, 4, 5]
+
+    def test_block_positions(self):
+        codec = MatrixBitCodec(2, 2, 1)
+        assert codec.block_positions([0], [0, 1]) == frozenset({0, 1})
+
+    def test_column_positions_cover_pi0(self):
+        codec = MatrixBitCodec(4, 4, 1)
+        left = codec.column_positions(range(2))
+        assert len(left) == 8
+        for p in left:
+            _, j, _ = codec.entry_of_bit(p)
+            assert j < 2
+
+    def test_row_positions(self):
+        codec = MatrixBitCodec(4, 4, 1)
+        top = codec.row_positions(range(2))
+        assert len(top) == 8
+
+    def test_decode_partial(self):
+        codec = MatrixBitCodec(2, 2, 1)
+        m = codec.decode_partial({0: 1, 3: 1})
+        assert m == Matrix([[1, 0], [0, 1]])
+        with pytest.raises(ValueError):
+            codec.decode_partial({99: 1})
+
+
+class TestPositionPermutation:
+    def test_identity_permutation(self):
+        codec = MatrixBitCodec(3, 3, 2)
+        sigma = codec.position_permutation(list(range(3)), list(range(3)))
+        assert sigma == list(range(codec.total_bits))
+
+    def test_consistency_with_matrix_permutation(self):
+        rng = ReproducibleRNG(1)
+        codec = MatrixBitCodec(3, 3, 2)
+        m = Matrix.random_kbit(rng, 3, 3, 2)
+        row_perm = rng.permutation(3)
+        col_perm = rng.permutation(3)
+        permuted = m.permute_rows(row_perm).permute_cols(col_perm)
+        sigma = codec.position_permutation(row_perm, col_perm)
+        original_bits = codec.encode(m)
+        permuted_bits = codec.encode(permuted)
+        for p in range(codec.total_bits):
+            assert permuted_bits[sigma[p]] == original_bits[p]
+
+    def test_rejects_non_permutations(self):
+        codec = MatrixBitCodec(2, 2, 1)
+        with pytest.raises(ValueError):
+            codec.position_permutation([0, 0], [0, 1])
+        with pytest.raises(ValueError):
+            codec.position_permutation([0, 1], [1, 1])

@@ -1,0 +1,93 @@
+"""Tests for the bit channel and transcripts."""
+
+import pytest
+
+from repro.comm.channel import BitChannel, ChannelClosed, Message, Transcript
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Message(2, (0, 1))
+        with pytest.raises(ValueError):
+            Message(0, (0, 2))
+
+    def test_len(self):
+        assert len(Message(0, (1, 0, 1))) == 3
+
+
+class TestTranscript:
+    def test_total_bits(self):
+        t = Transcript([Message(0, (1, 1)), Message(1, (0,))])
+        assert t.total_bits == 3
+
+    def test_rounds_counts_sender_runs(self):
+        t = Transcript(
+            [
+                Message(0, (1,)),
+                Message(0, (1,)),
+                Message(1, (0,)),
+                Message(0, (1,)),
+            ]
+        )
+        assert t.rounds == 3
+
+    def test_bits_from(self):
+        t = Transcript([Message(0, (1, 1)), Message(1, (0, 0, 0))])
+        assert t.bits_from(0) == 2
+        assert t.bits_from(1) == 3
+
+    def test_as_bit_string(self):
+        t = Transcript([Message(0, (1, 0)), Message(1, (1,))])
+        assert t.as_bit_string() == "101"
+
+
+class TestBitChannel:
+    def test_send_recv_order(self):
+        ch = BitChannel()
+        ch.send(0, [1, 0, 1])
+        assert ch.available(1) == 3
+        assert ch.recv(1, 2) == (1, 0)
+        assert ch.recv(1, 1) == (1,)
+        assert ch.drained()
+
+    def test_duplex_independence(self):
+        ch = BitChannel()
+        ch.send(0, [1])
+        ch.send(1, [0, 0])
+        assert ch.available(0) == 2
+        assert ch.available(1) == 1
+
+    def test_recv_underflow_blocks(self):
+        ch = BitChannel()
+        ch.send(0, [1])
+        with pytest.raises(BlockingIOError):
+            ch.recv(1, 2)
+
+    def test_recv_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitChannel().recv(0, -1)
+
+    def test_only_bits_allowed(self):
+        with pytest.raises(ValueError):
+            BitChannel().send(0, [2])
+
+    def test_transcript_records_everything(self):
+        ch = BitChannel()
+        ch.send(0, [1, 1])
+        ch.send(1, [0])
+        assert ch.total_bits == 3
+        assert ch.transcript.messages[0].sender == 0
+
+    def test_closed_channel_rejects(self):
+        ch = BitChannel()
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.send(0, [1])
+        with pytest.raises(ChannelClosed):
+            ch.recv(0, 0)
+
+    def test_drained_false_with_pending(self):
+        ch = BitChannel()
+        ch.send(0, [1])
+        assert not ch.drained()

@@ -1,0 +1,91 @@
+"""Tests for the discrepancy method (randomized lower bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.discrepancy import (
+    discrepancy_exact,
+    discrepancy_report,
+    discrepancy_spectral_bound,
+    inner_product_matrix,
+    randomized_lower_bound_bits,
+)
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def tm_from(array) -> TruthMatrix:
+    a = np.array(array, dtype=np.uint8)
+    return TruthMatrix(a, tuple(range(a.shape[0])), tuple(range(a.shape[1])))
+
+
+class TestExactDiscrepancy:
+    def test_constant_matrix_maximal(self):
+        # The full rectangle of a constant function is fully unbalanced.
+        assert discrepancy_exact(tm_from([[1, 1], [1, 1]])) == 1.0
+        assert discrepancy_exact(tm_from([[0, 0], [0, 0]])) == 1.0
+
+    def test_xor_balanced(self):
+        # XOR's 2x2 matrix: any single cell gives |±1|/4 = 0.25; the best
+        # rectangle is a single row/column pair... compute: rows {0}: sums
+        # (+1, -1) -> best 0.25.  Full matrix balances to 0.
+        assert discrepancy_exact(tm_from([[0, 1], [1, 0]])) == 0.25
+
+    def test_ip_discrepancy_shrinks(self):
+        d2 = discrepancy_exact(inner_product_matrix(2))
+        d3 = discrepancy_exact(inner_product_matrix(3))
+        assert d3 < d2
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            discrepancy_exact(tm_from(np.zeros((20, 2), dtype=np.uint8)))
+
+
+class TestSpectralBound:
+    def test_upper_bounds_exact(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            data = rng.integers(0, 2, size=(6, 6)).astype(np.uint8)
+            tm = tm_from(data)
+            assert discrepancy_exact(tm) <= discrepancy_spectral_bound(tm) + 1e-9
+
+    def test_ip_spectral_value(self):
+        # IP_b's ±1 matrix has all singular values 2^{b/2}:
+        # spectral bound = 2^{b/2}/2^b = 2^{-b/2}.
+        for b in (2, 3, 4):
+            bound = discrepancy_spectral_bound(inner_product_matrix(b))
+            assert bound == pytest.approx(2 ** (-b / 2), rel=1e-9)
+
+
+class TestRandomizedLowerBound:
+    def test_formula(self):
+        assert randomized_lower_bound_bits(2**-10, epsilon=0.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randomized_lower_bound_bits(0.1, epsilon=0.5)
+        with pytest.raises(ValueError):
+            randomized_lower_bound_bits(0.0)
+
+    def test_ip_randomized_bound_grows(self):
+        bounds = [
+            discrepancy_report(inner_product_matrix(b))["randomized_lower_bound"]
+            for b in (2, 3, 4)
+        ]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_report_keys(self):
+        report = discrepancy_report(inner_product_matrix(2))
+        assert set(report) == {
+            "discrepancy",
+            "spectral_bound",
+            "randomized_lower_bound",
+        }
+
+    def test_eq_has_high_discrepancy(self):
+        # EQ's huge 0-rectangles make its discrepancy large — discrepancy
+        # cannot prove good randomized bounds for EQ (and indeed R(EQ) is
+        # O(1) public-coin, so the method is rightly powerless).
+        eq = tm_from(np.eye(8, dtype=np.uint8))
+        report = discrepancy_report(eq)
+        assert report["discrepancy"] > 0.5
+        assert report["randomized_lower_bound"] < 1.0

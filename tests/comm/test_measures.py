@@ -1,0 +1,127 @@
+"""Tests for lower-bound measures (Yao, fooling sets, rank, counting)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm.measures import (
+    counting_bound,
+    counting_bound_on_matrix,
+    fooling_set_bound,
+    greedy_fooling_set,
+    is_fooling_set,
+    rank_bound,
+    rectangle_partition_lower_bound_from_rank,
+    summary,
+    truth_matrix_rank,
+    yao_bound,
+)
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def tm_from(array) -> TruthMatrix:
+    a = np.array(array, dtype=np.uint8)
+    return TruthMatrix(
+        a,
+        tuple(range(a.shape[0])),
+        tuple(range(a.shape[1])),
+    )
+
+
+IDENTITY8 = tm_from(np.eye(8, dtype=np.uint8))
+
+
+class TestRankBound:
+    def test_identity_full_rank(self):
+        assert truth_matrix_rank(IDENTITY8) == 8
+        assert rank_bound(IDENTITY8) == pytest.approx(3.0)
+
+    def test_rank_deficient(self):
+        tm = tm_from([[1, 1], [1, 1]])
+        assert truth_matrix_rank(tm) == 1
+        assert rank_bound(tm) == 0.0
+
+    def test_zero_matrix(self):
+        tm = tm_from([[0, 0], [0, 0]])
+        assert truth_matrix_rank(tm) == 0
+
+
+class TestFoolingSets:
+    def test_diagonal_is_fooling_set(self):
+        pairs = [(i, i) for i in range(8)]
+        assert is_fooling_set(IDENTITY8, pairs)
+
+    def test_non_fooling_rejected(self):
+        tm = tm_from([[1, 1], [1, 1]])
+        assert not is_fooling_set(tm, [(0, 0), (1, 1)])
+
+    def test_pairs_must_hit_value(self):
+        assert not is_fooling_set(IDENTITY8, [(0, 1)])
+
+    def test_greedy_finds_diagonal(self):
+        found = greedy_fooling_set(IDENTITY8)
+        assert len(found) == 8
+        assert is_fooling_set(IDENTITY8, found)
+
+    def test_greedy_zero_chromatic(self):
+        tm = tm_from([[0, 1], [1, 0]])
+        found = greedy_fooling_set(tm, value=0)
+        assert is_fooling_set(tm, found, value=0)
+
+    def test_fooling_bound_eq(self):
+        assert fooling_set_bound(IDENTITY8) == pytest.approx(3.0)
+
+    def test_fooling_bound_no_ones(self):
+        assert fooling_set_bound(tm_from([[0]])) == 0.0
+
+
+class TestCountingBound:
+    def test_basic_ratio(self):
+        assert counting_bound(1024, 2) == pytest.approx(9.0)
+
+    def test_zero_ones(self):
+        assert counting_bound(0, 5) == 0.0
+
+    def test_rejects_zero_rectangle(self):
+        with pytest.raises(ValueError):
+            counting_bound(10, 0)
+
+    def test_big_int_exactness(self):
+        # Values beyond float range must not overflow.
+        huge = 3 ** (10**4)
+        bound = counting_bound(huge, 3)
+        assert bound == pytest.approx((10**4 - 1) * math.log2(3), rel=1e-9)
+
+    def test_on_matrix_identity(self):
+        # EQ_n: N ones = n, max 1-rect = 1 -> bound = log2 n.
+        assert counting_bound_on_matrix(IDENTITY8) == pytest.approx(3.0)
+
+    def test_on_matrix_no_ones(self):
+        assert counting_bound_on_matrix(tm_from([[0]])) == 0.0
+
+
+class TestYao:
+    def test_bound_formula(self):
+        assert yao_bound(16) == pytest.approx(2.0)
+        assert yao_bound(1) == 0.0
+        with pytest.raises(ValueError):
+            yao_bound(0)
+
+    def test_rank_lower_bounds_partition_number(self):
+        assert rectangle_partition_lower_bound_from_rank(IDENTITY8) == 8
+
+
+class TestSummary:
+    def test_keys_present(self):
+        s = summary(IDENTITY8)
+        assert set(s) == {
+            "rows",
+            "cols",
+            "ones",
+            "rank",
+            "rank_bound",
+            "fooling_bound",
+            "counting_bound",
+        }
+        assert s["ones"] == 8

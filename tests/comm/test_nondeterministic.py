@@ -1,0 +1,91 @@
+"""Tests for nondeterministic cover numbers."""
+
+import numpy as np
+import pytest
+
+from repro.comm.exhaustive import communication_complexity
+from repro.comm.nondeterministic import (
+    aho_ullman_yannakakis_gap,
+    certificate_asymmetry_on_eq,
+    cover_number_exact,
+    cover_number_greedy,
+    nondeterministic_cc,
+)
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def tm_from(array) -> TruthMatrix:
+    a = np.array(array, dtype=np.uint8)
+    return TruthMatrix(a, tuple(range(a.shape[0])), tuple(range(a.shape[1])))
+
+
+class TestExactCover:
+    def test_constant_one(self):
+        assert cover_number_exact(tm_from([[1, 1], [1, 1]])) == 1
+
+    def test_no_ones(self):
+        assert cover_number_exact(tm_from([[0, 0], [0, 0]])) == 0
+
+    def test_identity_needs_n(self):
+        # The diagonal is a fooling set: every 1 needs its own rectangle.
+        for n in (2, 3, 4, 5):
+            assert cover_number_exact(tm_from(np.eye(n, dtype=np.uint8))) == n
+
+    def test_overlap_beats_partition(self):
+        # A plus-shaped pattern: cover with 2 overlapping rectangles, but a
+        # disjoint partition needs 3.
+        plus = tm_from([[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+        assert cover_number_exact(plus) == 2
+
+    def test_zero_cover(self):
+        xor = tm_from([[0, 1], [1, 0]])
+        assert cover_number_exact(xor, value=0) == 2
+
+    def test_size_guard(self):
+        big = tm_from(np.ones((13, 2), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            cover_number_exact(big)
+
+
+class TestGreedyCover:
+    def test_greedy_upper_bounds_exact(self):
+        import numpy.random as npr
+
+        rng = npr.default_rng(0)
+        for _ in range(10):
+            data = rng.integers(0, 2, size=(6, 6)).astype(np.uint8)
+            tm = tm_from(data)
+            if tm.ones_count() == 0:
+                continue
+            assert cover_number_greedy(tm) >= cover_number_exact(tm)
+
+    def test_greedy_constant(self):
+        assert cover_number_greedy(tm_from([[1, 1], [1, 1]])) == 1
+
+    def test_greedy_empty(self):
+        assert cover_number_greedy(tm_from([[0]])) == 0
+
+
+class TestNondeterministicCC:
+    def test_eq_values(self):
+        eq4 = tm_from(np.eye(4, dtype=np.uint8))
+        assert nondeterministic_cc(eq4, 1) == pytest.approx(2.0)
+
+    def test_lower_bounds_deterministic(self):
+        # max(N0, N1) <= D on canonical small functions.
+        for data in ([[0, 1], [1, 0]], [[0, 0], [0, 1]], np.eye(4).tolist()):
+            tm = tm_from(data)
+            d = communication_complexity(tm)
+            assert nondeterministic_cc(tm, 1) <= d + 1e-9
+            assert nondeterministic_cc(tm, 0) <= d + 1e-9
+
+    def test_auy_gap(self):
+        n0, n1, d = aho_ullman_yannakakis_gap(tm_from(np.eye(4, dtype=np.uint8)))
+        assert max(n0, n1) <= d
+        # The AUY upper bound D = O((N0+1)(N1+1)) at toy scale:
+        assert d <= (n0 + 1) * (n1 + 1) + 1
+
+    def test_certificate_asymmetry(self):
+        c1, c0 = certificate_asymmetry_on_eq(6)
+        assert c1 == 6  # equality certificates: one per diagonal point
+        assert c0 <= c1  # inequality certificates are never more expensive

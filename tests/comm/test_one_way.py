@@ -1,0 +1,63 @@
+"""Tests for one-way communication complexity."""
+
+import numpy as np
+import pytest
+
+from repro.comm.one_way import (
+    one_way_cc,
+    one_way_gap_example,
+    one_way_lower_bounds_two_way,
+    one_way_singularity_log2,
+)
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def tm_from(array) -> TruthMatrix:
+    a = np.array(array, dtype=np.uint8)
+    return TruthMatrix(a, tuple(range(a.shape[0])), tuple(range(a.shape[1])))
+
+
+class TestOneWayCC:
+    def test_constant_function_free(self):
+        assert one_way_cc(tm_from([[1, 1], [1, 1]])) == 0
+
+    def test_eq_needs_everything(self):
+        # EQ over 2^b values: all rows distinct -> exactly b bits one-way.
+        for b in (1, 2, 3):
+            tm = tm_from(np.eye(1 << b, dtype=np.uint8))
+            assert one_way_cc(tm, "0to1") == b
+            assert one_way_cc(tm, "1to0") == b
+
+    def test_direction_asymmetry(self):
+        # 4 distinct rows but only 2 distinct columns.
+        tm = tm_from([[0, 0], [0, 1], [1, 0], [1, 1]])
+        assert one_way_cc(tm, "0to1") == 2
+        assert one_way_cc(tm, "1to0") == 1
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            one_way_cc(tm_from([[1]]), "sideways")
+
+    def test_duplicate_rows_compress(self):
+        tm = tm_from([[1, 0], [1, 0], [0, 1], [0, 1]])
+        assert one_way_cc(tm, "0to1") == 1
+
+
+class TestRelationsToTwoWay:
+    def test_sandwich_on_canonical(self):
+        for data in (np.eye(4).tolist(), [[0, 1], [1, 0]], [[0, 0], [0, 1]]):
+            assert one_way_lower_bounds_two_way(tm_from(data))
+
+    def test_index_function_gap(self):
+        one_way, two_way_upper = one_way_gap_example()
+        # INDEX with b=3: one-way must carry the whole 8-bit table.
+        assert one_way == 8
+        assert two_way_upper == 4
+        assert one_way >= 2 * two_way_upper
+
+    def test_singularity_one_way_scales_as_kn2(self):
+        small = one_way_singularity_log2(7, 2)
+        larger_n = one_way_singularity_log2(13, 2)
+        larger_k = one_way_singularity_log2(7, 5)
+        assert larger_n > 3 * small  # (n-1)^2/4 quadratic growth
+        assert larger_k > 2 * small  # log2(q) growth in k

@@ -1,0 +1,131 @@
+"""Tests for input partitions (Definition 2.1 and friends)."""
+
+import pytest
+
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.partition import (
+    Partition,
+    checkerboard,
+    from_entry_assignment,
+    interleaved,
+    pi_zero,
+    random_even_partition,
+    row_split,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestPartitionBasics:
+    def test_sizes_and_evenness(self):
+        p = Partition(10, frozenset(range(5)))
+        assert p.sizes() == (5, 5)
+        assert p.is_even()
+
+    def test_uneven(self):
+        p = Partition(10, frozenset(range(3)))
+        assert not p.is_even()
+        assert p.is_even(tolerance=4)
+
+    def test_owner(self):
+        p = Partition(4, frozenset({0, 2}))
+        assert p.owner(0) == 0 and p.owner(1) == 1
+        with pytest.raises(ValueError):
+            p.owner(4)
+
+    def test_agent1_complement(self):
+        p = Partition(6, frozenset({0, 1, 2}))
+        assert p.agent1 == frozenset({3, 4, 5})
+
+    def test_out_of_range_positions_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(4, frozenset({4}))
+
+    def test_split_input(self):
+        p = Partition(4, frozenset({0, 3}))
+        v0, v1 = p.split_input([1, 0, 1, 1])
+        assert v0 == {0: 1, 3: 1}
+        assert v1 == {1: 0, 2: 1}
+        with pytest.raises(ValueError):
+            p.split_input([1, 0])
+
+    def test_swapped(self):
+        p = Partition(4, frozenset({0}))
+        assert p.swapped().agent0 == frozenset({1, 2, 3})
+
+    def test_relabel(self):
+        p = Partition(3, frozenset({0}))
+        relabeled = p.relabel([2, 0, 1])  # position 0 -> 2
+        assert relabeled.agent0 == frozenset({2})
+        with pytest.raises(ValueError):
+            p.relabel([0, 0, 1])
+
+
+class TestDomination:
+    def test_count_in(self):
+        p = Partition(6, frozenset({0, 1, 2}))
+        assert p.count_in([0, 1, 5]) == (2, 1)
+
+    def test_dominates(self):
+        p = Partition(6, frozenset({0, 1, 2}))
+        assert p.dominates(0, [0, 1, 5])
+        assert not p.dominates(1, [0, 1, 5])
+        # Exactly half counts as dominating for both (the paper's >= 1/2).
+        assert p.dominates(0, [0, 5])
+        assert p.dominates(1, [0, 5])
+
+    def test_fraction_read(self):
+        p = Partition(6, frozenset({0, 1, 2}))
+        assert p.fraction_read(0, [0, 1, 3, 4]) == 0.5
+        assert p.fraction_read(1, []) == 1.0
+
+
+class TestCanonicalPartitions:
+    def test_pi_zero_definition(self):
+        codec = MatrixBitCodec(6, 6, 2)
+        p = pi_zero(codec)
+        assert p.is_even()
+        for position in p.agent0:
+            _, j, _ = codec.entry_of_bit(position)
+            assert j < 3
+
+    def test_pi_zero_needs_even_square(self):
+        with pytest.raises(ValueError):
+            pi_zero(MatrixBitCodec(3, 3, 1))
+        with pytest.raises(ValueError):
+            pi_zero(MatrixBitCodec(4, 6, 1))
+
+    def test_row_split(self):
+        codec = MatrixBitCodec(4, 4, 1)
+        p = row_split(codec)
+        assert p.is_even()
+        for position in p.agent0:
+            i, _, _ = codec.entry_of_bit(position)
+            assert i < 2
+
+    def test_interleaved_even(self):
+        codec = MatrixBitCodec(4, 4, 1)
+        assert interleaved(codec).is_even()
+
+    def test_checkerboard_even(self):
+        codec = MatrixBitCodec(4, 4, 2)
+        assert checkerboard(codec).is_even()
+
+    def test_random_even(self):
+        rng = ReproducibleRNG(0)
+        codec = MatrixBitCodec(4, 4, 3)
+        for _ in range(5):
+            assert random_even_partition(rng, codec).is_even()
+
+    def test_random_even_varies(self):
+        rng = ReproducibleRNG(1)
+        codec = MatrixBitCodec(4, 4, 2)
+        partitions = {random_even_partition(rng, codec).agent0 for _ in range(5)}
+        assert len(partitions) > 1
+
+    def test_from_entry_assignment(self):
+        codec = MatrixBitCodec(2, 2, 2)
+        p = from_entry_assignment(codec, [(0, 0), (1, 1)])
+        assert p.is_even()
+        assert set(codec.entry_positions(0, 0)) <= p.agent0
+        assert set(codec.entry_positions(1, 1)) <= p.agent0
+        assert not set(codec.entry_positions(0, 1)) & p.agent0

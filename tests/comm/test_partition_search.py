@@ -1,0 +1,76 @@
+"""Tests for the min-over-partitions search (Yao's outer minimum)."""
+
+import pytest
+
+from repro.comm.partition_search import (
+    best_partition_cc,
+    count_even_partitions,
+    even_partitions,
+    min_partition_singularity,
+    partition_sensitivity_example,
+)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert count_even_partitions(4) == 3
+        assert count_even_partitions(6) == 10
+        assert count_even_partitions(4, dedupe_symmetry=False) == 6
+
+    def test_enumeration_matches_count(self):
+        for bits in (2, 4, 6):
+            assert sum(1 for _ in even_partitions(bits)) == count_even_partitions(bits)
+
+    def test_all_even(self):
+        for p in even_partitions(6):
+            assert p.is_even()
+
+    def test_symmetry_dedupe_fixes_position_zero(self):
+        for p in even_partitions(6):
+            assert 0 in p.agent0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(even_partitions(3))
+        with pytest.raises(ValueError):
+            list(even_partitions(0))
+
+
+class TestBestPartition:
+    def test_parity_is_partition_insensitive(self):
+        result, _ = partition_sensitivity_example()
+        assert result.best_cost == result.worst_cost == 2
+        assert result.spread == 0
+
+    def test_eq_pairs_is_partition_sensitive(self):
+        _, result = partition_sensitivity_example()
+        # Natural split: D = 3 (EQ on 2 bits); matched-bit split: D = 2.
+        assert result.best_cost == 2
+        assert result.worst_cost == 3
+        assert result.spread == 1
+
+    def test_constant_function(self):
+        result = best_partition_cc(lambda bits: True, 4)
+        assert result.best_cost == result.worst_cost == 0
+
+    def test_histogram_sums(self):
+        _, result = partition_sensitivity_example()
+        assert sum(result.histogram().values()) == len(result.costs)
+
+    def test_partition_cap(self):
+        with pytest.raises(ValueError):
+            best_partition_cc(lambda bits: True, 20, max_partitions=10)
+
+
+class TestSingularityUnderAllPartitions:
+    def test_2x2_k1_exact_landscape(self):
+        result = min_partition_singularity(1)
+        # The {a,d}/{b,c} split lets each agent announce its local product:
+        # 2 bits suffice; the column split needs 3.
+        assert result.best_cost == 2
+        assert result.worst_cost == 3
+        assert result.histogram() == {2: 1, 3: 2}
+
+    def test_minimum_positive(self):
+        # Even minimized over partitions, singularity cannot be free.
+        assert min_partition_singularity(1).best_cost >= 2

@@ -1,0 +1,118 @@
+"""Property-based tests across the communication layer.
+
+Hypothesis drives random truth matrices through the whole measure stack;
+the invariants are the textbook inequalities every method must respect.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.discrepancy import discrepancy_exact, discrepancy_spectral_bound
+from repro.comm.exhaustive import communication_complexity, dedupe, partition_number
+from repro.comm.measures import truth_matrix_rank, yao_bound
+from repro.comm.nondeterministic import cover_number_exact, cover_number_greedy
+from repro.comm.one_way import one_way_cc
+from repro.comm.rectangles import (
+    greedy_monochromatic_partition,
+    max_one_rectangle_exact,
+    max_one_rectangle_greedy,
+    verify_partition,
+)
+from repro.comm.rounds import round_bounded_cc, round_profile
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def tm_strategy(max_rows: int = 5, max_cols: int = 5):
+    return st.tuples(
+        st.integers(min_value=1, max_value=max_rows),
+        st.integers(min_value=1, max_value=max_cols),
+        st.integers(min_value=0, max_value=2**30 - 1),
+    ).map(_build)
+
+
+def _build(spec):
+    rows, cols, seed = spec
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+    return TruthMatrix(
+        data, tuple(range(rows)), tuple(range(cols))
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(tm_strategy())
+def test_greedy_partition_always_tiles(tm):
+    pieces = greedy_monochromatic_partition(tm)
+    assert verify_partition(tm, pieces)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tm_strategy())
+def test_greedy_rectangle_never_beats_exact(tm):
+    exact_area, _, _ = max_one_rectangle_exact(tm)
+    greedy_area, _, _ = max_one_rectangle_greedy(tm)
+    assert greedy_area <= exact_area
+
+
+@settings(max_examples=30, deadline=None)
+@given(tm_strategy())
+def test_yao_bound_sound(tm):
+    d = communication_complexity(tm)
+    assert d >= yao_bound(partition_number(tm)) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(tm_strategy())
+def test_rank_bound_sound(tm):
+    # log2 rank <= D + 1 (rank <= #leaves <= 2^D; +1 covers the 1x... edge).
+    import math
+
+    rank = truth_matrix_rank(tm)
+    if rank > 0:
+        assert math.log2(rank) <= communication_complexity(tm) + 1 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(tm_strategy())
+def test_one_way_at_least_two_way_sandwich(tm):
+    d = communication_complexity(tm)
+    best_one_way = min(one_way_cc(tm, "0to1"), one_way_cc(tm, "1to0"))
+    # One message then receiver decides; the common-knowledge D needs at
+    # most one more bit than any one-way protocol (announce the answer).
+    assert d <= best_one_way + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(tm_strategy())
+def test_round_profile_monotone_and_bounded(tm):
+    profile = round_profile(tm, max_rounds=3)
+    assert all(a >= b for a, b in zip(profile, profile[1:]))
+    d = communication_complexity(tm)
+    assert profile[-1] <= d  # receiver-decides never exceeds common-knowledge
+
+
+@settings(max_examples=25, deadline=None)
+@given(tm_strategy(4, 4))
+def test_cover_numbers_sandwich(tm):
+    # C^1 exact <= greedy; C^1 <= number of 1s; 2^D >= C^1 (leaves cover).
+    c1 = cover_number_exact(tm, 1)
+    assert c1 <= cover_number_greedy(tm, 1)
+    assert c1 <= int(tm.ones_count())
+    assert 2 ** communication_complexity(tm) >= c1
+
+
+@settings(max_examples=25, deadline=None)
+@given(tm_strategy())
+def test_discrepancy_in_unit_interval_and_spectral_dominates(tm):
+    d = discrepancy_exact(tm)
+    assert 0 <= d <= 1
+    assert d <= discrepancy_spectral_bound(tm) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(tm_strategy())
+def test_dedupe_preserves_all_measures(tm):
+    reduced = dedupe(tm)
+    assert communication_complexity(tm) == communication_complexity(reduced)
+    assert one_way_cc(tm, "0to1") == one_way_cc(reduced, "0to1")

@@ -1,0 +1,97 @@
+"""Tests for protocol trees and their compilation to executable protocols."""
+
+import pytest
+
+from repro.comm.protocol import Leaf, Node, ProtocolTree, TreeProtocol
+
+
+def xor_tree() -> ProtocolTree:
+    """Two-bit protocol computing x XOR y (each agent holds one bit)."""
+    return ProtocolTree(
+        Node(
+            0,
+            lambda x: x,
+            Node(1, lambda y: y, Leaf(0), Leaf(1)),
+            Node(1, lambda y: y, Leaf(1), Leaf(0)),
+        )
+    )
+
+
+class TestProtocolTree:
+    def test_evaluate_xor(self):
+        tree = xor_tree()
+        for x in (0, 1):
+            for y in (0, 1):
+                value, bits = tree.evaluate(x, y)
+                assert value == x ^ y
+                assert bits == 2
+
+    def test_depth_and_leaves(self):
+        tree = xor_tree()
+        assert tree.depth() == 2
+        assert tree.leaf_count() == 4
+
+    def test_single_leaf(self):
+        tree = ProtocolTree(Leaf("constant"))
+        assert tree.evaluate("anything", "else") == ("constant", 0)
+        assert tree.depth() == 0
+        assert tree.leaf_count() == 1
+
+    def test_bad_owner_rejected(self):
+        with pytest.raises(ValueError):
+            Node(2, lambda x: 0, Leaf(0), Leaf(1))
+
+    def test_non_bit_predicate_detected(self):
+        tree = ProtocolTree(Node(0, lambda x: 5, Leaf(0), Leaf(1)))
+        with pytest.raises(ValueError):
+            tree.evaluate(0, 0)
+
+
+class TestLeafRectangles:
+    def test_leaves_induce_rectangles(self):
+        tree = xor_tree()
+        rects = tree.leaf_rectangles([0, 1], [0, 1])
+        # Four leaves, each covering exactly one cell here.
+        assert len(rects) == 4
+        for rows, cols, value in rects:
+            for x in rows:
+                for y in cols:
+                    assert tree.evaluate(x, y)[0] == value
+
+    def test_rectangles_partition_input_space(self):
+        tree = xor_tree()
+        rects = tree.leaf_rectangles([0, 1], [0, 1])
+        covered = [(x, y) for rows, cols, _ in rects for x in rows for y in cols]
+        assert sorted(covered) == sorted(
+            (x, y) for x in (0, 1) for y in (0, 1)
+        )
+
+    def test_constant_function_single_rectangle(self):
+        tree = ProtocolTree(Leaf(1))
+        rects = tree.leaf_rectangles([0, 1, 2], ["a", "b"])
+        assert len(rects) == 1
+        rows, cols, value = rects[0]
+        assert rows == {0, 1, 2} and cols == {"a", "b"} and value == 1
+
+
+class TestTreeProtocolCompilation:
+    def test_compiled_protocol_matches_tree(self):
+        tree = xor_tree()
+        protocol = tree.compile()
+        assert isinstance(protocol, TreeProtocol)
+        for x in (0, 1):
+            for y in (0, 1):
+                result = protocol.run(x, y)
+                assert result.agreed_output() == x ^ y
+                assert result.bits_exchanged == tree.evaluate(x, y)[1]
+
+    def test_worst_case_cost(self):
+        protocol = xor_tree().compile()
+        pairs = [(x, y) for x in (0, 1) for y in (0, 1)]
+        assert protocol.worst_case_cost(pairs) == 2
+
+    def test_is_correct_on(self):
+        protocol = xor_tree().compile()
+        pairs = [(x, y) for x in (0, 1) for y in (0, 1)]
+        assert protocol.is_correct_on(pairs, lambda x, y: x ^ y)
+        assert not protocol.is_correct_on(pairs, lambda x, y: x & y)

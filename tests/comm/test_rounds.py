@@ -1,0 +1,93 @@
+"""Tests for round-bounded communication complexity (receiver-decides)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.exhaustive import communication_complexity
+from repro.comm.one_way import one_way_cc
+from repro.comm.rounds import (
+    round_bounded_cc,
+    round_profile,
+    rounds_needed_for_saturation,
+)
+from repro.comm.truth_matrix import TruthMatrix
+
+
+def tm_from(array) -> TruthMatrix:
+    a = np.array(array, dtype=np.uint8)
+    return TruthMatrix(a, tuple(range(a.shape[0])), tuple(range(a.shape[1])))
+
+
+EQ4 = tm_from(np.eye(4, dtype=np.uint8))
+XOR = tm_from([[0, 1], [1, 0]])
+AND = tm_from([[0, 0], [0, 1]])
+
+
+class TestBasics:
+    def test_constant_free(self):
+        assert round_bounded_cc(tm_from([[1, 1], [1, 1]]), 1) == 0
+
+    def test_monotone_in_rounds(self):
+        for tm in (EQ4, XOR, AND):
+            profile = round_profile(tm, max_rounds=4)
+            assert all(a >= b for a, b in zip(profile, profile[1:]))
+
+    def test_limit_within_one_of_common_knowledge_d(self):
+        for tm in (EQ4, XOR, AND):
+            d = communication_complexity(tm)
+            limit_value = round_profile(tm, max_rounds=6)[-1]
+            # Receiver-decides saves at most the final answer bit.
+            assert d - 1 <= limit_value <= d
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_bounded_cc(EQ4, 0)
+        big = tm_from(np.eye(12, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            round_bounded_cc(big, 2, limit=4)
+
+
+class TestOneRound:
+    def test_one_round_equals_one_way(self):
+        for tm in (EQ4, XOR, AND):
+            best_one_way = min(one_way_cc(tm, "0to1"), one_way_cc(tm, "1to0"))
+            assert round_bounded_cc(tm, 1) == best_one_way
+
+    def test_one_round_fixed_speaker_matches_direction(self):
+        asym = tm_from([[0, 0], [0, 1], [1, 0], [1, 1]])  # 4 rows, 2 cols
+        assert round_bounded_cc(asym, 1, first_speaker=0) == one_way_cc(asym, "0to1")
+        assert round_bounded_cc(asym, 1, first_speaker=1) == one_way_cc(asym, "1to0")
+
+    def test_eq_one_round(self):
+        # Announce the full row: 2 bits; the receiver then decides.
+        assert round_bounded_cc(EQ4, 1) == 2
+
+
+class TestSaturation:
+    def test_small_functions_saturate_fast(self):
+        for tm in (EQ4, XOR, AND):
+            assert rounds_needed_for_saturation(tm) <= 2
+
+    def test_interaction_helps_some_function(self):
+        # A function where one extra round strictly reduces bits: a 4x4
+        # block function whose columns are pairwise distinct (one-way 1->0
+        # costs 2) but where rows split it into cheap halves.
+        tm = tm_from(
+            [
+                [0, 0, 1, 1],
+                [0, 0, 1, 1],
+                [0, 1, 0, 1],
+                [0, 1, 0, 1],
+            ]
+        )
+        profile = round_profile(tm, max_rounds=3)
+        assert profile[0] >= profile[-1]
+
+    def test_singularity_tiny_profile(self):
+        from repro.singularity.two_by_two import singularity_2x2_truth_matrix
+
+        tm = singularity_2x2_truth_matrix(1)
+        d = communication_complexity(tm)
+        profile = round_profile(tm, max_rounds=4)
+        assert all(a >= b for a, b in zip(profile, profile[1:]))
+        assert d - 1 <= profile[-1] <= d

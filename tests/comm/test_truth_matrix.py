@@ -1,0 +1,97 @@
+"""Tests for truth-matrix builders."""
+
+import numpy as np
+import pytest
+
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.partition import Partition, pi_zero
+from repro.comm.truth_matrix import (
+    TruthMatrix,
+    truth_matrix_from_family,
+    truth_matrix_from_function,
+    truth_matrix_from_matrix_predicate,
+)
+from repro.exact.rank import is_singular
+
+
+class TestTruthMatrixContainer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruthMatrix(np.zeros((2, 2)), ("a",), ("x", "y"))
+        with pytest.raises(ValueError):
+            TruthMatrix(np.full((1, 1), 2), ("a",), ("x",))
+
+    def test_counts(self):
+        tm = TruthMatrix(np.array([[1, 0], [1, 1]]), ("a", "b"), ("x", "y"))
+        assert tm.ones_count() == 3
+        assert tm.zeros_count() == 1
+        assert tm.ones_fraction() == 0.75
+
+    def test_submatrix_and_labels(self):
+        tm = TruthMatrix(np.array([[1, 0], [0, 1]]), ("a", "b"), ("x", "y"))
+        sub = tm.submatrix([1], [0, 1])
+        assert sub.row_labels == ("b",)
+        assert sub.value("b", "y") == 1
+
+    def test_transpose(self):
+        tm = TruthMatrix(np.array([[1, 0]]), ("a",), ("x", "y"))
+        assert tm.transpose().shape == (2, 1)
+        assert tm.transpose().row_labels == ("x", "y")
+
+    def test_distinct_rows_cols(self):
+        tm = TruthMatrix(
+            np.array([[1, 0], [1, 0], [0, 1]]), ("a", "b", "c"), ("x", "y")
+        )
+        assert tm.distinct_rows() == 2
+        assert tm.distinct_cols() == 2
+
+
+class TestFromFunction:
+    def test_and_function(self):
+        p = Partition(2, frozenset({0}))
+        tm = truth_matrix_from_function(lambda bits: bits[0] and bits[1], p)
+        assert tm.shape == (2, 2)
+        assert tm.ones_count() == 1
+        assert tm.value((1,), (1,)) == 1
+
+    def test_row_labels_enumerate_agent0(self):
+        p = Partition(3, frozenset({0, 2}))
+        tm = truth_matrix_from_function(lambda bits: True, p)
+        assert tm.shape == (4, 2)
+        assert len(set(tm.row_labels)) == 4
+
+    def test_size_guard(self):
+        p = Partition(60, frozenset(range(30)))
+        with pytest.raises(ValueError):
+            truth_matrix_from_function(lambda bits: True, p)
+
+    def test_scattered_partition_respected(self):
+        # f depends only on position 1; if agent 0 holds {1}, rows decide f.
+        p = Partition(2, frozenset({1}))
+        tm = truth_matrix_from_function(lambda bits: bool(bits[1]), p)
+        assert (tm.data[0] == tm.data[0][0]).all()
+        assert (tm.data[1] == tm.data[1][0]).all()
+        assert tm.data[0][0] != tm.data[1][0]
+
+
+class TestFromMatrixPredicate:
+    def test_singularity_2x2_1bit(self):
+        codec = MatrixBitCodec(2, 2, 1)
+        tm = truth_matrix_from_matrix_predicate(is_singular, codec, pi_zero(codec))
+        # 16 matrices total; count singular 0/1 2x2 matrices: det = ad - bc.
+        # Singular when ad == bc: enumerate -> 10.
+        assert tm.shape == (4, 4)
+        assert tm.ones_count() == 10
+
+
+class TestFromFamily:
+    def test_structured_labels(self):
+        rows = ["r0", "r1"]
+        cols = ["c0", "c1", "c2"]
+        tm = truth_matrix_from_family(
+            lambda r, c: r == "r0" and c != "c1", rows, cols
+        )
+        assert tm.shape == (2, 3)
+        assert tm.value("r0", "c0") == 1
+        assert tm.value("r0", "c1") == 0
+        assert tm.value("r1", "c2") == 0

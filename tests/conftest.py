@@ -1,0 +1,28 @@
+"""Shared fixtures: seeded RNGs and small restricted families."""
+
+import pytest
+
+from repro.singularity.family import RestrictedFamily
+from repro.util.rng import ReproducibleRNG
+
+
+@pytest.fixture
+def rng():
+    return ReproducibleRNG(12345)
+
+
+@pytest.fixture
+def family_7_2():
+    """The workhorse family: n=7, k=2 (q=3, h=3, e_width=2)."""
+    return RestrictedFamily(7, 2)
+
+
+@pytest.fixture
+def family_5_3():
+    """The smallest family with a nonempty E: n=5, k=3 (q=7, e_width=1)."""
+    return RestrictedFamily(5, 3)
+
+
+@pytest.fixture
+def family_9_2():
+    return RestrictedFamily(9, 2)

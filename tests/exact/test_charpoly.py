@@ -1,0 +1,116 @@
+"""Tests for exact characteristic polynomials (Faddeev–LeVerrier)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exact.charpoly import (
+    cayley_hamilton_holds,
+    characteristic_polynomial,
+    determinant_via_charpoly,
+    evaluate_poly_at_matrix,
+    is_singular_via_charpoly,
+    rational_eigenvalues,
+)
+from repro.exact.determinant import determinant
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular
+from repro.util.rng import ReproducibleRNG
+
+
+class TestCharacteristicPolynomial:
+    def test_identity(self):
+        # det(λI - I) = (λ-1)^2 = λ² - 2λ + 1.
+        assert characteristic_polynomial(Matrix.identity(2)) == [
+            Fraction(1),
+            Fraction(-2),
+            Fraction(1),
+        ]
+
+    def test_monic(self):
+        rng = ReproducibleRNG(0)
+        m = Matrix.random_kbit(rng, 4, 4, 2)
+        assert characteristic_polynomial(m)[-1] == 1
+
+    def test_trace_coefficient(self):
+        # The λ^{n-1} coefficient is -tr(A).
+        rng = ReproducibleRNG(1)
+        m = Matrix.random_kbit(rng, 3, 3, 3)
+        p = characteristic_polynomial(m)
+        assert p[2] == -m.trace()
+
+    def test_constant_term_is_signed_det(self):
+        rng = ReproducibleRNG(2)
+        for n in (2, 3, 4):
+            m = Matrix.random_kbit(rng, n, n, 2)
+            p = characteristic_polynomial(m)
+            assert p[0] == (-1) ** n * determinant(m)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            characteristic_polynomial(Matrix([[1, 2]]))
+
+
+class TestDeterminantAndSingularity:
+    def test_det_engine_agreement(self):
+        rng = ReproducibleRNG(3)
+        for _ in range(15):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert determinant_via_charpoly(m) == determinant(m)
+
+    def test_singularity_oracle(self):
+        rng = ReproducibleRNG(4)
+        for _ in range(15):
+            m = Matrix.random_kbit(rng, 3, 3, 2)
+            assert is_singular_via_charpoly(m) == is_singular(m)
+
+
+class TestCayleyHamilton:
+    def test_random_matrices(self):
+        rng = ReproducibleRNG(5)
+        for n in (2, 3, 4):
+            m = Matrix.random_kbit(rng, n, n, 3)
+            assert cayley_hamilton_holds(m)
+
+    def test_rational_matrix(self):
+        m = Matrix([[Fraction(1, 2), 1], [0, Fraction(1, 3)]])
+        assert cayley_hamilton_holds(m)
+
+    def test_poly_evaluation(self):
+        # p(x) = x² evaluated at A is A @ A.
+        rng = ReproducibleRNG(6)
+        a = Matrix.random_kbit(rng, 3, 3, 2)
+        assert evaluate_poly_at_matrix(
+            [Fraction(0), Fraction(0), Fraction(1)], a
+        ) == a @ a
+
+
+class TestRationalEigenvalues:
+    def test_diagonal(self):
+        assert rational_eigenvalues(Matrix.diagonal([2, 3, 5])) == [2, 3, 5]
+
+    def test_nilpotent(self):
+        assert rational_eigenvalues(Matrix([[0, 1], [0, 0]])) == [0]
+
+    def test_no_rational_eigenvalues(self):
+        # Rotation-like: λ² + 1 has no rational roots.
+        assert rational_eigenvalues(Matrix([[0, -1], [1, 0]])) == []
+
+    def test_negative_eigenvalue(self):
+        assert rational_eigenvalues(Matrix.diagonal([-2, 7])) == [-2, 7]
+
+    def test_singular_matrix_has_zero(self):
+        m = Matrix([[1, 2], [2, 4]])
+        assert 0 in rational_eigenvalues(m)
+
+    def test_eigenvalues_satisfy_charpoly(self):
+        rng = ReproducibleRNG(7)
+        m = Matrix.random_kbit(rng, 3, 3, 2)
+        p = characteristic_polynomial(m)
+        for lam in rational_eigenvalues(m):
+            value = sum(c * lam**i for i, c in enumerate(p))
+            assert value == 0
+
+    def test_rejects_rational_input(self):
+        with pytest.raises(ValueError):
+            rational_eigenvalues(Matrix([[Fraction(1, 2)]]))

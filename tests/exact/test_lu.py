@@ -1,0 +1,92 @@
+"""Tests for exact LUP decomposition (Corollary 1.2e substrate)."""
+
+import pytest
+
+from repro.exact.determinant import determinant
+from repro.exact.lu import is_singular_via_lup, lup_decompose
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular
+from repro.util.rng import ReproducibleRNG
+
+
+def _is_unit_lower(l: Matrix) -> bool:
+    n = l.num_rows
+    return all(
+        (l[i, j] == (1 if i == j else l[i, j])) and (l[i, j] == 0 if j > i else True)
+        for i in range(n)
+        for j in range(n)
+    ) and all(l[i, i] == 1 for i in range(n))
+
+
+def _is_upper(u: Matrix) -> bool:
+    rows, cols = u.shape
+    return all(u[i, j] == 0 for i in range(rows) for j in range(min(i, cols)))
+
+
+class TestDecomposition:
+    def test_reconstruction_random(self):
+        rng = ReproducibleRNG(0)
+        for _ in range(25):
+            m = Matrix.random_kbit(rng, 4, 4, 3)
+            assert lup_decompose(m).reconstruct() == m
+
+    def test_factor_shapes(self):
+        rng = ReproducibleRNG(1)
+        m = Matrix.random_kbit(rng, 5, 5, 2)
+        dec = lup_decompose(m)
+        assert _is_unit_lower(dec.l)
+        assert _is_upper(dec.u)
+
+    def test_p_times_m_equals_l_times_u(self):
+        rng = ReproducibleRNG(2)
+        m = Matrix.random_kbit(rng, 4, 4, 2)
+        dec = lup_decompose(m)
+        assert dec.p @ m == dec.l @ dec.u
+
+    def test_rectangular_input(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6]])
+        dec = lup_decompose(m)
+        assert dec.reconstruct() == m
+
+    def test_zero_matrix(self):
+        m = Matrix.zeros(3, 3)
+        dec = lup_decompose(m)
+        assert dec.reconstruct() == m
+        assert dec.is_singular()
+
+
+class TestSingularityAndDeterminant:
+    def test_singularity_oracle_agrees(self):
+        rng = ReproducibleRNG(3)
+        for _ in range(25):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert is_singular_via_lup(m) == is_singular(m)
+
+    def test_determinant_from_factors(self):
+        rng = ReproducibleRNG(4)
+        for _ in range(15):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert lup_decompose(m).determinant() == determinant(m)
+
+    def test_determinant_with_forced_swap(self):
+        m = Matrix([[0, 1], [1, 0]])
+        assert lup_decompose(m).determinant() == -1
+
+    def test_singular_check_requires_square(self):
+        dec = lup_decompose(Matrix([[1, 2, 3]]))
+        with pytest.raises(ValueError):
+            dec.is_singular()
+        with pytest.raises(ValueError):
+            dec.determinant()
+
+
+class TestNonzeroStructure:
+    def test_structure_detects_rank_deficiency(self):
+        # Corollary 1.2(e): the *structure* of U alone decides singularity.
+        singular = Matrix([[1, 2], [2, 4]])
+        structure = lup_decompose(singular).u_nonzero_structure()
+        assert (1, 1) not in structure
+
+    def test_structure_full_rank(self):
+        structure = lup_decompose(Matrix.identity(3)).u_nonzero_structure()
+        assert {(0, 0), (1, 1), (2, 2)} <= structure

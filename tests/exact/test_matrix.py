@@ -1,0 +1,231 @@
+"""Tests for the exact Matrix container."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exact.matrix import Matrix, permutation_matrix
+from repro.util.rng import ReproducibleRNG
+
+
+class TestConstruction:
+    def test_entries_become_fractions(self):
+        m = Matrix([[1, 2], [3, 4]])
+        assert isinstance(m[0, 0], Fraction)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Matrix([])
+        with pytest.raises(ValueError):
+            Matrix([[]])
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            Matrix([[1.5]])
+
+    def test_identity(self):
+        i3 = Matrix.identity(3)
+        assert i3[0, 0] == 1 and i3[0, 1] == 0
+        assert i3.is_square
+
+    def test_zeros(self):
+        z = Matrix.zeros(2, 3)
+        assert z.shape == (2, 3)
+        assert all(z[i, j] == 0 for i in range(2) for j in range(3))
+
+    def test_diagonal(self):
+        d = Matrix.diagonal([1, 2, 3])
+        assert d[1, 1] == 2 and d[0, 1] == 0
+
+    def test_from_function(self):
+        m = Matrix.from_function(2, 2, lambda i, j: i * 10 + j)
+        assert m[1, 0] == 10
+
+    def test_column_and_row_vector(self):
+        assert Matrix.column([1, 2]).shape == (2, 1)
+        assert Matrix.row_vector([1, 2]).shape == (1, 2)
+
+    def test_block_assembly(self):
+        i2 = Matrix.identity(2)
+        z = Matrix.zeros(2, 2)
+        m = Matrix.block([[i2, z], [z, i2]])
+        assert m == Matrix.identity(4)
+
+    def test_block_rejects_mismatched_bands(self):
+        with pytest.raises(ValueError):
+            Matrix.block([[Matrix.identity(2), Matrix.identity(3)]])
+
+    def test_random_kbit_range(self):
+        m = Matrix.random_kbit(ReproducibleRNG(0), 4, 4, 3)
+        assert all(0 <= m[i, j] <= 7 for i in range(4) for j in range(4))
+
+
+class TestArithmetic:
+    def test_add_sub_neg(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[5, 6], [7, 8]])
+        assert (a + b) - b == a
+        assert -(-a) == a
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Matrix([[1]]) + Matrix([[1, 2]])
+
+    def test_scalar_multiplication(self):
+        a = Matrix([[1, 2], [3, 4]])
+        assert 2 * a == a + a
+        assert a * Fraction(1, 2) == Matrix([[Fraction(1, 2), 1], [Fraction(3, 2), 2]])
+
+    def test_matmul_identity(self):
+        a = Matrix([[1, 2], [3, 4]])
+        assert a @ Matrix.identity(2) == a
+        assert Matrix.identity(2) @ a == a
+
+    def test_matmul_known_product(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[0, 1], [1, 0]])
+        assert a @ b == Matrix([[2, 1], [4, 3]])
+
+    def test_matmul_dimension_check(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2]]) @ Matrix([[1, 2]])
+
+    def test_matvec(self):
+        a = Matrix([[1, 2], [3, 4]])
+        assert a.matvec([1, 1]) == (3, 7)
+        with pytest.raises(ValueError):
+            a.matvec([1])
+
+    def test_transpose_involution(self):
+        a = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert a.T.T == a
+        assert a.T.shape == (3, 2)
+
+    def test_transpose_of_product(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[5, 6], [7, 8]])
+        assert (a @ b).T == b.T @ a.T
+
+    def test_pow(self):
+        a = Matrix([[1, 1], [0, 1]])
+        assert a.pow(0) == Matrix.identity(2)
+        assert a.pow(5) == Matrix([[1, 5], [0, 1]])
+        with pytest.raises(ValueError):
+            a.pow(-1)
+        with pytest.raises(ValueError):
+            Matrix([[1, 2]]).pow(2)
+
+    def test_trace(self):
+        assert Matrix([[1, 9], [9, 2]]).trace() == 3
+        with pytest.raises(ValueError):
+            Matrix([[1, 2]]).trace()
+
+
+class TestSlicing:
+    def test_submatrix(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.submatrix([0, 2], [1]) == Matrix([[2], [8]])
+
+    def test_slice(self):
+        m = Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.slice(1, 3, 0, 2) == Matrix([[4, 5], [7, 8]])
+        with pytest.raises(ValueError):
+            m.slice(0, 4, 0, 1)
+
+    def test_with_entry_is_pure(self):
+        m = Matrix([[1, 2], [3, 4]])
+        m2 = m.with_entry(0, 0, 99)
+        assert m[0, 0] == 1 and m2[0, 0] == 99
+
+    def test_with_block(self):
+        m = Matrix.zeros(3, 3).with_block(1, 1, Matrix([[7, 8], [9, 10]]))
+        assert m[1, 1] == 7 and m[2, 2] == 10 and m[0, 0] == 0
+        with pytest.raises(ValueError):
+            Matrix.zeros(2, 2).with_block(1, 1, Matrix.identity(2))
+
+    def test_permute_rows(self):
+        m = Matrix([[1], [2], [3]])
+        assert m.permute_rows([2, 0, 1]) == Matrix([[3], [1], [2]])
+        with pytest.raises(ValueError):
+            m.permute_rows([0, 0, 1])
+
+    def test_permute_cols(self):
+        m = Matrix([[1, 2, 3]])
+        assert m.permute_cols([1, 2, 0]) == Matrix([[2, 3, 1]])
+
+    def test_swap_rows_cols(self):
+        m = Matrix([[1, 2], [3, 4]])
+        assert m.swap_rows(0, 1) == Matrix([[3, 4], [1, 2]])
+        assert m.swap_cols(0, 1) == Matrix([[2, 1], [4, 3]])
+
+    def test_hstack_vstack(self):
+        a = Matrix([[1], [2]])
+        b = Matrix([[3], [4]])
+        assert a.hstack(b) == Matrix([[1, 3], [2, 4]])
+        assert a.vstack(b) == Matrix([[1], [2], [3], [4]])
+        with pytest.raises(ValueError):
+            a.hstack(Matrix([[1]]))
+
+    def test_map(self):
+        m = Matrix([[1, -2]])
+        assert m.map(abs) == Matrix([[1, 2]])
+
+
+class TestIntrospection:
+    def test_is_integer(self):
+        assert Matrix([[1, 2]]).is_integer()
+        assert not Matrix([[Fraction(1, 2)]]).is_integer()
+
+    def test_to_int_rows(self):
+        assert Matrix([[1, 2]]).to_int_rows() == [[1, 2]]
+        with pytest.raises(ValueError):
+            Matrix([[Fraction(1, 2)]]).to_int_rows()
+
+    def test_max_abs_entry(self):
+        assert Matrix([[1, -7], [3, 2]]).max_abs_entry() == 7
+
+    def test_nonzero_structure(self):
+        m = Matrix([[1, 0], [0, 2]])
+        assert m.nonzero_structure() == frozenset({(0, 0), (1, 1)})
+
+    def test_mod(self):
+        assert Matrix([[5, 7]]).mod(3) == [[2, 1]]
+        with pytest.raises(ValueError):
+            Matrix([[1]]).mod(1)
+
+    def test_hash_and_equality(self):
+        a = Matrix([[1, 2]])
+        b = Matrix([[1, 2]])
+        assert a == b and hash(a) == hash(b)
+        assert a != Matrix([[2, 1]])
+        assert (a == "nope") is False
+
+    def test_rows_are_shared_tuples(self):
+        m = Matrix([[1, 2]])
+        assert m.rows() is m.rows()
+
+    def test_repr_and_pretty(self):
+        small = Matrix([[1, 2], [3, 4]])
+        assert "2x2" in repr(small)
+        assert "[" in small.pretty()
+        big = Matrix.zeros(10, 10)
+        assert repr(big) == "Matrix(10x10)"
+
+
+class TestPermutationMatrix:
+    def test_left_multiplication_permutes_rows(self):
+        m = Matrix([[1], [2], [3]])
+        perm = [2, 0, 1]
+        assert permutation_matrix(perm) @ m == m.permute_rows(perm)
+
+    def test_orthogonality(self):
+        p = permutation_matrix([1, 2, 0])
+        assert p @ p.T == Matrix.identity(3)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_matrix([0, 0, 1])

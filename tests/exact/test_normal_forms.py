@@ -1,0 +1,120 @@
+"""Tests for Hermite and Smith normal forms over Z."""
+
+import pytest
+
+from repro.exact.determinant import bareiss_determinant
+from repro.exact.matrix import Matrix
+from repro.exact.normal_forms import hermite_normal_form, smith_normal_form
+from repro.exact.rank import rank
+from repro.util.rng import ReproducibleRNG
+
+
+def _random_int_matrix(rng, rows, cols, spread=10):
+    return Matrix(
+        [[rng.randrange(-spread, spread + 1) for _ in range(cols)] for _ in range(rows)]
+    )
+
+
+class TestHermite:
+    def test_transform_is_unimodular_and_consistent(self):
+        rng = ReproducibleRNG(0)
+        for _ in range(15):
+            m = _random_int_matrix(rng, 3, 4)
+            form = hermite_normal_form(m)
+            assert form.u @ m == form.h
+            assert abs(bareiss_determinant(form.u)) == 1
+
+    def test_rank_matches(self):
+        rng = ReproducibleRNG(1)
+        for _ in range(15):
+            m = _random_int_matrix(rng, 4, 4, spread=4)
+            assert hermite_normal_form(m).rank == rank(m)
+
+    def test_pivots_positive_and_entries_reduced(self):
+        rng = ReproducibleRNG(2)
+        m = _random_int_matrix(rng, 4, 4)
+        h = hermite_normal_form(m).h
+        pivot_row = 0
+        for col in range(4):
+            if pivot_row >= 4:
+                break
+            value = h[pivot_row, col]
+            if value != 0:
+                assert value > 0
+                for r in range(pivot_row):
+                    assert 0 <= h[r, col] < value
+                pivot_row += 1
+
+    def test_abs_determinant(self):
+        rng = ReproducibleRNG(3)
+        for _ in range(10):
+            m = _random_int_matrix(rng, 3, 3)
+            assert hermite_normal_form(m).abs_determinant() == abs(
+                bareiss_determinant(m)
+            )
+
+    def test_abs_determinant_requires_square(self):
+        with pytest.raises(ValueError):
+            hermite_normal_form(Matrix([[1, 2]])).abs_determinant()
+
+    def test_identity_fixed_point(self):
+        form = hermite_normal_form(Matrix.identity(3))
+        assert form.h == Matrix.identity(3)
+
+
+class TestSmith:
+    def test_reconstruction(self):
+        rng = ReproducibleRNG(4)
+        for _ in range(15):
+            m = _random_int_matrix(rng, 3, 3, spread=6)
+            form = smith_normal_form(m)
+            assert form.u @ m @ form.v == form.s
+            assert abs(bareiss_determinant(form.u)) == 1
+            assert abs(bareiss_determinant(form.v)) == 1
+
+    def test_diagonal(self):
+        rng = ReproducibleRNG(5)
+        m = _random_int_matrix(rng, 3, 4, spread=5)
+        s = smith_normal_form(m).s
+        for i in range(3):
+            for j in range(4):
+                if i != j:
+                    assert s[i, j] == 0
+
+    def test_divisibility_chain(self):
+        rng = ReproducibleRNG(6)
+        for _ in range(15):
+            m = _random_int_matrix(rng, 3, 3, spread=8)
+            divisors = smith_normal_form(m).elementary_divisors()
+            for a, b in zip(divisors, divisors[1:]):
+                assert b % a == 0
+                assert a > 0
+
+    def test_known_example(self):
+        m = Matrix([[2, 4, 4], [-6, 6, 12], [10, 4, 16]])
+        assert smith_normal_form(m).elementary_divisors() == (2, 2, 156)
+
+    def test_rank_matches(self):
+        rng = ReproducibleRNG(7)
+        for _ in range(10):
+            m = _random_int_matrix(rng, 4, 3, spread=3)
+            assert smith_normal_form(m).rank == rank(m)
+
+    def test_abs_determinant(self):
+        rng = ReproducibleRNG(8)
+        for _ in range(10):
+            m = _random_int_matrix(rng, 3, 3)
+            assert smith_normal_form(m).abs_determinant() == abs(
+                bareiss_determinant(m)
+            )
+
+    def test_zero_matrix(self):
+        form = smith_normal_form(Matrix.zeros(2, 3))
+        assert form.elementary_divisors() == ()
+        assert form.rank == 0
+
+    def test_singular_matrix(self):
+        m = Matrix([[1, 2], [2, 4]])
+        form = smith_normal_form(m)
+        assert form.rank == 1
+        assert form.abs_determinant() == 0

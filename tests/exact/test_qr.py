@@ -1,0 +1,68 @@
+"""Tests for exact QR (Corollary 1.2c substrate)."""
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.qr import is_singular_via_qr, qr_decompose
+from repro.exact.rank import is_singular, rank
+from repro.util.rng import ReproducibleRNG
+
+
+class TestDecomposition:
+    def test_reconstruction_random(self):
+        rng = ReproducibleRNG(0)
+        for _ in range(20):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert qr_decompose(m).reconstruct() == m
+
+    def test_q_columns_orthogonal(self):
+        rng = ReproducibleRNG(1)
+        for _ in range(10):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert qr_decompose(m).orthogonality_defect() == 0
+
+    def test_r_unit_upper_triangular(self):
+        rng = ReproducibleRNG(2)
+        m = Matrix.random_kbit(rng, 4, 4, 2)
+        r = qr_decompose(m).r
+        for i in range(4):
+            assert r[i, i] == 1
+            for j in range(i):
+                assert r[i, j] == 0
+
+    def test_rank_equals_nonzero_q_columns(self):
+        rng = ReproducibleRNG(3)
+        for _ in range(15):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert qr_decompose(m).rank() == rank(m)
+
+    def test_rectangular(self):
+        m = Matrix([[1, 2], [3, 4], [5, 6]])
+        dec = qr_decompose(m)
+        assert dec.reconstruct() == m
+        assert dec.rank() == 2
+
+    def test_dependent_column_vanishes(self):
+        m = Matrix([[1, 2], [1, 2]])  # second column = 2 * first
+        q = qr_decompose(m).q
+        assert q[0, 1] == 0 and q[1, 1] == 0
+
+
+class TestSingularityOracle:
+    def test_agrees_with_ground_truth(self):
+        rng = ReproducibleRNG(4)
+        for _ in range(20):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert is_singular_via_qr(m) == is_singular(m)
+
+    def test_structure_only_decision(self):
+        # Only the nonzero pattern of Q is consulted (Corollary 1.2c's
+        # strengthened form).
+        singular = Matrix([[1, 1], [2, 2]])
+        structure = qr_decompose(singular).q_nonzero_structure()
+        populated_cols = {j for (_, j) in structure}
+        assert populated_cols == {0}
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            qr_decompose(Matrix([[1, 2, 3]])).is_singular()

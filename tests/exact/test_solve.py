@@ -1,0 +1,127 @@
+"""Tests for exact solving and solvability (Corollary 1.3 substrate)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import rank
+from repro.exact.solve import (
+    invert,
+    is_solvable,
+    nullity,
+    nullspace,
+    solve,
+    verify_solution,
+)
+from repro.exact.vector import Vector
+from repro.util.rng import ReproducibleRNG
+
+
+class TestSolvability:
+    def test_rouche_capelli_random(self):
+        rng = ReproducibleRNG(0)
+        for _ in range(25):
+            a = Matrix.random_kbit(rng, 4, 4, 2)
+            b = Vector([rng.kbit_entry(2) for _ in range(4)])
+            augmented = a.hstack(Matrix.column(list(b)))
+            assert is_solvable(a, b) == (rank(augmented) == rank(a))
+
+    def test_always_solvable_full_rank(self):
+        a = Matrix.identity(3)
+        assert is_solvable(a, Vector([5, 6, 7]))
+
+    def test_unsolvable_example(self):
+        a = Matrix([[1, 1], [1, 1]])
+        assert not is_solvable(a, Vector([0, 1]))
+
+    def test_length_check(self):
+        with pytest.raises(ValueError):
+            is_solvable(Matrix.identity(2), Vector([1, 2, 3]))
+
+
+class TestSolve:
+    def test_solution_verifies(self):
+        rng = ReproducibleRNG(1)
+        solved = 0
+        for _ in range(25):
+            a = Matrix.random_kbit(rng, 3, 4, 2)
+            b = Vector([rng.kbit_entry(2) for _ in range(3)])
+            result = solve(a, b)
+            if result.solvable:
+                solved += 1
+                assert result.particular is not None
+                assert verify_solution(a, result.particular, b)
+        assert solved > 0
+
+    def test_unsolvable_reports_empty(self):
+        result = solve(Matrix([[1, 1], [1, 1]]), Vector([0, 1]))
+        assert not result.solvable
+        assert result.particular is None
+        assert result.dimension == -1
+
+    def test_unique_solution(self):
+        result = solve(Matrix.identity(3), Vector([1, 2, 3]))
+        assert result.is_unique()
+        assert result.particular == Vector([1, 2, 3])
+
+    def test_solution_set_dimension(self):
+        a = Matrix([[1, 1, 1]])
+        result = solve(a, Vector([3]))
+        assert result.dimension == 2
+        # Every sampled member solves the system.
+        member = result.sample([Fraction(2), Fraction(-5)])
+        assert verify_solution(a, member, Vector([3]))
+
+    def test_sample_coefficient_count(self):
+        result = solve(Matrix([[1, 1]]), Vector([1]))
+        with pytest.raises(ValueError):
+            result.sample([1, 2, 3])
+
+    def test_sample_unsolvable(self):
+        result = solve(Matrix([[0, 0]]), Vector([1]))
+        with pytest.raises(ValueError):
+            result.sample([])
+
+
+class TestNullspace:
+    def test_rank_nullity(self):
+        rng = ReproducibleRNG(2)
+        for _ in range(15):
+            a = Matrix.random_kbit(rng, 3, 5, 2)
+            assert rank(a) + nullity(a) == a.num_cols
+
+    def test_nullspace_vectors_annihilated(self):
+        a = Matrix([[1, 2, 3], [4, 5, 6]])
+        for v in nullspace(a):
+            assert all(x == 0 for x in a.matvec(list(v)))
+
+    def test_full_rank_trivial_nullspace(self):
+        assert nullspace(Matrix.identity(3)) == ()
+
+
+class TestInvert:
+    def test_inverse_identity(self):
+        rng = ReproducibleRNG(3)
+        tested = 0
+        while tested < 10:
+            m = Matrix.random_kbit(rng, 3, 3, 3)
+            try:
+                inverse = invert(m)
+            except ValueError:
+                continue
+            tested += 1
+            assert inverse @ m == Matrix.identity(3)
+            assert m @ inverse == Matrix.identity(3)
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            invert(Matrix([[1, 2], [2, 4]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            invert(Matrix([[1, 2]]))
+
+    def test_rational_inverse(self):
+        m = Matrix([[2, 0], [0, 4]])
+        assert invert(m) == Matrix([[Fraction(1, 2), 0], [0, Fraction(1, 4)]])

@@ -1,0 +1,172 @@
+"""Tests for the Subspace lattice (Lemmas 3.2–3.7 substrate)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+from repro.util.rng import ReproducibleRNG
+
+
+class TestConstruction:
+    def test_span_dimension(self):
+        s = Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0]), Vector([1, 1, 0])])
+        assert s.dimension == 2
+
+    def test_span_of_dependent_vectors(self):
+        s = Subspace.span([Vector([1, 2]), Vector([2, 4])])
+        assert s.dimension == 1
+
+    def test_span_needs_vectors(self):
+        with pytest.raises(ValueError):
+            Subspace.span([])
+
+    def test_ambient_mismatch(self):
+        with pytest.raises(ValueError):
+            Subspace.span([Vector([1]), Vector([1, 2])])
+
+    def test_column_space(self):
+        m = Matrix([[1, 0], [0, 1], [0, 0]])
+        s = Subspace.column_space(m)
+        assert s.ambient == 3 and s.dimension == 2
+
+    def test_zero_and_full(self):
+        assert Subspace.zero(3).dimension == 0
+        assert Subspace.full(3).is_full()
+        with pytest.raises(ValueError):
+            Subspace.zero(0)
+
+    def test_rational_vectors(self):
+        s = Subspace.span([Vector([Fraction(1, 2), 1])])
+        assert Vector([1, 2]) in s
+
+
+class TestCanonicalEquality:
+    def test_same_space_different_generators(self):
+        a = Subspace.span([Vector([1, 0]), Vector([0, 1])])
+        b = Subspace.span([Vector([1, 1]), Vector([1, -1])])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_scaled_generators(self):
+        assert Subspace.span([Vector([2, 4, 6])]) == Subspace.span([Vector([1, 2, 3])])
+
+    def test_distinct_spaces_differ(self):
+        assert Subspace.span([Vector([1, 0])]) != Subspace.span([Vector([0, 1])])
+
+    def test_hashable_in_sets(self):
+        rng = ReproducibleRNG(0)
+        spaces = {
+            Subspace.span([Vector([rng.kbit_entry(2) for _ in range(3)])])
+            for _ in range(20)
+        }
+        assert len(spaces) >= 2
+
+
+class TestMembership:
+    def test_generators_contained(self):
+        vectors = [Vector([1, 2, 3]), Vector([0, 1, 1])]
+        s = Subspace.span(vectors)
+        for v in vectors:
+            assert v in s
+
+    def test_linear_combinations_contained(self):
+        s = Subspace.span([Vector([1, 0, 1]), Vector([0, 1, 1])])
+        assert Vector([2, 3, 5]) in s
+
+    def test_outside_vector(self):
+        s = Subspace.span([Vector([1, 0, 0])])
+        assert Vector([0, 1, 0]) not in s
+
+    def test_zero_always_member(self):
+        assert Vector([0, 0]) in Subspace.zero(2)
+        assert Vector([0, 0]) in Subspace.span([Vector([1, 1])])
+
+    def test_subspace_containment(self):
+        small = Subspace.span([Vector([1, 0, 0])])
+        big = Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0])])
+        assert small <= big
+        assert not big <= small
+
+    def test_ambient_check(self):
+        with pytest.raises(ValueError):
+            Subspace.zero(2).contains(Vector([1, 2, 3]))
+
+
+class TestLatticeOperations:
+    def test_sum_dimension_formula(self):
+        rng = ReproducibleRNG(1)
+        for _ in range(10):
+            a = Subspace.span(
+                [Vector([rng.kbit_entry(2) for _ in range(4)]) for _ in range(2)]
+            )
+            b = Subspace.span(
+                [Vector([rng.kbit_entry(2) for _ in range(4)]) for _ in range(2)]
+            )
+            # dim(a + b) = dim a + dim b - dim(a ∩ b)
+            assert (a + b).dimension == a.dimension + b.dimension - (a & b).dimension
+
+    def test_intersection_commutative(self):
+        a = Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0])])
+        b = Subspace.span([Vector([0, 1, 0]), Vector([0, 0, 1])])
+        assert (a & b) == (b & a)
+        assert (a & b) == Subspace.span([Vector([0, 1, 0])])
+
+    def test_intersection_with_zero(self):
+        a = Subspace.span([Vector([1, 1])])
+        assert (a & Subspace.zero(2)).is_zero()
+
+    def test_intersection_with_self(self):
+        a = Subspace.span([Vector([1, 2, 3]), Vector([1, 0, 0])])
+        assert (a & a) == a
+
+    def test_intersection_of_chain(self):
+        spaces = [
+            Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0])]),
+            Subspace.span([Vector([1, 0, 0]), Vector([0, 0, 1])]),
+            Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 1])]),
+        ]
+        inter = Subspace.intersection_of(spaces)
+        assert inter == Subspace.span([Vector([1, 0, 0])])
+
+    def test_intersection_of_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            Subspace.intersection_of([])
+
+    def test_sum_is_join(self):
+        a = Subspace.span([Vector([1, 0])])
+        b = Subspace.span([Vector([0, 1])])
+        assert (a + b).is_full()
+        assert a.spans_with(b)
+        assert not a.spans_with(a)
+
+
+class TestProjection:
+    def test_projection_of_full_space(self):
+        s = Subspace.full(4)
+        assert s.project([0, 2]).is_full()
+
+    def test_projection_can_drop_dimension(self):
+        s = Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0])])
+        p = s.project([2])
+        assert p.is_zero()
+
+    def test_projection_of_zero(self):
+        assert Subspace.zero(3).project([0, 1]).is_zero()
+
+    def test_projection_index_checks(self):
+        s = Subspace.full(3)
+        with pytest.raises(ValueError):
+            s.project([])
+        with pytest.raises(ValueError):
+            s.project([5])
+
+    def test_projection_dimension_never_grows(self):
+        rng = ReproducibleRNG(2)
+        for _ in range(10):
+            s = Subspace.span(
+                [Vector([rng.kbit_entry(2) for _ in range(5)]) for _ in range(3)]
+            )
+            assert s.project([1, 2, 3]).dimension <= s.dimension

@@ -1,0 +1,74 @@
+"""Tests for SVD structure (Corollary 1.2d substrate)."""
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular, rank
+from repro.exact.svd import (
+    gram_matrix,
+    gram_rank_agrees,
+    is_singular_via_svd,
+    numeric_svd_check,
+    svd_structure,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestStructure:
+    def test_sigma_pattern_size_is_rank(self):
+        rng = ReproducibleRNG(0)
+        for _ in range(15):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            s = svd_structure(m)
+            assert len(s.sigma_pattern) == rank(m)
+            assert s.num_nonzero_singular_values() == rank(m)
+
+    def test_pattern_on_leading_diagonal(self):
+        m = Matrix([[1, 1], [2, 2]])
+        assert svd_structure(m).sigma_pattern == frozenset({(0, 0)})
+
+    def test_rectangular(self):
+        m = Matrix([[1, 2, 3], [2, 4, 6]])
+        s = svd_structure(m)
+        assert s.shape == (2, 3)
+        assert s.rank == 1
+
+    def test_singularity_oracle(self):
+        rng = ReproducibleRNG(1)
+        for _ in range(20):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert is_singular_via_svd(m) == is_singular(m)
+
+    def test_singularity_requires_square(self):
+        with pytest.raises(ValueError):
+            svd_structure(Matrix([[1, 2, 3]])).is_singular()
+
+
+class TestGram:
+    def test_gram_is_symmetric(self):
+        rng = ReproducibleRNG(2)
+        m = Matrix.random_kbit(rng, 3, 4, 2)
+        g = gram_matrix(m)
+        assert g == g.T
+        assert g.shape == (4, 4)
+
+    def test_gram_rank_invariant(self):
+        rng = ReproducibleRNG(3)
+        for _ in range(15):
+            assert gram_rank_agrees(Matrix.random_kbit(rng, 3, 4, 2))
+
+    def test_gram_rank_invariant_rank_deficient(self):
+        assert gram_rank_agrees(Matrix([[1, 2], [2, 4], [3, 6]]))
+
+
+class TestNumericCrossCheck:
+    def test_agrees_on_modest_matrices(self):
+        rng = ReproducibleRNG(4)
+        for _ in range(15):
+            assert numeric_svd_check(Matrix.random_kbit(rng, 4, 4, 3))
+
+    def test_agrees_on_zero(self):
+        assert numeric_svd_check(Matrix.zeros(3, 3))
+
+    def test_agrees_on_exact_rank_deficiency(self):
+        assert numeric_svd_check(Matrix([[1, 2], [2, 4]]))

@@ -1,0 +1,103 @@
+"""Tests for the exact Vector container."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exact.vector import Vector
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Vector([])
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            Vector([0.5])
+
+    def test_zeros_and_unit(self):
+        assert Vector.zeros(3).is_zero()
+        e1 = Vector.unit(3, 1)
+        assert e1[1] == 1 and e1[0] == 0
+        with pytest.raises(ValueError):
+            Vector.unit(3, 3)
+
+    def test_from_function(self):
+        assert Vector.from_function(3, lambda i: i * i) == Vector([0, 1, 4])
+
+    def test_geometric_descending(self):
+        v = Vector.geometric(-3, 4)
+        assert v == Vector([-27, 9, -3, 1])
+
+    def test_geometric_ascending(self):
+        v = Vector.geometric(2, 3, descending=False)
+        assert v == Vector([1, 2, 4])
+
+    def test_geometric_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Vector.geometric(2, 0)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = Vector([1, 2])
+        b = Vector([3, 4])
+        assert (a + b) - b == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Vector([1]) + Vector([1, 2])
+
+    def test_scale(self):
+        assert 2 * Vector([1, 2]) == Vector([2, 4])
+        assert Vector([1, 2]) * Fraction(1, 2) == Vector([Fraction(1, 2), 1])
+
+    def test_neg(self):
+        assert -Vector([1, -2]) == Vector([-1, 2])
+
+    def test_dot(self):
+        assert Vector([1, 2, 3]).dot(Vector([4, 5, 6])) == 32
+        assert Vector([1, 2]).dot([3, 4]) == 11
+        with pytest.raises(ValueError):
+            Vector([1]).dot(Vector([1, 2]))
+
+    def test_concat(self):
+        assert Vector([1]).concat(Vector([2, 3])) == Vector([1, 2, 3])
+
+    def test_project(self):
+        v = Vector([10, 20, 30, 40])
+        assert v.project([1, 3]) == Vector([20, 40])
+
+    def test_slice_returns_vector(self):
+        v = Vector([1, 2, 3, 4])
+        assert v[1:3] == Vector([2, 3])
+
+
+class TestIntrospection:
+    def test_support(self):
+        assert Vector([0, 5, 0, -1]).support() == frozenset({1, 3})
+
+    def test_is_integer_and_to_ints(self):
+        assert Vector([1, 2]).to_ints() == [1, 2]
+        v = Vector([Fraction(1, 2)])
+        assert not v.is_integer()
+        with pytest.raises(ValueError):
+            v.to_ints()
+
+    def test_max_abs_entry(self):
+        assert Vector([1, -9, 3]).max_abs_entry() == 9
+
+    def test_hash_equality(self):
+        assert Vector([1, 2]) == Vector([1, 2])
+        assert hash(Vector([1, 2])) == hash(Vector([1, 2]))
+        assert Vector([1, 2]) != Vector([2, 1])
+        assert (Vector([1]) == 7) is False
+
+    def test_iteration(self):
+        assert list(Vector([1, 2, 3])) == [1, 2, 3]
+        assert len(Vector([1, 2, 3])) == 3
+
+    def test_repr(self):
+        assert "1, 2" in repr(Vector([1, 2]))
+        assert "len=20" in repr(Vector([0] * 20))

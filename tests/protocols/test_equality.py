@@ -1,0 +1,101 @@
+"""Tests for the equality (identity) protocols."""
+
+import itertools
+
+import pytest
+
+from repro.comm.randomized import estimate_error, worst_input_error
+from repro.protocols.equality import (
+    DeterministicEquality,
+    RabinKarpEquality,
+    RandomizedEquality,
+    equality_reference,
+)
+
+
+def all_pairs(n_bits):
+    strings = list(itertools.product((0, 1), repeat=n_bits))
+    return [(x, y) for x in strings for y in strings]
+
+
+class TestDeterministic:
+    def test_exhaustive_correctness(self):
+        protocol = DeterministicEquality(3)
+        assert protocol.is_correct_on(all_pairs(3), equality_reference)
+
+    def test_cost_n_plus_one(self):
+        protocol = DeterministicEquality(5)
+        assert protocol.cost((1, 0, 1, 0, 1), (1, 0, 1, 0, 1)) == 6
+
+    def test_input_validation(self):
+        protocol = DeterministicEquality(3)
+        with pytest.raises(ValueError):
+            protocol.output((1, 0), (1, 0, 1))
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            DeterministicEquality(0)
+
+
+class TestRandomizedParity:
+    def test_equal_inputs_never_err(self):
+        protocol = RandomizedEquality(4, rounds=8)
+        x = (1, 0, 1, 1)
+        for seed in range(10):
+            assert protocol.output(x, x, seed) is True
+
+    def test_unequal_error_bounded(self):
+        protocol = RandomizedEquality(4, rounds=10)
+        est = estimate_error(
+            protocol, (1, 0, 1, 1), (0, 0, 1, 1), truth=False, trials=200
+        )
+        assert est.error_rate <= 3 * protocol.error_bound() + 0.02
+
+    def test_cost_rounds_plus_one(self):
+        protocol = RandomizedEquality(4, rounds=6)
+        result = protocol.run((1, 1, 1, 1), (0, 0, 0, 0), seed=0)
+        assert result.bits_exchanged == 7
+
+    def test_error_bound_formula(self):
+        assert RandomizedEquality(4, rounds=5).error_bound() == 2**-5
+
+    def test_worst_input_error_small(self):
+        protocol = RandomizedEquality(3, rounds=12)
+        worst, _ = worst_input_error(
+            protocol,
+            all_pairs(3)[:20],
+            lambda x, y: x == y,
+            trials=30,
+        )
+        assert worst <= 0.15
+
+
+class TestRabinKarp:
+    def test_exhaustive_small(self):
+        protocol = RabinKarpEquality(3)
+        errors = 0
+        for x, y in all_pairs(3):
+            for seed in (0, 1):
+                if protocol.output(x, y, seed) != (x == y):
+                    errors += 1
+        # Error rate bounded by (n-1)/p per run — with p > n^2 almost none.
+        assert errors <= 2
+
+    def test_equal_never_errs(self):
+        protocol = RabinKarpEquality(6)
+        x = (1, 0, 1, 1, 0, 0)
+        for seed in range(10):
+            assert protocol.output(x, x, seed) is True
+
+    def test_logarithmic_cost(self):
+        small = RabinKarpEquality(8)
+        large = RabinKarpEquality(256)
+        # Cost is width of a prime > n²: ~2 log2 n + O(1) bits.
+        cost_small = small.run((0,) * 8, (0,) * 8, 0).bits_exchanged
+        cost_large = large.run((0,) * 256, (0,) * 256, 0).bits_exchanged
+        assert cost_large < 4 * cost_small
+        assert cost_large < 256  # far below the deterministic n + 1
+
+    def test_error_bound(self):
+        protocol = RabinKarpEquality(10)
+        assert 0 < protocol.error_bound() < 0.1

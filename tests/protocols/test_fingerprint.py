@@ -1,0 +1,113 @@
+"""Tests for the randomized fingerprint (Leighton) protocol."""
+
+import pytest
+
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.partition import pi_zero, random_even_partition
+from repro.comm.randomized import estimate_error
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular
+from repro.protocols.fingerprint import (
+    FingerprintProtocol,
+    default_prime_bits,
+    error_upper_bound,
+    repetitions_for_error,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+def make_protocol(size=6, k=2, **kwargs):
+    codec = MatrixBitCodec(size, size, k)
+    return codec, FingerprintProtocol(codec, pi_zero(codec), **kwargs)
+
+
+class TestOneSidedness:
+    def test_singular_always_detected(self, rng):
+        # Singular over Q => singular mod every prime: zero error this side.
+        codec, protocol = make_protocol()
+        singular = Matrix([[1, 1, 0, 0, 0, 0], [2, 2, 0, 0, 0, 0]] + [[0] * 6] * 4)
+        assert is_singular(singular)
+        for seed in range(15):
+            assert protocol.decide(singular, seed) is True
+
+    def test_nonsingular_usually_detected(self):
+        codec, protocol = make_protocol()
+        view0, view1 = _views(codec, protocol, Matrix.identity(6))
+        est = estimate_error(protocol, view0, view1, truth=False, trials=30)
+        assert est.error_rate == 0.0  # 24+-bit primes never divide det=1
+
+    def test_engineered_false_positive(self):
+        # With a tiny prime space, det divisible by the only available
+        # primes looks singular — the protocol's documented error mode.
+        codec = MatrixBitCodec(2, 2, 3)
+        protocol = FingerprintProtocol(codec, pi_zero(codec), prime_bits=2)
+        m = Matrix([[6, 0], [0, 1]])  # det 6 = 2*3; 2-bit primes are {2, 3}
+        assert not is_singular(m)
+        wrong = sum(protocol.decide(m, seed) for seed in range(20))
+        assert wrong == 20  # every draw divides 6
+
+
+def _views(codec, protocol, m):
+    bits = codec.encode(m)
+    return protocol.partition.split_input(bits)
+
+
+class TestCost:
+    def test_cost_bound_respected(self, rng):
+        codec, protocol = make_protocol()
+        m = Matrix.random_kbit(rng, 6, 6, 2)
+        result = protocol.run_on_matrix(m, seed=3)
+        assert result.bits_exchanged <= protocol.cost_bits()
+
+    def test_cost_scales_with_prime_bits(self):
+        _, cheap = make_protocol(prime_bits=8)
+        _, rich = make_protocol(prime_bits=16)
+        assert rich.cost_bits() > cheap.cost_bits()
+
+    def test_beats_trivial_for_large_k(self):
+        from repro.protocols.trivial import theoretical_trivial_cost
+
+        n, k = 4, 128
+        codec = MatrixBitCodec(2 * n, 2 * n, k)
+        protocol = FingerprintProtocol(codec, pi_zero(codec))
+        assert protocol.cost_bits() < theoretical_trivial_cost(n, k)
+
+
+class TestScatteredPartitions:
+    def test_partial_residue_trick(self, rng):
+        # A random partition scatters entry bits across agents; correctness
+        # must not depend on whole-entry ownership.
+        codec = MatrixBitCodec(4, 4, 3)
+        partition = random_even_partition(rng, codec)
+        protocol = FingerprintProtocol(codec, partition)
+        singular = Matrix(
+            [[1, 2, 3, 4], [2, 4, 6, 0], [1, 2, 3, 4], [0, 0, 0, 1]]
+        )
+        assert is_singular(singular)
+        for seed in range(5):
+            assert protocol.decide(singular, seed) is True
+        assert protocol.decide(Matrix.identity(4), 0) is False
+
+
+class TestErrorAnalysis:
+    def test_default_prime_bits_grows_with_max(self):
+        assert default_prime_bits(1000, 2) > default_prime_bits(4, 2)
+        assert default_prime_bits(4, 1 << 20) > default_prime_bits(4, 2)
+
+    def test_error_bound_decreases_with_prime_bits(self):
+        small = error_upper_bound(8, 4, 12)
+        large = error_upper_bound(8, 4, 24)
+        assert large < small
+
+    def test_error_bound_below_half_at_defaults(self):
+        for n, k in [(8, 2), (16, 8), (32, 16)]:
+            bits = default_prime_bits(n, k)
+            assert error_upper_bound(n, k, bits) < 0.5
+
+    def test_repetitions(self):
+        assert repetitions_for_error(0.5, 0.001) == 10
+        assert repetitions_for_error(0.0, 0.001) == 1
+        with pytest.raises(ValueError):
+            repetitions_for_error(0.5, 0)
+        with pytest.raises(ValueError):
+            repetitions_for_error(1.0, 0.5)

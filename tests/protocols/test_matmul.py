@@ -1,0 +1,78 @@
+"""Tests for matrix-product verification protocols."""
+
+import pytest
+
+from repro.comm.randomized import estimate_error
+from repro.exact.matrix import Matrix
+from repro.protocols.matmul_verify import (
+    DeterministicMatMulVerify,
+    FreivaldsVerify,
+    matmul_reference,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+def random_triple(rng, n=4, k=2, correct=True):
+    a = Matrix.random_kbit(rng, n, n, k)
+    b = Matrix.random_kbit(rng, n, n, k)
+    c = a @ b
+    if not correct:
+        c = c.with_entry(
+            rng.randrange(n), rng.randrange(n), c[0, 0] + 1 + rng.randrange(3)
+        )
+    return (a, b), c
+
+
+class TestDeterministic:
+    def test_accepts_true_products(self, rng):
+        protocol = DeterministicMatMulVerify(4, 2)
+        for _ in range(5):
+            input0, c = random_triple(rng)
+            assert protocol.output(input0, c) is True
+
+    def test_rejects_false_products(self, rng):
+        protocol = DeterministicMatMulVerify(4, 2)
+        for _ in range(5):
+            input0, c = random_triple(rng, correct=False)
+            assert protocol.output(input0, c) is False
+
+    def test_cost_is_2kn2_plus_1(self, rng):
+        protocol = DeterministicMatMulVerify(4, 2)
+        input0, c = random_triple(rng)
+        result = protocol.run(input0, c)
+        assert result.bits_exchanged == protocol.exact_cost_bits() == 65
+
+
+class TestFreivalds:
+    def test_accepts_true_products_always(self, rng):
+        protocol = FreivaldsVerify(4, 2)
+        for seed in range(10):
+            input0, c = random_triple(rng)
+            assert protocol.output(input0, c, seed) is True
+
+    def test_rejects_false_products_whp(self, rng):
+        protocol = FreivaldsVerify(4, 2, rounds=2)
+        input0, c = random_triple(rng, correct=False)
+        est = estimate_error(protocol, input0, c, truth=False, trials=50)
+        assert est.error_rate <= protocol.error_bound() + 0.05
+
+    def test_cost_linear_not_quadratic(self):
+        det_cost = DeterministicMatMulVerify(32, 4).exact_cost_bits()
+        frei_cost = FreivaldsVerify(32, 4, rounds=2).cost_bits()
+        assert frei_cost < det_cost / 4
+
+    def test_cost_bound_matches_run(self, rng):
+        protocol = FreivaldsVerify(4, 2, rounds=3)
+        input0, c = random_triple(rng)
+        result = protocol.run(input0, c, seed=1)
+        assert result.bits_exchanged == protocol.cost_bits()
+
+    def test_reference(self, rng):
+        input0, c = random_triple(rng)
+        assert matmul_reference(input0, c) is True
+        input0, c = random_triple(rng, correct=False)
+        assert matmul_reference(input0, c) is False
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            FreivaldsVerify(4, 2, rounds=0)

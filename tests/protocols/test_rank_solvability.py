@@ -1,0 +1,110 @@
+"""Tests for the column-basis rank protocol and the solvability protocols."""
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular
+from repro.exact.solve import is_solvable
+from repro.exact.vector import Vector
+from repro.protocols.rank_protocol import ColumnBasisProtocol
+from repro.protocols.solvability import (
+    FingerprintSolvability,
+    TrivialSolvability,
+    join_system,
+    split_system,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestColumnBasis:
+    def test_correct_on_random(self, rng):
+        protocol = ColumnBasisProtocol()
+        for _ in range(10):
+            m = Matrix.random_kbit(rng, 6, 6, 2)
+            assert protocol.decide(m) == is_singular(m)
+
+    def test_correct_on_singular(self):
+        protocol = ColumnBasisProtocol()
+        m = Matrix([[1, 1, 0, 0], [2, 2, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]])
+        assert protocol.decide(m) is True
+
+    def test_low_rank_compresses(self, rng):
+        # A rank-1 left half ships a 1-row basis: far fewer bits than the
+        # raw half — the protocol's honest win case.
+        protocol = ColumnBasisProtocol()
+        rank1 = Matrix.from_function(6, 6, lambda i, j: (i + 1) if j < 3 else (1 if i == j else 0))
+        full = Matrix.random_kbit(rng, 6, 6, 2)
+        cost_low = protocol.run_on_matrix(rank1).bits_exchanged
+        cost_full = protocol.run_on_matrix(full).bits_exchanged
+        assert cost_low < cost_full
+
+    def test_zero_half(self):
+        # Left half all-zero: the basis is empty (None on the wire).
+        protocol = ColumnBasisProtocol()
+        m = Matrix.zeros(4, 4).with_block(0, 2, Matrix.identity(2))
+        result = protocol.run_on_matrix(m)
+        assert result.agreed_output() is True  # rank <= 2 < 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ColumnBasisProtocol().run_on_matrix(Matrix.identity(3))
+
+
+class TestSolvabilitySplit:
+    def test_split_join_roundtrip(self, rng):
+        a = Matrix.random_kbit(rng, 4, 4, 2)
+        b = Vector([1, 2, 3, 4])
+        left, right = split_system(a, b)
+        a2, b2 = join_system(left, right)
+        assert a2 == a and b2 == b
+
+
+class TestTrivialSolvability:
+    def test_correct_on_random(self, rng):
+        protocol = TrivialSolvability(4, 2)
+        for _ in range(10):
+            a = Matrix.random_kbit(rng, 4, 4, 2)
+            b = Vector([rng.kbit_entry(2) for _ in range(4)])
+            assert protocol.decide(a, b) == is_solvable(a, b)
+
+    def test_correct_on_unsolvable(self):
+        protocol = TrivialSolvability(2, 2)
+        a = Matrix([[1, 1], [1, 1]])
+        assert protocol.decide(a, Vector([0, 1])) is False
+
+    def test_cost_scales_with_k(self, rng):
+        a = Matrix.random_kbit(rng, 4, 4, 2)
+        b = Vector([1, 0, 1, 0])
+        cost_k2 = TrivialSolvability(4, 2).run_on_system(a, b).bits_exchanged
+        cost_k4 = TrivialSolvability(4, 4).run_on_system(a, b).bits_exchanged
+        assert cost_k4 > cost_k2
+
+
+class TestFingerprintSolvability:
+    def test_correct_whp_on_random(self, rng):
+        protocol = FingerprintSolvability(4, 2)
+        wrong = 0
+        for seed in range(15):
+            a = Matrix.random_kbit(rng, 4, 4, 2)
+            b = Vector([rng.kbit_entry(2) for _ in range(4)])
+            if protocol.decide(a, b, seed) != is_solvable(a, b):
+                wrong += 1
+        assert wrong == 0  # large default primes, tiny minors
+
+    def test_solvable_stays_solvable_mod_p(self):
+        # One-sided direction: an exactly-solvable *integer-solution* system
+        # remains solvable mod p.
+        protocol = FingerprintSolvability(3, 2)
+        a = Matrix.identity(3)
+        b = Vector([1, 2, 3])
+        for seed in range(10):
+            assert protocol.decide(a, b, seed) is True
+
+    def test_cheaper_than_trivial_for_big_k(self):
+        n, k = 4, 48
+        rng = ReproducibleRNG(9)
+        a = Matrix.random_kbit(rng, n, n, k)
+        b = Vector([rng.kbit_entry(k) for _ in range(n)])
+        trivial_cost = TrivialSolvability(n, k).run_on_system(a, b).bits_exchanged
+        fp_cost = FingerprintSolvability(n, k).run_on_system(a, b, 0).bits_exchanged
+        assert fp_cost < trivial_cost

@@ -1,0 +1,78 @@
+"""Tests for the trivial send-everything protocol."""
+
+import pytest
+
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.partition import pi_zero, random_even_partition, row_split
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular
+from repro.protocols.trivial import TrivialProtocol, theoretical_trivial_cost
+from repro.util.rng import ReproducibleRNG
+
+
+class TestCorrectness:
+    def test_singularity_random(self, rng):
+        codec = MatrixBitCodec(6, 6, 2)
+        protocol = TrivialProtocol(codec, pi_zero(codec))
+        for _ in range(10):
+            m = Matrix.random_kbit(rng, 6, 6, 2)
+            assert protocol.decide(m) == is_singular(m)
+
+    def test_under_scattered_partition(self, rng):
+        codec = MatrixBitCodec(4, 4, 2)
+        partition = random_even_partition(rng, codec)
+        protocol = TrivialProtocol(codec, partition)
+        for _ in range(10):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert protocol.decide(m) == is_singular(m)
+
+    def test_custom_predicate(self, rng):
+        codec = MatrixBitCodec(4, 4, 2)
+        protocol = TrivialProtocol(
+            codec, row_split(codec), predicate=lambda m: m.trace() == 0
+        )
+        zero_trace = Matrix.zeros(4, 4)
+        assert protocol.decide(zero_trace) is True
+        assert protocol.decide(Matrix.identity(4)) is False
+
+    def test_both_agents_agree(self, rng):
+        codec = MatrixBitCodec(4, 4, 1)
+        protocol = TrivialProtocol(codec, pi_zero(codec))
+        m = Matrix.random_kbit(rng, 4, 4, 1)
+        result = protocol.run_on_matrix(m)
+        assert result.outputs[0] == result.outputs[1]
+
+
+class TestCost:
+    def test_cost_equals_share_plus_answer(self, rng):
+        codec = MatrixBitCodec(6, 6, 2)
+        partition = pi_zero(codec)
+        protocol = TrivialProtocol(codec, partition)
+        m = Matrix.random_kbit(rng, 6, 6, 2)
+        result = protocol.run_on_matrix(m)
+        assert result.bits_exchanged == len(partition.agent0) + 1
+        assert result.bits_exchanged == protocol.exact_cost_bits()
+
+    def test_cost_input_independent(self, rng):
+        codec = MatrixBitCodec(4, 4, 2)
+        protocol = TrivialProtocol(codec, pi_zero(codec))
+        costs = {
+            protocol.run_on_matrix(Matrix.random_kbit(rng, 4, 4, 2)).bits_exchanged
+            for _ in range(5)
+        }
+        assert len(costs) == 1
+
+    def test_theoretical_formula(self):
+        assert theoretical_trivial_cost(7, 2) == 2 * 14 * 14 // 2 + 1
+
+    def test_cost_matches_theory_for_pi0(self):
+        n, k = 3, 2
+        codec = MatrixBitCodec(2 * n, 2 * n, k)
+        protocol = TrivialProtocol(codec, pi_zero(codec))
+        assert protocol.exact_cost_bits() == theoretical_trivial_cost(n, k)
+
+    def test_two_rounds(self, rng):
+        codec = MatrixBitCodec(4, 4, 1)
+        protocol = TrivialProtocol(codec, pi_zero(codec))
+        m = Matrix.random_kbit(rng, 4, 4, 1)
+        assert protocol.run_on_matrix(m).rounds == 2

@@ -1,0 +1,72 @@
+"""Tests for the self-delimiting wire formats."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.protocols.wire import (
+    HEADER_BITS,
+    decode_fraction,
+    decode_fraction_matrix,
+    decode_varint,
+    encode_fraction,
+    encode_fraction_matrix,
+    encode_varint,
+)
+
+
+class TestVarint:
+    def test_roundtrip(self):
+        for value in (0, 1, -1, 255, -12345, 2**40):
+            bits = encode_varint(value)
+            decoded, cursor = decode_varint(bits, 0)
+            assert decoded == value
+            assert cursor == len(bits)
+
+    def test_concatenation(self):
+        bits = encode_varint(7) + encode_varint(-3)
+        first, cursor = decode_varint(bits, 0)
+        second, cursor = decode_varint(bits, cursor)
+        assert (first, second) == (7, -3)
+        assert cursor == len(bits)
+
+    def test_huge_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(1 << 70000)
+
+
+class TestFraction:
+    def test_roundtrip(self):
+        for value in (Fraction(0), Fraction(-7, 3), Fraction(22, 7)):
+            bits = encode_fraction(value)
+            decoded, cursor = decode_fraction(bits, 0)
+            assert decoded == value
+            assert cursor == len(bits)
+
+    def test_corrupt_denominator_detected(self):
+        bits = encode_varint(1) + encode_varint(0)
+        with pytest.raises(ValueError):
+            decode_fraction(bits, 0)
+
+
+class TestFractionMatrix:
+    def test_roundtrip(self):
+        m = Matrix([[1, Fraction(1, 2)], [Fraction(-3, 4), 7]])
+        bits = encode_fraction_matrix(m, 2)
+        assert decode_fraction_matrix(bits, 2) == m
+
+    def test_none_roundtrip(self):
+        bits = encode_fraction_matrix(None, 5)
+        assert len(bits) == HEADER_BITS
+        assert decode_fraction_matrix(bits, 5) is None
+
+    def test_ambient_enforced(self):
+        with pytest.raises(ValueError):
+            encode_fraction_matrix(Matrix([[1, 2]]), 3)
+
+    def test_length_mismatch_detected(self):
+        m = Matrix([[1, 2]])
+        bits = encode_fraction_matrix(m, 2)
+        with pytest.raises(ValueError):
+            decode_fraction_matrix(bits + [0] * 17, 3)

@@ -1,0 +1,77 @@
+"""Tests for the design-choice ablations."""
+
+import pytest
+
+from repro.exact.span import Subspace
+from repro.singularity.ablations import (
+    ablate_anchor_row,
+    ablate_d_width,
+    ablate_evenness,
+    ablate_prime_bits,
+    ablate_unit_diagonal,
+    build_a_without_diagonal,
+)
+from repro.singularity.family import RestrictedFamily
+from repro.util.rng import ReproducibleRNG
+
+
+class TestUnitDiagonalAblation:
+    def test_collision_exhibited(self, family_7_2, rng):
+        c1, c2 = ablate_unit_diagonal(family_7_2, rng)
+        assert c1 != c2
+        a1 = build_a_without_diagonal(family_7_2, c1)
+        a2 = build_a_without_diagonal(family_7_2, c2)
+        assert Subspace.column_space(a1) == Subspace.column_space(a2)
+        # And the restriction really prevents it:
+        assert family_7_2.span_a(c1) != family_7_2.span_a(c2)
+
+
+class TestAnchorAblation:
+    def test_anchor_is_load_bearing(self, family_7_2):
+        # The function raises if the anchor turns out not to matter.
+        ablate_anchor_row(family_7_2)
+
+
+class TestDWidthAblation:
+    def test_paper_width_never_fails(self, family_7_2):
+        rng = ReproducibleRNG(0)
+        results = ablate_d_width(family_7_2, rng, trials=20)
+        by_width = {r.width: r for r in results}
+        assert by_width[family_7_2.d_width].failures == 0
+
+    def test_width_one_fails_often(self, family_7_2):
+        rng = ReproducibleRNG(1)
+        results = ablate_d_width(family_7_2, rng, trials=30)
+        by_width = {r.width: r for r in results}
+        assert by_width[1].failure_rate > 0.2
+
+    def test_failure_rate_monotone_ish(self, family_7_2):
+        rng = ReproducibleRNG(2)
+        results = ablate_d_width(family_7_2, rng, trials=30)
+        # Narrower widths never fail less than the paper's width.
+        paper = next(r for r in results if r.width == family_7_2.d_width)
+        for r in results:
+            assert r.failures >= paper.failures
+
+
+class TestPrimeBitsAblation:
+    def test_error_drops_with_prime_length(self):
+        curve = ablate_prime_bits(3, 3, [2, 8, 16], trials=8)
+        rates = dict(curve)
+        assert rates[2] > rates[16]
+        assert rates[16] == 0.0
+
+    def test_tiny_primes_always_fooled(self):
+        # det divisible by 2 and 3 — the only 2-bit primes.
+        curve = ablate_prime_bits(3, 3, [2], trials=6)
+        assert curve[0][1] == 1.0
+
+
+class TestEvennessAblation:
+    def test_even_succeeds_extreme_fails(self, family_7_2):
+        rng = ReproducibleRNG(3)
+        outcomes = dict(
+            ablate_evenness(family_7_2, rng, [0.5, 0.0])
+        )
+        assert outcomes[0.5] is True
+        assert outcomes[0.0] is False

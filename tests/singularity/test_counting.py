@@ -1,0 +1,108 @@
+"""Tests for the Section 3 bound calculators."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.singularity.counting import (
+    QPower,
+    TheoremBounds,
+    randomized_upper_bound_bits,
+    theorem_ratio,
+    trivial_upper_bound_bits,
+)
+from repro.singularity.family import RestrictedFamily
+
+
+class TestQPower:
+    def test_log2(self):
+        p = QPower(3, 7, Fraction(4))
+        assert p.log2() == pytest.approx(4 * math.log2(3))
+
+    def test_log_q(self):
+        p = QPower(3, 7, Fraction(4), Fraction(2))
+        assert p.log_q() == pytest.approx(4 + 2 * math.log(7) / math.log(3))
+
+    def test_arithmetic(self):
+        a = QPower(3, 7, Fraction(2))
+        b = QPower(3, 7, Fraction(5), Fraction(1))
+        assert (a * b).q_exp == 7
+        assert (a / b).n_exp == -1
+
+    def test_incompatible(self):
+        with pytest.raises(ValueError):
+            QPower(3, 7, Fraction(1)) * QPower(5, 7, Fraction(1))
+
+    def test_exact_value(self):
+        assert QPower(3, 7, Fraction(2), Fraction(1)).exact_value() == 63
+        with pytest.raises(ValueError):
+            QPower(3, 7, Fraction(1, 2)).exact_value()
+        with pytest.raises(ValueError):
+            QPower(3, 7, Fraction(-1)).exact_value()
+
+
+class TestTheoremBounds:
+    def test_rows_match_family_count(self, family_7_2):
+        tb = TheoremBounds(family_7_2)
+        assert tb.exact_rows() == family_7_2.count_c_instances()
+        assert tb.rows().exact_value() == family_7_2.count_c_instances()
+
+    def test_ones_bounds_ordering(self, family_7_2):
+        tb = TheoremBounds(family_7_2)
+        assert tb.ones_per_row_lower().log2() <= tb.ones_per_row_upper().log2()
+
+    def test_ones_lower_matches_e_count(self, family_7_2):
+        tb = TheoremBounds(family_7_2)
+        assert tb.ones_per_row_lower().exact_value() == family_7_2.count_e_instances()
+
+    def test_proper_variant_halves_exponents(self, family_7_2):
+        pi0 = TheoremBounds(family_7_2, "pi0")
+        proper = TheoremBounds(family_7_2, "proper")
+        assert proper.rows().q_exp == pi0.rows().q_exp / 2
+        assert proper.many_rows_column_cap().q_exp == pi0.many_rows_column_cap().q_exp / 2
+
+    def test_variant_validation(self, family_7_2):
+        with pytest.raises(ValueError):
+            TheoremBounds(family_7_2, "bogus")
+
+    def test_exact_rows_pi0_only(self, family_7_2):
+        with pytest.raises(ValueError):
+            TheoremBounds(family_7_2, "proper").exact_rows()
+
+    def test_covered_fraction_negative_log(self):
+        # For large n the max covered fraction must be << 1.
+        tb = TheoremBounds(RestrictedFamily(101, 4))
+        assert tb.max_covered_fraction_log2() < 0
+
+    def test_yao_bound_grows_like_kn2(self):
+        ratios = [theorem_ratio(n, 4) for n in (101, 201, 401)]
+        # Ratio must be positive, bounded, and non-vanishing (Θ(k n²)).
+        assert all(r > 0.01 for r in ratios)
+        assert all(r < 1.0 for r in ratios)
+        # And converging: successive differences shrink.
+        assert abs(ratios[2] - ratios[1]) < abs(ratios[1] - ratios[0])
+
+    def test_ratio_improves_with_k(self):
+        assert theorem_ratio(201, 8) > theorem_ratio(201, 2)
+
+
+class TestUpperBounds:
+    def test_trivial_dominates_lower(self):
+        for n, k in [(63, 2), (101, 4)]:
+            tb = TheoremBounds(RestrictedFamily(n, k))
+            assert trivial_upper_bound_bits(n, k) >= tb.yao_lower_bound_bits()
+
+    def test_trivial_value(self):
+        assert trivial_upper_bound_bits(7, 2) == 2 * 196 // 2 + 1
+
+    def test_randomized_smaller_for_large_k(self):
+        n = 63
+        assert randomized_upper_bound_bits(n, 64) < trivial_upper_bound_bits(n, 64)
+
+    def test_randomized_scaling_in_k_is_logarithmic(self):
+        n = 63
+        cost_k4 = randomized_upper_bound_bits(n, 4)
+        cost_k256 = randomized_upper_bound_bits(n, 256)
+        # 256 = 4^4 but cost grows only ~ log k: far less than 64x.
+        assert cost_k256 < 8 * cost_k4

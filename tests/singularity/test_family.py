@@ -1,0 +1,270 @@
+"""Tests for the restricted family construction (Figures 1 and 3).
+
+Every structural fact the lemma proofs rely on is asserted here against the
+assembled matrices, so a layout bug cannot hide behind a passing lemma test.
+"""
+
+import pytest
+
+from repro.exact.rank import rank
+from repro.exact.vector import Vector
+from repro.singularity.family import FamilyInstance, RestrictedFamily, ceil_log
+from repro.util.rng import ReproducibleRNG
+
+
+class TestCeilLog:
+    def test_known(self):
+        assert ceil_log(3, 7) == 2
+        assert ceil_log(3, 9) == 2
+        assert ceil_log(3, 10) == 3
+        assert ceil_log(2, 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ceil_log(1, 5)
+        with pytest.raises(ValueError):
+            ceil_log(3, 0)
+
+
+class TestParameterValidation:
+    def test_even_n_rejected(self):
+        with pytest.raises(ValueError):
+            RestrictedFamily(6, 2)
+
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            RestrictedFamily(7, 1)
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            RestrictedFamily(3, 2)  # e_width would be negative
+
+    def test_dimension_bookkeeping(self):
+        fam = RestrictedFamily(9, 2)
+        assert fam.q == 3
+        assert fam.h == 4
+        assert fam.d_width + fam.e_width == fam.n - 1
+        assert fam.m_size == 18
+
+    def test_minimal_viable_family(self):
+        fam = RestrictedFamily(5, 3)  # q=7, log term 1, e_width 1
+        assert fam.e_width == 1
+
+
+class TestVectors:
+    def test_u_is_geometric(self, family_7_2):
+        u = family_7_2.u()
+        q = family_7_2.q
+        assert len(u) == 6
+        assert u[-1] == 1
+        assert u[-2] == -q
+        assert u[0] == (-q) ** 5
+
+    def test_w_matches_u_tail(self, family_7_2):
+        # w must equal the last e_width components of u.
+        u = family_7_2.u()
+        w = family_7_2.w()
+        assert list(w) == list(u)[-family_7_2.e_width :]
+
+    def test_w_undefined_when_e_empty(self):
+        fam = RestrictedFamily(5, 2)  # q=3, log=2, e_width=0
+        assert fam.e_width == 0
+        with pytest.raises(ValueError):
+            fam.w()
+
+    def test_projection_indices(self, family_7_2):
+        assert family_7_2.projection_indices() == [3, 4, 5]
+
+
+class TestBlockValidation:
+    def test_c_shape_and_range(self, family_7_2, rng):
+        good = family_7_2.random_c(rng)
+        assert family_7_2.check_c(good) == good
+        with pytest.raises(ValueError):
+            family_7_2.check_c([[0] * 2] * 3)
+        bad = [list(row) for row in good]
+        bad[0][0] = family_7_2.q  # q itself is out of the free range
+        with pytest.raises(ValueError):
+            family_7_2.check_c(bad)
+
+    def test_y_validation(self, family_7_2, rng):
+        y = family_7_2.random_y(rng)
+        assert family_7_2.check_y(y) == y
+        with pytest.raises(ValueError):
+            family_7_2.check_y(y[:-1])
+        with pytest.raises(ValueError):
+            family_7_2.check_y((family_7_2.q,) * (family_7_2.n - 1))
+
+
+class TestAStructure:
+    def test_unit_diagonal(self, family_7_2, rng):
+        a = family_7_2.build_a(family_7_2.random_c(rng))
+        for j in range(family_7_2.n - 1):
+            assert a[j, j] == 1
+
+    def test_superdiagonal_q_in_first_half(self, family_7_2, rng):
+        a = family_7_2.build_a(family_7_2.random_c(rng))
+        q, h = family_7_2.q, family_7_2.h
+        for i in range(h - 1):
+            assert a[i, i + 1] == q
+
+    def test_c_block_placement(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        a = family_7_2.build_a(c)
+        h = family_7_2.h
+        for i in range(h):
+            for j in range(h):
+                assert a[i, h + j] == c[i][j]
+
+    def test_anchor_row(self, family_7_2, rng):
+        a = family_7_2.build_a(family_7_2.random_c(rng))
+        n = family_7_2.n
+        assert a[n - 1, 0] == 1
+        assert all(a[n - 1, j] == 0 for j in range(1, n - 1))
+
+    def test_middle_rows_are_unit_vectors(self, family_7_2, rng):
+        # Rows h..n-2 carry only their diagonal 1 — the proof of Lemma 3.5
+        # needs a_i·x = x_i there.
+        a = family_7_2.build_a(family_7_2.random_c(rng))
+        n, h = family_7_2.n, family_7_2.h
+        for i in range(h, n - 1):
+            for j in range(n - 1):
+                assert a[i, j] == (1 if i == j else 0)
+
+    def test_full_column_rank_for_every_c(self, family_7_2, rng):
+        for _ in range(10):
+            a = family_7_2.build_a(family_7_2.random_c(rng))
+            assert rank(a) == family_7_2.n - 1
+
+    def test_first_h_columns_project_to_zero(self, family_7_2, rng):
+        a = family_7_2.build_a(family_7_2.random_c(rng))
+        for j in range(family_7_2.h):
+            for i in family_7_2.projection_indices():
+                assert a[i, j] == 0
+
+
+class TestBStructure:
+    def test_block_placement(self, family_7_2, rng):
+        d = family_7_2.random_d(rng)
+        e = family_7_2.random_e(rng)
+        y = family_7_2.random_y(rng)
+        b = family_7_2.build_b(d, e, y)
+        fam = family_7_2
+        for i in range(fam.h):
+            for j in range(fam.d_width):
+                assert b[i, j] == d[i][j]
+        offset = (fam.n - 1) - fam.e_width
+        for i in range(fam.h):
+            for j in range(fam.e_width):
+                assert b[fam.h + i, offset + j] == e[i][j]
+        for j in range(fam.n - 1):
+            assert b[fam.n - 1, j] == y[j]
+
+    def test_zeros_outside_blocks(self, family_7_2, rng):
+        fam = family_7_2
+        b = fam.build_b(fam.random_d(rng), fam.random_e(rng), fam.random_y(rng))
+        # Top rows beyond D's width are zero.
+        for i in range(fam.h):
+            for j in range(fam.d_width, fam.n - 1):
+                assert b[i, j] == 0
+        # E rows before the E offset are zero.
+        offset = (fam.n - 1) - fam.e_width
+        for i in range(fam.h, fam.n - 1):
+            for j in range(offset):
+                assert b[i, j] == 0
+
+    def test_free_entry_count_identity(self, family_7_2):
+        # (n-1)^2/2 + (n-1) == (n^2-1)/2 — the paper's upper-bound count.
+        fam = family_7_2
+        free = len(fam.d_cells()) + len(fam.e_cells()) + len(fam.y_cells())
+        assert free == (fam.n**2 - 1) // 2
+
+
+class TestMStructure:
+    def test_shape_and_entry_bounds(self, family_7_2, rng):
+        inst = FamilyInstance.random(family_7_2, rng)
+        m = inst.m_matrix()
+        assert m.shape == (14, 14)
+        limit = (1 << family_7_2.k) - 1
+        assert all(
+            0 <= m[i, j] <= limit for i in range(14) for j in range(14)
+        )
+
+    def test_column_zero_is_e1(self, family_7_2, rng):
+        m = FamilyInstance.random(family_7_2, rng).m_matrix()
+        col = m.col(0)
+        assert col[0] == 1 and all(x == 0 for x in col[1:])
+
+    def test_column_n_is_en(self, family_7_2, rng):
+        fam = family_7_2
+        m = FamilyInstance.random(fam, rng).m_matrix()
+        col = m.col(fam.n)
+        assert col[fam.n - 1] == 1
+        assert sum(1 for x in col if x != 0) == 1
+
+    def test_antidiagonal_pattern(self, family_7_2, rng):
+        fam = family_7_2
+        m = FamilyInstance.random(fam, rng).m_matrix()
+        size = fam.m_size
+        for i in range(fam.n):
+            for j in range(fam.n, size):
+                expected = 1 if i + j == size - 1 else (fam.q if i + j == size else 0)
+                assert m[i, j] == expected
+
+    def test_top_left_zero(self, family_7_2, rng):
+        fam = family_7_2
+        m = FamilyInstance.random(fam, rng).m_matrix()
+        for i in range(fam.n):
+            for j in range(1, fam.n):
+                assert m[i, j] == 0
+
+    def test_b_times_u_identity(self, family_7_2, rng):
+        inst = FamilyInstance.random(family_7_2, rng)
+        bu = inst.b_times_u()
+        manual = inst.b_matrix().matvec(list(family_7_2.u()))
+        assert bu == Vector(list(manual))
+
+    def test_p_bu_equals_ew(self, family_7_2, rng):
+        # Lemma 3.7's identity, structurally.
+        inst = FamilyInstance.random(family_7_2, rng)
+        bu = inst.b_times_u()
+        assert bu.project(family_7_2.projection_indices()) == family_7_2.e_dot_w(
+            inst.e
+        )
+
+
+class TestCountsAndCells:
+    def test_count_c(self, family_7_2):
+        assert family_7_2.count_c_instances() == 3**9
+
+    def test_count_b(self, family_7_2):
+        assert family_7_2.count_b_instances() == 3 ** ((49 - 1) // 2)
+
+    def test_enumerate_c_matches_count(self):
+        fam = RestrictedFamily(5, 2)  # h=2 -> 3^4 = 81 C's
+        assert sum(1 for _ in fam.enumerate_c()) == fam.count_c_instances() == 81
+
+    def test_free_cells_disjoint(self, family_7_2):
+        cells = family_7_2.free_cells()
+        assert len(cells) == len(set(cells))
+
+    def test_free_bits_theta_kn2(self, family_7_2):
+        # The free information is at least k·n²/4 (C + E + D + y cells).
+        fam = family_7_2
+        assert fam.free_bit_count() >= fam.k * fam.n**2 // 4
+
+    def test_free_cells_are_free(self, family_7_2, rng):
+        # Changing any free cell changes the assembled matrix.
+        fam = family_7_2
+        inst = FamilyInstance.random(fam, rng)
+        m = inst.m_matrix()
+        c2 = [list(r) for r in inst.c]
+        c2[0][0] = (c2[0][0] + 1) % fam.q
+        m2 = fam.build_m(fam.build_a(c2), inst.b_matrix())
+        (i, j) = fam.c_cells()[0]
+        assert m[i, j] != m2[i, j]
+
+    def test_codec_dimensions(self, family_7_2):
+        codec = family_7_2.codec()
+        assert codec.rows == codec.cols == 14
+        assert codec.k == 2

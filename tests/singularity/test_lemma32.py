@@ -1,0 +1,94 @@
+"""Tests for Lemma 3.2: M singular ⇔ B·u ∈ Span(A)."""
+
+import pytest
+
+from repro.exact.rank import is_singular
+from repro.singularity.family import FamilyInstance, RestrictedFamily
+from repro.singularity.lemma32 import (
+    check_equivalence,
+    dependence_witness,
+    forced_coefficients,
+    span_a_has_full_dimension,
+    verify_witness,
+)
+from repro.singularity.lemma35 import complete_and_check_singular
+from repro.util.rng import ReproducibleRNG
+
+
+class TestPremise:
+    def test_span_always_full_dimension(self, family_7_2, rng):
+        for _ in range(15):
+            assert span_a_has_full_dimension(family_7_2, family_7_2.random_c(rng))
+
+    def test_holds_at_other_parameters(self):
+        rng = ReproducibleRNG(1)
+        for n, k in [(5, 3), (9, 2), (7, 4)]:
+            fam = RestrictedFamily(n, k)
+            assert span_a_has_full_dimension(fam, fam.random_c(rng))
+
+
+class TestEquivalence:
+    def test_on_random_instances(self, family_7_2, rng):
+        # Random instances are almost always nonsingular; the equivalence
+        # must hold in that direction too.
+        for _ in range(20):
+            assert check_equivalence(FamilyInstance.random(family_7_2, rng))
+
+    def test_on_singular_instances(self, family_7_2, rng):
+        # Singular members built by the completion: both sides True.
+        for _ in range(5):
+            c = family_7_2.random_c(rng)
+            e = family_7_2.random_e(rng)
+            inst = complete_and_check_singular(family_7_2, c, e)
+            assert check_equivalence(inst)
+
+    def test_at_minimal_parameters(self):
+        rng = ReproducibleRNG(2)
+        fam = RestrictedFamily(5, 3)
+        for _ in range(10):
+            assert check_equivalence(FamilyInstance.random(fam, rng))
+
+
+class TestForcedCoefficients:
+    def test_equal_u(self, family_7_2):
+        assert forced_coefficients(family_7_2) == family_7_2.u()
+
+    def test_equal_u_other_families(self):
+        for n, k in [(5, 3), (9, 2), (11, 2)]:
+            fam = RestrictedFamily(n, k)
+            assert forced_coefficients(fam) == fam.u()
+
+
+class TestWitness:
+    def test_witness_on_singular(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        inst = complete_and_check_singular(family_7_2, c, e)
+        z = dependence_witness(inst)
+        assert z is not None
+        assert verify_witness(inst, z)
+
+    def test_witness_none_on_nonsingular(self, family_7_2, rng):
+        for _ in range(10):
+            inst = FamilyInstance.random(family_7_2, rng)
+            if not is_singular(inst.m_matrix()):
+                assert dependence_witness(inst) is None
+                break
+        else:
+            pytest.skip("no nonsingular sample drawn (astronomically unlikely)")
+
+    def test_witness_carries_u(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        inst = complete_and_check_singular(family_7_2, c, e)
+        z = dependence_witness(inst)
+        assert z is not None
+        n = family_7_2.n
+        u = family_7_2.u()
+        assert list(z)[n + 1 :] == list(u)
+
+    def test_zero_vector_is_not_a_witness(self, family_7_2, rng):
+        from repro.exact.vector import Vector
+
+        inst = FamilyInstance.random(family_7_2, rng)
+        assert not verify_witness(inst, Vector([0] * family_7_2.m_size))

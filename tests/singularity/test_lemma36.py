@@ -1,0 +1,144 @@
+"""Tests for Lemmas 3.3, 3.6, 3.7: intersections, projections, column caps."""
+
+import pytest
+
+from repro.exact.span import Subspace
+from repro.singularity.family import RestrictedFamily
+from repro.singularity.lemma35 import complete
+from repro.singularity.lemma36 import (
+    count_ew_vectors_in_subspace,
+    intersection_dimension,
+    intersection_dimension_profile,
+    lemma33_containment,
+    lemma36_row_threshold_log2,
+    lemma37_column_bound_log2,
+    one_rectangle_column_cap,
+    projected_intersection_dimension,
+    verify_column_cap_on_rectangle,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestLemma33:
+    def test_single_row_rectangle(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        comp = complete(family_7_2, c, e)
+        assert lemma33_containment(family_7_2, [c], [(comp.d, e, comp.y)])
+
+    def test_non_rectangle_detected(self, family_7_2, rng):
+        # A column that is NOT singular against the row: premise fails.
+        c = family_7_2.random_c(rng)
+        d = family_7_2.random_d(rng)
+        e = family_7_2.random_e(rng)
+        y = family_7_2.random_y(rng)
+        from repro.exact.rank import is_singular
+
+        m = family_7_2.build_m(
+            family_7_2.build_a(c), family_7_2.build_b(d, e, y)
+        )
+        if is_singular(m):
+            pytest.skip("random draw was singular (essentially impossible)")
+        assert not lemma33_containment(family_7_2, [c], [(d, e, y)])
+
+
+class TestLemma36Intersections:
+    def test_profile_monotone_decreasing(self, family_7_2, rng):
+        cs = [family_7_2.random_c(rng) for _ in range(6)]
+        profile = intersection_dimension_profile(family_7_2, cs)
+        assert all(a >= b for a, b in zip(profile, profile[1:]))
+        assert profile[0] == family_7_2.n - 1
+
+    def test_intersection_contains_fixed_columns(self, family_7_2, rng):
+        # The first h columns of A are C-independent, so they survive every
+        # intersection: dim >= h always.
+        cs = [family_7_2.random_c(rng) for _ in range(5)]
+        assert intersection_dimension(family_7_2, cs) >= family_7_2.h
+
+    def test_distinct_rows_drop_dimension(self, family_7_2, rng):
+        c1 = family_7_2.random_c(rng)
+        c2 = family_7_2.random_c(rng)
+        if c1 == c2:
+            pytest.skip("collision")
+        pair_dim = intersection_dimension(family_7_2, [c1, c2])
+        assert pair_dim < family_7_2.n - 1
+
+    def test_threshold_formula(self, family_7_2):
+        import math
+
+        expected = (49 / 16) * math.log2(3) + 7 * math.log2(7)
+        assert lemma36_row_threshold_log2(family_7_2) == pytest.approx(expected)
+
+
+class TestLemma37Projection:
+    def test_projection_kills_h_dimensions(self, family_7_2, rng):
+        cs = [family_7_2.random_c(rng) for _ in range(3)]
+        full = intersection_dimension(family_7_2, cs)
+        projected = projected_intersection_dimension(family_7_2, cs)
+        assert projected <= full - family_7_2.h
+
+    def test_single_row_projection(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        # Span(A) has dim n-1 = 6; projection to h=3 coords has dim <= 3.
+        assert projected_intersection_dimension(family_7_2, [c]) <= family_7_2.h
+
+    def test_column_bound_formula(self, family_7_2):
+        import math
+
+        assert lemma37_column_bound_log2(family_7_2) == pytest.approx(
+            (3 * 49 / 8) * math.log2(3)
+        )
+
+    def test_ew_count_in_full_projected_space(self, family_7_2):
+        # All q^{h*e_width} vectors E·w lie in the full ambient Q^h.
+        full = Subspace.full(family_7_2.h)
+        count = count_ew_vectors_in_subspace(family_7_2, full)
+        assert count == family_7_2.count_e_instances()
+
+    def test_ew_count_in_zero_space(self, family_7_2):
+        zero = Subspace.zero(family_7_2.h)
+        # Only the all-zero E maps to the zero vector (negabase injectivity).
+        assert count_ew_vectors_in_subspace(family_7_2, zero) == 1
+
+    def test_ew_count_monotone_in_dimension(self, family_7_2):
+        from repro.exact.vector import Vector
+
+        line = Subspace.span([Vector([1, 0, 0])])
+        plane = Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0])])
+        count_line = count_ew_vectors_in_subspace(family_7_2, line)
+        count_plane = count_ew_vectors_in_subspace(family_7_2, plane)
+        assert count_line <= count_plane
+
+    def test_ambient_check(self, family_7_2):
+        with pytest.raises(ValueError):
+            count_ew_vectors_in_subspace(family_7_2, Subspace.full(5))
+
+    def test_empty_e_guard(self):
+        fam = RestrictedFamily(5, 2)
+        with pytest.raises(ValueError):
+            count_ew_vectors_in_subspace(fam, Subspace.full(fam.h))
+
+
+class TestColumnCap:
+    def test_cap_for_explicit_rows(self, family_7_2, rng):
+        cs = [family_7_2.random_c(rng) for _ in range(3)]
+        cap = one_rectangle_column_cap(family_7_2, cs)
+        assert cap >= 1
+        # cap = (q^e_width)^projected_dim
+        projected = projected_intersection_dimension(family_7_2, cs)
+        assert cap == (family_7_2.q ** family_7_2.e_width) ** projected
+
+    def test_mechanism_on_rectangles(self, family_7_2, rng):
+        cs = [family_7_2.random_c(rng) for _ in range(2)]
+        es = [family_7_2.random_e(rng) for _ in range(5)]
+        assert verify_column_cap_on_rectangle(family_7_2, cs, es)
+
+    def test_cap_exact_against_enumeration(self, family_7_2, rng):
+        # For a single row, the E·w vectors inside p(Span(A)) are at most
+        # the cap (usually far fewer).
+        c = family_7_2.random_c(rng)
+        span = family_7_2.span_a(c)
+        projected = span.project(family_7_2.projection_indices())
+        count = count_ew_vectors_in_subspace(family_7_2, projected)
+        cap = one_rectangle_column_cap(family_7_2, [c])
+        assert count <= cap

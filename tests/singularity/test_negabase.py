@@ -1,0 +1,100 @@
+"""Tests for negative-base representations (the completion's engine)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.singularity.negabase import (
+    fits_in_negabase,
+    negabase_digits,
+    negabase_range,
+    negabase_value,
+)
+
+
+class TestRoundTrip:
+    def test_known_values(self):
+        assert negabase_value(negabase_digits(0, 3), 3) == 0
+        assert negabase_value(negabase_digits(100, 3), 3) == 100
+        assert negabase_value(negabase_digits(-100, 3), 3) == -100
+
+    def test_digits_in_range(self):
+        for value in range(-50, 51):
+            digits = negabase_digits(value, 3)
+            assert all(0 <= d <= 2 for d in digits)
+
+    def test_uniqueness_by_exhaustion(self):
+        # Every integer in the 4-digit coverage interval has exactly one
+        # 4-digit representation.
+        q, width = 3, 4
+        seen = {}
+        import itertools
+
+        for digits in itertools.product(range(q), repeat=width):
+            value = negabase_value(list(digits), q)
+            assert value not in seen, "duplicate representation"
+            seen[value] = digits
+        lo, hi = negabase_range(q, width)
+        assert set(seen) == set(range(lo, hi + 1))
+
+    def test_width_padding(self):
+        digits = negabase_digits(5, 3, width=6)
+        assert len(digits) == 6
+        assert negabase_value(digits, 3) == 5
+
+    def test_width_overflow_returns_none(self):
+        lo, hi = negabase_range(3, 2)
+        assert negabase_digits(hi + 1, 3, width=2) is None
+        assert negabase_digits(lo - 1, 3, width=2) is None
+
+    def test_rejects_small_base(self):
+        with pytest.raises(ValueError):
+            negabase_digits(5, 1)
+
+
+class TestRange:
+    def test_zero_width(self):
+        assert negabase_range(3, 0) == (0, 0)
+
+    def test_known_ranges(self):
+        # width 1: digits {0,1,2} -> [0, 2]; width 2: -6..2; width 3: -6..20.
+        assert negabase_range(3, 1) == (0, 2)
+        assert negabase_range(3, 2) == (-6, 2)
+        assert negabase_range(3, 3) == (-6, 20)
+
+    def test_fits_predicate(self):
+        assert fits_in_negabase(2, 3, 1)
+        assert not fits_in_negabase(3, 3, 1)
+        assert fits_in_negabase(-6, 3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            negabase_range(1, 3)
+        with pytest.raises(ValueError):
+            negabase_range(3, -1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.integers(min_value=2, max_value=16),
+)
+def test_roundtrip_property(value, q):
+    digits = negabase_digits(value, q)
+    assert all(0 <= d < q for d in digits)
+    assert negabase_value(digits, q) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=9),
+    st.integers(min_value=0, max_value=8),
+)
+def test_range_is_exactly_representable_interval(q, width):
+    lo, hi = negabase_range(q, width)
+    # Endpoints representable, just-outside not.
+    if width:
+        assert negabase_digits(lo, q, width) is not None
+        assert negabase_digits(hi, q, width) is not None
+    assert negabase_digits(hi + 1, q, width) is None
+    assert negabase_digits(lo - 1, q, width) is None

@@ -1,0 +1,102 @@
+"""Tests for the m×m → 2n×2n padding reduction."""
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.singularity.padding import (
+    has_identity_tail,
+    pad,
+    padding_parameters,
+    padding_preserves_singularity,
+    padding_rank_identity,
+    unpad,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestParameters:
+    def test_n_always_odd(self):
+        for m in range(2, 40):
+            n, d = padding_parameters(m)
+            assert n % 2 == 1
+            assert 2 * n + d == m
+            assert 0 <= d <= 3
+
+    def test_known_values(self):
+        assert padding_parameters(14) == (7, 0)
+        assert padding_parameters(15) == (7, 1)
+        assert padding_parameters(16) == (7, 2)
+        assert padding_parameters(17) == (7, 3)
+        assert padding_parameters(18) == (9, 0)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            padding_parameters(1)
+
+
+class TestPadUnpad:
+    def test_roundtrip(self):
+        rng = ReproducibleRNG(0)
+        for m_size in (15, 16, 17):
+            n, d = padding_parameters(m_size)
+            block = Matrix.random_kbit(rng, 2 * n, 2 * n, 2)
+            padded = pad(block, m_size)
+            assert padded.shape == (m_size, m_size)
+            assert has_identity_tail(padded, d)
+            assert unpad(padded) == block
+
+    def test_d_zero_identity_op(self):
+        rng = ReproducibleRNG(1)
+        block = Matrix.random_kbit(rng, 14, 14, 2)
+        assert pad(block, 14) == block
+
+    def test_pad_shape_check(self):
+        with pytest.raises(ValueError):
+            pad(Matrix.identity(4), 15)
+
+    def test_unpad_rejects_broken_tail(self):
+        rng = ReproducibleRNG(2)
+        block = Matrix.random_kbit(rng, 14, 14, 2)
+        padded = pad(block, 15)
+        corrupted = padded.with_entry(14, 14, 0)
+        with pytest.raises(ValueError):
+            unpad(corrupted)
+
+    def test_unpad_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            unpad(Matrix([[1, 2]]))
+
+
+class TestReductionCorrectness:
+    def test_preserves_singularity_random(self):
+        rng = ReproducibleRNG(3)
+        for m_size in (15, 16, 17):
+            n, _ = padding_parameters(m_size)
+            for _ in range(5):
+                block = Matrix.random_kbit(rng, 2 * n, 2 * n, 2)
+                assert padding_preserves_singularity(block, m_size)
+
+    def test_preserves_singularity_on_singular_blocks(self):
+        rng = ReproducibleRNG(4)
+        n, _ = padding_parameters(15)
+        block = Matrix.random_kbit(rng, 2 * n, 2 * n, 2)
+        # Force singularity: duplicate a column.
+        cols = list(range(2 * n))
+        cols[1] = 0
+        singular = block.permute_cols(list(range(2 * n))).submatrix(
+            range(2 * n), cols
+        )
+        assert padding_preserves_singularity(singular, 15)
+
+    def test_rank_identity(self):
+        rng = ReproducibleRNG(5)
+        for m_size in (15, 16, 17):
+            n, _ = padding_parameters(m_size)
+            block = Matrix.random_kbit(rng, 2 * n, 2 * n, 1)
+            assert padding_rank_identity(block, m_size)
+
+    def test_identity_tail_check(self):
+        assert has_identity_tail(Matrix.identity(5), 2)
+        assert has_identity_tail(Matrix.identity(5), 0)
+        broken = Matrix.identity(5).with_entry(0, 4, 1)
+        assert not has_identity_tail(broken, 2)

@@ -1,0 +1,122 @@
+"""Tests for Definition 3.8 (proper partitions) and Lemma 3.9."""
+
+import pytest
+
+from repro.comm.partition import (
+    Partition,
+    checkerboard,
+    interleaved,
+    pi_zero,
+    random_even_partition,
+    row_split,
+)
+from repro.singularity.proper import (
+    ProperizationError,
+    is_proper,
+    make_proper,
+    required_c_bits,
+    required_e_row_bits,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestThresholds:
+    def test_c_threshold(self, family_7_2):
+        assert required_c_bits(family_7_2) == 2 * 36 // 8
+
+    def test_e_threshold(self, family_7_2):
+        assert required_e_row_bits(family_7_2) == (2 * 2 + 1) // 2
+
+
+class TestIsProper:
+    def test_pi_zero_is_proper(self, family_7_2):
+        # π₀ gives agent 0 the left columns: C sits in the left half (cols
+        # h+1..n-1 < n), E in the right half — the canonical proper split.
+        assert is_proper(family_7_2, pi_zero(family_7_2.codec()))
+
+    def test_swapped_pi_zero_not_proper(self, family_7_2):
+        # With the agents renamed, agent 0 holds the RIGHT half: it reads
+        # none of C, so the C threshold fails.
+        assert not is_proper(family_7_2, pi_zero(family_7_2.codec()).swapped())
+
+    def test_all_to_agent1_not_proper(self, family_7_2):
+        codec = family_7_2.codec()
+        p = Partition(codec.total_bits, frozenset())
+        assert not is_proper(family_7_2, p)
+
+    def test_all_to_agent0_fails_e_rows(self, family_7_2):
+        codec = family_7_2.codec()
+        p = Partition(codec.total_bits, frozenset(range(codec.total_bits)))
+        assert not is_proper(family_7_2, p)
+
+
+class TestMakeProper:
+    def test_pi_zero_trivial(self, family_7_2):
+        p = pi_zero(family_7_2.codec())
+        cert = make_proper(family_7_2, p)
+        assert cert.verify(p)
+
+    def test_interleaved(self, family_7_2):
+        p = interleaved(family_7_2.codec())
+        cert = make_proper(family_7_2, p)
+        assert cert.verify(p)
+
+    def test_checkerboard(self, family_7_2):
+        p = checkerboard(family_7_2.codec())
+        cert = make_proper(family_7_2, p)
+        assert cert.verify(p)
+
+    def test_row_split(self, family_7_2):
+        p = row_split(family_7_2.codec())
+        cert = make_proper(family_7_2, p)
+        assert cert.verify(p)
+
+    def test_random_even_partitions(self, family_7_2):
+        rng = ReproducibleRNG(0)
+        codec = family_7_2.codec()
+        for trial in range(8):
+            p = random_even_partition(rng, codec)
+            cert = make_proper(family_7_2, p)
+            assert cert.verify(p)
+
+    def test_swapped_partitions_normalize(self, family_7_2):
+        # Renaming agents is one of the lemma's moves but not mandatory —
+        # column permutation alone can cast the swapped π₀ properly.
+        p = pi_zero(family_7_2.codec()).swapped()
+        cert = make_proper(family_7_2, p)
+        assert cert.verify(p)
+
+    def test_certificate_weights_meet_thresholds(self, family_7_2):
+        rng = ReproducibleRNG(1)
+        p = random_even_partition(rng, family_7_2.codec())
+        cert = make_proper(family_7_2, p)
+        assert cert.c_weight >= required_c_bits(family_7_2)
+        for w in cert.e_row_weights:
+            assert w >= required_e_row_bits(family_7_2)
+
+    def test_permutations_are_permutations(self, family_7_2):
+        rng = ReproducibleRNG(2)
+        p = random_even_partition(rng, family_7_2.codec())
+        cert = make_proper(family_7_2, p)
+        size = family_7_2.m_size
+        assert sorted(cert.row_perm) == list(range(size))
+        assert sorted(cert.col_perm) == list(range(size))
+
+    def test_grossly_uneven_partition_fails(self, family_7_2):
+        # Agent 0 reads nothing: no casting can dominate C.  (Lemma 3.9 only
+        # claims even partitions — this guards the claim's hypothesis.)
+        codec = family_7_2.codec()
+        p = Partition(codec.total_bits, frozenset())
+        with pytest.raises(ProperizationError):
+            make_proper(family_7_2, p, restarts=10)
+
+    def test_other_family_parameters(self):
+        fam_key = [(5, 3), (9, 2)]
+        rng = ReproducibleRNG(3)
+        from repro.singularity.family import RestrictedFamily
+
+        for n, k in fam_key:
+            fam = RestrictedFamily(n, k)
+            p = random_even_partition(rng, fam.codec())
+            cert = make_proper(fam, p)
+            assert cert.verify(p)

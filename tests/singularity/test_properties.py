@@ -1,0 +1,125 @@
+"""Property-based tests on the restricted family and its lemma chain.
+
+Hypothesis drives the free blocks over their full ranges; the invariants are
+exactly the paper's, so any shrunk counterexample here would be a finding
+about the paper (or about our reading of its figures).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.rank import column_space_contains, is_singular, rank
+from repro.singularity.family import RestrictedFamily
+from repro.singularity.lemma34 import recover_c_from_span
+from repro.singularity.lemma35 import complete
+
+FAMILY = RestrictedFamily(7, 2)
+SMALL = RestrictedFamily(5, 3)
+
+
+def blocks(family, rows, cols):
+    return st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=family.q - 1),
+            min_size=cols,
+            max_size=cols,
+        ),
+        min_size=rows,
+        max_size=rows,
+    ).map(lambda b: tuple(tuple(r) for r in b))
+
+
+def c_blocks(family):
+    return blocks(family, family.h, family.h)
+
+
+def e_blocks(family):
+    return blocks(family, family.h, family.e_width)
+
+
+def d_blocks(family):
+    return blocks(family, family.h, family.d_width)
+
+
+def y_rows(family):
+    return st.lists(
+        st.integers(min_value=0, max_value=family.q - 1),
+        min_size=family.n - 1,
+        max_size=family.n - 1,
+    ).map(tuple)
+
+
+@settings(max_examples=25, deadline=None)
+@given(c_blocks(FAMILY))
+def test_span_a_always_full_rank(c):
+    assert rank(FAMILY.build_a(c)) == FAMILY.n - 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(c_blocks(FAMILY))
+def test_c_recovery_roundtrip(c):
+    assert recover_c_from_span(FAMILY, FAMILY.span_a(c)) == c
+
+
+@settings(max_examples=20, deadline=None)
+@given(c_blocks(FAMILY), d_blocks(FAMILY), e_blocks(FAMILY), y_rows(FAMILY))
+def test_lemma32_equivalence(c, d, e, y):
+    a = FAMILY.build_a(c)
+    b = FAMILY.build_b(d, e, y)
+    m = FAMILY.build_m(a, b)
+    assert is_singular(m) == column_space_contains(a, FAMILY.b_times_u(b))
+
+
+@settings(max_examples=20, deadline=None)
+@given(c_blocks(FAMILY), e_blocks(FAMILY))
+def test_completion_always_singular(c, e):
+    completion = complete(FAMILY, c, e)
+    m = FAMILY.build_m(
+        FAMILY.build_a(c), FAMILY.build_b(completion.d, e, completion.y)
+    )
+    assert is_singular(m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(c_blocks(SMALL), e_blocks(SMALL))
+def test_completion_small_family(c, e):
+    completion = complete(SMALL, c, e)
+    m = SMALL.build_m(
+        SMALL.build_a(c), SMALL.build_b(completion.d, e, completion.y)
+    )
+    assert is_singular(m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(c_blocks(FAMILY), e_blocks(FAMILY))
+def test_projection_identity(c, e):
+    # p(B·u) = E·w for every block choice (D and y don't affect the middle).
+    rngless_d = tuple(tuple(0 for _ in range(FAMILY.d_width)) for _ in range(FAMILY.h))
+    zero_y = tuple(0 for _ in range(FAMILY.n - 1))
+    bu = FAMILY.b_times_u_from_blocks(rngless_d, e, zero_y)
+    assert bu.project(FAMILY.projection_indices()) == FAMILY.e_dot_w(e)
+
+
+@settings(max_examples=15, deadline=None)
+@given(c_blocks(FAMILY), c_blocks(FAMILY))
+def test_lemma34_pairwise(c1, c2):
+    if c1 == c2:
+        assert FAMILY.span_a(c1) == FAMILY.span_a(c2)
+    else:
+        assert FAMILY.span_a(c1) != FAMILY.span_a(c2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=40))
+def test_padding_preserves_singularity_property(m_size):
+    from repro.exact.matrix import Matrix
+    from repro.singularity.padding import (
+        pad,
+        padding_parameters,
+    )
+    from repro.util.rng import ReproducibleRNG
+
+    n, d = padding_parameters(m_size)
+    rng = ReproducibleRNG(m_size)
+    block = Matrix.random_kbit(rng, 2 * n, 2 * n, 1)
+    assert is_singular(block) == is_singular(pad(block, m_size))

@@ -1,0 +1,142 @@
+"""Tests for the Corollary 1.2/1.3 reductions and the product-rank bridge."""
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.rank import is_singular, rank
+from repro.singularity.family import FamilyInstance
+from repro.singularity.lemma35 import complete_and_check_singular
+from repro.singularity.reductions import (
+    all_corollary_12_reductions,
+    corollary_13_holds,
+    corollary_13_instance,
+    corollary_13_requires_family,
+    determinant_reduction,
+    half_rank_instance,
+    lup_reduction,
+    product_equals_via_rank,
+    product_verification_matrix,
+    qr_reduction,
+    rank_identity_holds,
+    rank_reduction,
+    svd_reduction,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestCorollary12:
+    def test_all_reductions_on_random(self, rng):
+        reductions = all_corollary_12_reductions()
+        assert len(reductions) == 5
+        for _ in range(10):
+            m = Matrix.random_kbit(rng, 5, 5, 2)
+            for red in reductions:
+                assert red.agrees_with_ground_truth(m), red.name
+
+    def test_all_reductions_on_singular(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        inst = complete_and_check_singular(family_7_2, c, e)
+        m = inst.m_matrix()
+        for red in all_corollary_12_reductions():
+            assert red.decide_singularity(m) is True, red.name
+
+    def test_reduction_names(self):
+        names = {red.name for red in all_corollary_12_reductions()}
+        assert names == {
+            "corollary-1.2a-determinant",
+            "corollary-1.2b-rank",
+            "corollary-1.2c-qr-structure",
+            "corollary-1.2d-svd-structure",
+            "corollary-1.2e-lup-structure",
+        }
+
+    def test_structure_only_extraction(self, rng):
+        # The QR/SVD/LUP extractors must work from structure sets alone.
+        singular = Matrix([[1, 2, 0], [2, 4, 0], [0, 0, 1]])
+        for red in (qr_reduction(), svd_reduction(), lup_reduction()):
+            assert red.decide_singularity(singular) is True
+        nonsingular = Matrix.identity(3)
+        for red in (qr_reduction(), svd_reduction(), lup_reduction()):
+            assert red.decide_singularity(nonsingular) is False
+
+    def test_det_and_rank_reductions(self):
+        m = Matrix([[2, 0], [0, 3]])
+        assert determinant_reduction().decide_singularity(m) is False
+        assert rank_reduction().decide_singularity(m) is False
+
+
+class TestCorollary13:
+    def test_holds_on_family_instances(self, family_7_2, rng):
+        for _ in range(10):
+            inst = FamilyInstance.random(family_7_2, rng)
+            assert corollary_13_holds(inst)
+
+    def test_holds_on_singular_family_instances(self, family_7_2, rng):
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        inst = complete_and_check_singular(family_7_2, c, e)
+        assert corollary_13_holds(inst)
+        # On a singular instance: the system must be solvable.
+        reduced = corollary_13_instance(inst.m_matrix())
+        from repro.exact.solve import is_solvable
+
+        assert is_solvable(reduced.a_prime, reduced.b)
+
+    def test_instance_transport(self, family_7_2, rng):
+        inst = FamilyInstance.random(family_7_2, rng)
+        m = inst.m_matrix()
+        reduced = corollary_13_instance(m)
+        assert list(reduced.b) == list(m.col(0))
+        assert all(reduced.a_prime[i, 0] == 0 for i in range(m.num_rows))
+
+    def test_ablation_outside_family(self, family_7_2):
+        m, singular, solvable = corollary_13_requires_family(family_7_2)
+        # Outside the family the biconditional direction can fail:
+        # singular matrix whose system is NOT solvable.
+        assert singular and not solvable
+
+
+class TestProductRankBridge:
+    def test_equality_detected(self, rng):
+        a = Matrix.random_kbit(rng, 4, 4, 2)
+        b = Matrix.random_kbit(rng, 4, 4, 2)
+        assert product_equals_via_rank(a, b, a @ b)
+
+    def test_inequality_detected(self, rng):
+        a = Matrix.random_kbit(rng, 4, 4, 2)
+        b = Matrix.random_kbit(rng, 4, 4, 2)
+        c = (a @ b).with_entry(2, 3, (a @ b)[2, 3] + 1)
+        assert not product_equals_via_rank(a, b, c)
+
+    def test_rank_identity(self, rng):
+        for _ in range(10):
+            a = Matrix.random_kbit(rng, 3, 3, 2)
+            b = Matrix.random_kbit(rng, 3, 3, 2)
+            c = Matrix.random_kbit(rng, 3, 3, 4)
+            assert rank_identity_holds(a, b, c)
+
+    def test_block_structure(self, rng):
+        a = Matrix.random_kbit(rng, 3, 3, 2)
+        b = Matrix.random_kbit(rng, 3, 3, 2)
+        c = Matrix.random_kbit(rng, 3, 3, 2)
+        m = product_verification_matrix(a, b, c)
+        assert m.shape == (6, 6)
+        assert m.slice(0, 3, 0, 3) == Matrix.identity(3)
+        assert m.slice(0, 3, 3, 6) == b
+        assert m.slice(3, 6, 0, 3) == a
+        assert m.slice(3, 6, 3, 6) == c
+
+    def test_rank_range(self, rng):
+        # rank always in [n, 2n].
+        a = Matrix.random_kbit(rng, 3, 3, 2)
+        b = Matrix.random_kbit(rng, 3, 3, 2)
+        c = Matrix.random_kbit(rng, 3, 3, 2)
+        r = rank(half_rank_instance(a, b, c))
+        assert 3 <= r <= 6
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            product_verification_matrix(
+                Matrix.identity(2), Matrix.identity(3), Matrix.identity(3)
+            )

@@ -1,0 +1,80 @@
+"""Tests for the vector space span problem and its singularity bridge."""
+
+import pytest
+
+from repro.exact.matrix import Matrix
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+from repro.singularity.span_problem import (
+    SpanInstance,
+    enumerate_l,
+    kbit_span_universe_log2,
+    lovasz_saks_bound_bits,
+    matrix_to_span_instance,
+    span_instance_agrees_with_singularity,
+    spans_union,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestDecision:
+    def test_complementary_spans(self):
+        v1 = Subspace.span([Vector([1, 0])])
+        v2 = Subspace.span([Vector([0, 1])])
+        assert spans_union(v1, v2)
+
+    def test_same_line_does_not_span(self):
+        v = Subspace.span([Vector([1, 1])])
+        assert not spans_union(v, v)
+
+    def test_overlapping_planes(self):
+        v1 = Subspace.span([Vector([1, 0, 0]), Vector([0, 1, 0])])
+        v2 = Subspace.span([Vector([0, 1, 0]), Vector([0, 0, 1])])
+        assert spans_union(v1, v2)
+
+    def test_ambient_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SpanInstance(Subspace.full(2), Subspace.full(3))
+
+
+class TestLatticeEnumeration:
+    def test_basis_vectors(self):
+        # X = {e1, e2}: L = {0, span e1, span e2, Q^2} -> 4 subspaces.
+        xs = [Vector([1, 0]), Vector([0, 1])]
+        assert len(enumerate_l(xs)) == 4
+        assert lovasz_saks_bound_bits(xs) == pytest.approx(2.0)
+
+    def test_dependent_vectors_collapse(self):
+        xs = [Vector([1, 0]), Vector([2, 0])]
+        # Subsets: {}, {x1}, {x2}, {x1,x2} -> spans: 0 and the line -> 2.
+        assert len(enumerate_l(xs)) == 2
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            enumerate_l([])
+        with pytest.raises(ValueError):
+            enumerate_l([Vector([1])] * 17)
+
+
+class TestSingularityBridge:
+    def test_agrees_on_random(self, rng):
+        for _ in range(15):
+            m = Matrix.random_kbit(rng, 4, 4, 2)
+            assert span_instance_agrees_with_singularity(m)
+
+    def test_agrees_on_singular(self):
+        m = Matrix([[1, 1, 0, 0], [2, 2, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]])
+        assert span_instance_agrees_with_singularity(m)
+
+    def test_instance_halves(self, rng):
+        m = Matrix.random_kbit(rng, 4, 4, 2)
+        inst = matrix_to_span_instance(m)
+        assert inst.v1.ambient == 4
+        assert inst.v2.ambient == 4
+
+    def test_rejects_odd_size(self):
+        with pytest.raises(ValueError):
+            matrix_to_span_instance(Matrix.identity(3))
+
+    def test_universe_size(self):
+        assert kbit_span_universe_log2(7, 2) == 14.0

@@ -1,0 +1,79 @@
+"""Tests for the vectorized 2×2 singularity truth matrices."""
+
+import pytest
+
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.partition import pi_zero
+from repro.comm.truth_matrix import truth_matrix_from_matrix_predicate
+from repro.exact.rank import is_singular
+from repro.singularity.two_by_two import (
+    count_divisor_pairs,
+    exact_singular_count_2x2,
+    measured_rank_bound_sweep,
+    singularity_2x2_truth_matrix,
+)
+
+
+class TestTruthMatrix:
+    def test_shape_and_count_k1(self):
+        tm = singularity_2x2_truth_matrix(1)
+        assert tm.shape == (4, 4)
+        assert tm.ones_count() == 10
+
+    def test_matches_generic_enumerator_k1(self):
+        # Labels differ (our builder: row = a*2^k + c; generic: bit tuples),
+        # so compare entries after mapping labels explicitly.
+        fast = singularity_2x2_truth_matrix(1)
+        codec = MatrixBitCodec(2, 2, 1)
+        slow = truth_matrix_from_matrix_predicate(is_singular, codec, pi_zero(codec))
+        assert fast.ones_count() == slow.ones_count()
+        assert sorted(fast.data.sum(axis=1)) == sorted(slow.data.sum(axis=1))
+
+    def test_counts_match_closed_form(self):
+        for k in (1, 2, 3):
+            tm = singularity_2x2_truth_matrix(k)
+            assert tm.ones_count() == exact_singular_count_2x2(k)
+
+    def test_entries_spot_check(self):
+        from repro.exact.matrix import Matrix
+
+        k = 2
+        q = 1 << k
+        tm = singularity_2x2_truth_matrix(k)
+        for a, b, c, d in [(1, 2, 2, 3), (1, 2, 2, 4 % q), (0, 0, 0, 0), (3, 3, 1, 1)]:
+            expected = is_singular(Matrix([[a, b], [c, d]]))
+            assert bool(tm.data[a * q + c, b * q + d]) == expected
+
+    def test_k_range_guard(self):
+        with pytest.raises(ValueError):
+            singularity_2x2_truth_matrix(0)
+        with pytest.raises(ValueError):
+            singularity_2x2_truth_matrix(7)
+
+
+class TestCounting:
+    def test_divisor_pairs(self):
+        # value 4 over [0, 8): (1,4),(4,1),(2,2) -> 3.
+        assert count_divisor_pairs(4, 8) == 3
+        # value 0 over [0, q): 2q - 1 pairs.
+        assert count_divisor_pairs(0, 4) == 7
+
+    def test_singular_count_growth(self):
+        counts = [exact_singular_count_2x2(k) for k in (1, 2, 3, 4)]
+        assert counts == [10, 64, 336, 1664]
+        # Roughly q^2 * polylog growth: each step multiplies by ~4-6.5
+        # (the ratio drifts down toward 4 as the polylog correction fades).
+        assert all(4 < b / a < 6.5 for a, b in zip(counts, counts[1:]))
+
+
+class TestRankSweep:
+    def test_log_rank_linear_in_k(self):
+        rows = measured_rank_bound_sweep([1, 2, 3, 4])
+        log_ranks = [r["log2_rank"] for r in rows]
+        increments = [b - a for a, b in zip(log_ranks, log_ranks[1:])]
+        # ~2 bits of lower bound per extra k bit: linear growth in k.
+        assert all(1.5 < inc < 2.5 for inc in increments)
+
+    def test_bound_below_trivial(self):
+        for r in measured_rank_bound_sweep([1, 2, 3]):
+            assert r["log2_rank"] <= 2 * r["kn2"]

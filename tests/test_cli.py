@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["family"])
+        assert args.n == 7 and args.k == 2
+
+
+class TestCommands:
+    def test_family(self, capsys):
+        assert main(["family", "--n", "7", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "free information" in out
+        assert "q = 3" in out
+
+    def test_singular(self, capsys):
+        assert main(["singular", "--n", "5", "--k", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "singular = True" in out
+        assert "det = 0" in out
+
+    def test_protocols(self, capsys):
+        assert main(["protocols", "--n", "3", "--k", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "trivial" in out and "fingerprint" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "63", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1.1 lower bound" in out
+        assert "A*T^2" in out
+
+    def test_check(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E16" in out
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ValueError):
+            main(["family", "--n", "6", "--k", "2"])  # even n

@@ -1,0 +1,192 @@
+"""Integration tests: the paper's full argument chains, end to end.
+
+Each test walks one complete story from the paper across package
+boundaries — family construction → lemma chain → truth matrix → bound, or
+chip → cut → partition → protocol — so regressions in the glue (not just
+the parts) get caught.
+"""
+
+import pytest
+
+from repro.comm import (
+    MatrixBitCodec,
+    communication_complexity,
+    counting_bound,
+    pi_zero,
+    truth_matrix_from_family,
+    truth_matrix_from_matrix_predicate,
+    yao_bound,
+)
+from repro.comm.rectangles import max_one_rectangle
+from repro.exact import Matrix, is_singular, rank
+from repro.protocols import FingerprintProtocol, TrivialProtocol
+from repro.singularity import (
+    FamilyInstance,
+    RestrictedFamily,
+    TheoremBounds,
+    complete,
+    complete_and_check_singular,
+    make_proper,
+    pad,
+    randomized_upper_bound_bits,
+    trivial_upper_bound_bits,
+)
+from repro.util.rng import ReproducibleRNG
+from repro.vlsi import VLSIBounds, row_major_layout, thompson_cut
+
+
+class TestTheoremPipelineSmall:
+    """Theorem 1.1 executed end-to-end at enumerable scale."""
+
+    def test_restricted_truth_matrix_pipeline(self):
+        # n=5, k=3 (the smallest family with a nonempty E — with E empty
+        # every completion degenerates to B = 0 and claim (2b) fails, which
+        # is exactly why the paper's construction needs E): rows = sampled
+        # C's; columns = completions (singular hits) plus varied E blocks.
+        fam = RestrictedFamily(5, 3)
+        rng = ReproducibleRNG(0)
+        rows = []
+        seen = set()
+        while len(rows) < 30:
+            c = fam.random_c(rng)
+            if c not in seen:
+                seen.add(c)
+                rows.append(c)
+        columns = []
+        for c in rows[:15]:
+            e = fam.random_e(rng)
+            comp = complete(fam, c, e)
+            columns.append((comp.d, e, comp.y))
+        for _ in range(30):
+            columns.append(
+                (fam.random_d(rng), fam.random_e(rng), fam.random_y(rng))
+            )
+        spans = {c: fam.span_a(c) for c in rows}
+
+        def predicate(c, col):
+            return fam.b_times_u_from_blocks(*col) in spans[c]
+
+        tm = truth_matrix_from_family(predicate, rows, columns)
+        # Claim (2a) flavor: every completed column is singular on its row.
+        assert tm.ones_count() >= 15
+        # Claim (2b) flavor: the largest 1-rectangle covers only a sliver.
+        area, _, _ = max_one_rectangle(tm)
+        fraction = area / max(1, tm.ones_count())
+        assert fraction < 1.0
+        # Yao-style bound from the counts is consistent.
+        assert counting_bound(tm.ones_count(), max(1, area)) >= 0.0
+
+    def test_empty_e_degeneracy_is_real(self):
+        # The ablation behind the parameter guard above: with e_width = 0
+        # the unique completion is B = 0, singular against EVERY row — a
+        # full 1-rectangle, so no rectangle bound is possible.
+        fam = RestrictedFamily(5, 2)
+        assert fam.e_width == 0
+        empty_e = tuple(tuple() for _ in range(fam.h))
+        rng = ReproducibleRNG(1)
+        comps = {
+            complete(fam, fam.random_c(rng), empty_e) for _ in range(5)
+        }
+        assert len({(c.d, c.y) for c in comps}) == 1
+
+    def test_exact_cc_of_tiny_singularity(self):
+        # 2x2 1-bit singularity: exact D(f) sits between the rank bound and
+        # the trivial cost, and Yao's bound is valid against it.
+        codec = MatrixBitCodec(2, 2, 1)
+        tm = truth_matrix_from_matrix_predicate(is_singular, codec, pi_zero(codec))
+        d = communication_complexity(tm)
+        assert 1 <= d <= codec.total_bits // 2 + 1
+        from repro.comm import partition_number
+
+        assert d >= yao_bound(partition_number(tm))
+
+
+class TestUpperVsLowerBounds:
+    def test_sandwich_at_scale(self):
+        # lower(Yao, asymptotic calculators) <= trivial upper for all sizes.
+        for n, k in [(63, 8), (127, 16), (255, 32)]:
+            tb = TheoremBounds(RestrictedFamily(n, k))
+            assert tb.yao_lower_bound_bits() <= trivial_upper_bound_bits(n, k)
+
+    def test_randomized_crossover_shape(self):
+        # The paper's contrast: deterministic Θ(k n²) vs randomized
+        # O(n² max(log n, log k)) — randomized wins iff k >> log n, loses
+        # at small k.  Both directions are part of the shape.
+        n = 63
+        assert randomized_upper_bound_bits(n, 8) > trivial_upper_bound_bits(n, 8)
+        assert randomized_upper_bound_bits(n, 256) < trivial_upper_bound_bits(n, 256)
+
+    def test_measured_protocol_costs_bracket_theory(self):
+        rng = ReproducibleRNG(1)
+        n, k = 3, 4
+        codec = MatrixBitCodec(2 * n, 2 * n, k)
+        partition = pi_zero(codec)
+        trivial = TrivialProtocol(codec, partition)
+        m = Matrix.random_kbit(rng, 2 * n, 2 * n, k)
+        measured = trivial.run_on_matrix(m).bits_exchanged
+        assert measured == trivial_upper_bound_bits(n, k)
+        fingerprint = FingerprintProtocol(codec, partition)
+        fp_measured = fingerprint.run_on_matrix(m, seed=0).bits_exchanged
+        assert fp_measured <= fingerprint.cost_bits()
+
+
+class TestSingularInstanceFullChain:
+    def test_complete_then_reduce_then_pad(self, family_7_2, rng):
+        # One singular instance pushed through every reduction and the
+        # padding, all answers consistent.
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        inst = complete_and_check_singular(family_7_2, c, e)
+        m = inst.m_matrix()
+        from repro.singularity import all_corollary_12_reductions, corollary_13_holds
+
+        for red in all_corollary_12_reductions():
+            assert red.decide_singularity(m) is True
+        assert corollary_13_holds(inst)
+        padded = pad(m, family_7_2.m_size + 3)
+        assert is_singular(padded)
+
+    def test_protocols_agree_on_family_instances(self, family_7_2, rng):
+        codec = family_7_2.codec()
+        partition = pi_zero(codec)
+        trivial = TrivialProtocol(codec, partition)
+        fingerprint = FingerprintProtocol(codec, partition)
+        c = family_7_2.random_c(rng)
+        e = family_7_2.random_e(rng)
+        singular = complete_and_check_singular(family_7_2, c, e).m_matrix()
+        nonsingular = FamilyInstance.random(family_7_2, rng).m_matrix()
+        assert trivial.decide(singular) is True
+        assert fingerprint.decide(singular, 0) is True
+        if not is_singular(nonsingular):
+            assert trivial.decide(nonsingular) is False
+            assert fingerprint.decide(nonsingular, 0) is False
+
+
+class TestChipToProtocolBridge:
+    def test_cut_partition_feeds_protocol(self):
+        # Lay the 2n x 2n x k input on a chip, cut it, and run the trivial
+        # protocol under the induced partition: Thompson's T >= Comm/wires.
+        n, k = 3, 2
+        codec = MatrixBitCodec(2 * n, 2 * n, k)
+        chip = row_major_layout(codec.total_bits)
+        cut = thompson_cut(chip)
+        partition = cut.partition()
+        assert partition.is_even(tolerance=1)
+        protocol = TrivialProtocol(codec, partition)
+        rng = ReproducibleRNG(2)
+        m = Matrix.random_kbit(rng, 2 * n, 2 * n, k)
+        assert protocol.decide(m) == is_singular(m)
+        # The chip inequality with the measured cost.
+        time_bound = protocol.exact_cost_bits() / cut.wires_cut
+        assert time_bound > 1
+
+    def test_cut_partition_normalizes_to_proper(self, family_7_2):
+        chip = row_major_layout(family_7_2.codec().total_bits)
+        cut = thompson_cut(chip)
+        cert = make_proper(family_7_2, cut.partition())
+        assert cert.verify(cut.partition())
+
+    def test_vlsi_bounds_consistent_with_comm(self):
+        bounds = VLSIBounds(63, 8)
+        assert bounds.at2() == pytest.approx(bounds.comm_bits**2)
+        assert bounds.at() >= bounds.comm_bits

@@ -1,0 +1,219 @@
+"""The claims certificate: one test per statement of the paper.
+
+A reviewer-facing suite — each test is named after the claim it certifies
+and composes the library's pieces exactly the way the paper's text does.
+Everything here is also covered by the per-module suites; this file exists
+so that `pytest tests/test_paper_claims.py -v` reads as a checklist of the
+paper.
+"""
+
+import math
+
+import pytest
+
+from repro.util.rng import ReproducibleRNG
+
+
+@pytest.fixture
+def rng():
+    return ReproducibleRNG(1989)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1.1
+# ----------------------------------------------------------------------
+class TestTheorem11:
+    def test_lower_bound_is_omega_kn2(self):
+        """The Yao-counting lower bound divided by k n² converges to a
+        positive constant along both axes."""
+        from repro.singularity import theorem_ratio
+
+        ratios_n = [theorem_ratio(n, 8) for n in (127, 255, 511)]
+        assert all(r > 0.05 for r in ratios_n)
+        assert ratios_n[-1] > ratios_n[0] * 0.9  # non-vanishing
+
+    def test_upper_bound_is_o_kn2(self, rng):
+        """The trivial protocol realizes O(k n²) on the wire, exactly."""
+        from repro.comm import MatrixBitCodec, pi_zero
+        from repro.exact import Matrix
+        from repro.protocols import TrivialProtocol
+
+        n, k = 4, 3
+        codec = MatrixBitCodec(2 * n, 2 * n, k)
+        protocol = TrivialProtocol(codec, pi_zero(codec))
+        m = Matrix.random_kbit(rng, 2 * n, 2 * n, k)
+        assert protocol.run_on_matrix(m).bits_exchanged == k * (2 * n) ** 2 // 2 + 1
+
+    def test_bound_survives_the_partition_minimum(self):
+        """Yao's definition minimizes over partitions; the measured minimum
+        stays positive (exact at the enumerable size)."""
+        from repro.comm import min_partition_singularity
+
+        assert min_partition_singularity(1).best_cost >= 2
+
+    def test_measured_lower_bound_linear_in_k(self):
+        """GF(2) log-rank on 2×2 truth matrices: ~2 more bits per extra k."""
+        from repro.singularity import measured_rank_bound_sweep
+
+        rows = measured_rank_bound_sweep([1, 3, 5])
+        assert rows[1]["log2_rank"] - rows[0]["log2_rank"] > 3
+        assert rows[2]["log2_rank"] - rows[1]["log2_rank"] > 3
+
+
+# ----------------------------------------------------------------------
+# The probabilistic contrast (Leighton)
+# ----------------------------------------------------------------------
+class TestProbabilisticContrast:
+    def test_randomized_cost_is_n2_log(self):
+        from repro.comm import MatrixBitCodec, pi_zero
+        from repro.protocols import FingerprintProtocol
+
+        codec = MatrixBitCodec(6, 6, 128)
+        protocol = FingerprintProtocol(codec, pi_zero(codec))
+        # Cost scales with max(log n, log k), not with k.
+        assert protocol.cost_bits() < 36 * 128 / 2
+
+    def test_one_sided_error(self, rng):
+        from repro.comm import MatrixBitCodec, pi_zero
+        from repro.exact import Matrix
+        from repro.protocols import FingerprintProtocol
+
+        codec = MatrixBitCodec(4, 4, 2)
+        protocol = FingerprintProtocol(codec, pi_zero(codec))
+        singular = Matrix([[1, 1, 0, 0], [2, 2, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1]])
+        assert all(protocol.decide(singular, seed) for seed in range(10))
+
+
+# ----------------------------------------------------------------------
+# Corollary 1.2
+# ----------------------------------------------------------------------
+class TestCorollary12:
+    def test_every_decomposition_decides_singularity(self, rng):
+        from repro.exact import Matrix
+        from repro.singularity import all_corollary_12_reductions
+
+        for _ in range(5):
+            m = Matrix.random_kbit(rng, 6, 6, 2)
+            for reduction in all_corollary_12_reductions():
+                assert reduction.agrees_with_ground_truth(m)
+
+    def test_nonzero_structure_suffices(self):
+        """The strengthened form: QR/SVD/LUP extractors consume only the
+        structure sets, never factor values."""
+        from repro.exact import Matrix
+        from repro.singularity import lup_reduction, qr_reduction, svd_reduction
+
+        singular = Matrix([[1, 2], [2, 4]])
+        for reduction in (qr_reduction(), svd_reduction(), lup_reduction()):
+            assert reduction.decide_singularity(singular) is True
+
+
+# ----------------------------------------------------------------------
+# Corollary 1.3
+# ----------------------------------------------------------------------
+class TestCorollary13:
+    def test_solvability_biconditional_on_family(self, rng):
+        from repro.singularity import FamilyInstance, RestrictedFamily, corollary_13_holds
+
+        fam = RestrictedFamily(7, 2)
+        for _ in range(5):
+            assert corollary_13_holds(FamilyInstance.random(fam, rng))
+
+
+# ----------------------------------------------------------------------
+# Section 2 (techniques) and Section 3 (the lemma chain)
+# ----------------------------------------------------------------------
+class TestLemmaChain:
+    def test_lemma_3_2(self, rng):
+        from repro.singularity import FamilyInstance, RestrictedFamily, check_equivalence
+
+        fam = RestrictedFamily(7, 2)
+        assert all(
+            check_equivalence(FamilyInstance.random(fam, rng)) for _ in range(5)
+        )
+
+    def test_lemma_3_4(self):
+        from repro.singularity import RestrictedFamily, spans_are_distinct
+
+        fam = RestrictedFamily(5, 2)
+        assert spans_are_distinct(fam, list(fam.enumerate_c()))
+
+    def test_lemma_3_5(self, rng):
+        from repro.exact import is_singular
+        from repro.singularity import RestrictedFamily, complete_and_check_singular
+
+        fam = RestrictedFamily(9, 2)
+        inst = complete_and_check_singular(fam, fam.random_c(rng), fam.random_e(rng))
+        assert is_singular(inst.m_matrix())
+
+    def test_lemma_3_6_and_3_7(self, rng):
+        from repro.singularity import (
+            RestrictedFamily,
+            intersection_dimension_profile,
+            one_rectangle_column_cap,
+        )
+
+        fam = RestrictedFamily(7, 2)
+        cs = [fam.random_c(rng) for _ in range(5)]
+        profile = intersection_dimension_profile(fam, cs)
+        assert profile[-1] <= profile[0]
+        assert one_rectangle_column_cap(fam, cs) >= 1
+
+    def test_lemma_3_9(self, rng):
+        from repro.comm import random_even_partition
+        from repro.singularity import RestrictedFamily, make_proper
+
+        fam = RestrictedFamily(7, 2)
+        partition = random_even_partition(rng, fam.codec())
+        assert make_proper(fam, partition).verify(partition)
+
+    def test_padding(self, rng):
+        from repro.exact import Matrix
+        from repro.singularity import padding_preserves_singularity
+
+        block = Matrix.random_kbit(rng, 14, 14, 2)
+        assert padding_preserves_singularity(block, 17)
+
+
+# ----------------------------------------------------------------------
+# VLSI corollaries and the span problem
+# ----------------------------------------------------------------------
+class TestVLSICorollaries:
+    def test_at2_at_t_exponents(self):
+        from repro.vlsi import VLSIBounds, empirical_exponent
+
+        ns = [64, 128, 256]
+        assert empirical_exponent(
+            [VLSIBounds(n, 8).at2() for n in ns], ns
+        ) == pytest.approx(4.0, abs=1e-9)
+        assert empirical_exponent(
+            [VLSIBounds(n, 8).at() for n in ns], ns
+        ) == pytest.approx(3.0, abs=1e-9)
+        assert empirical_exponent(
+            [VLSIBounds(n, 8).min_time() for n in ns], ns
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_sharper_than_chazelle_monier(self):
+        from repro.vlsi import Comparison
+
+        rows = {name: factor for name, _, _, factor in Comparison(256, 16).rows()}
+        assert rows["T"] > 1.0
+        assert rows["A*T"] > 1000.0
+
+
+class TestSpanProblem:
+    def test_bridge_to_singularity(self, rng):
+        from repro.exact import Matrix
+        from repro.singularity import span_instance_agrees_with_singularity
+
+        for _ in range(5):
+            assert span_instance_agrees_with_singularity(
+                Matrix.random_kbit(rng, 6, 6, 2)
+            )
+
+    def test_lovasz_saks_bound(self):
+        from repro.baselines import fixed_partition_bound_bits
+        from repro.exact import Vector
+
+        xs = [Vector([1, 0]), Vector([0, 1])]
+        assert fixed_partition_bound_bits(xs) == pytest.approx(2.0)

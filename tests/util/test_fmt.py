@@ -1,0 +1,84 @@
+"""Tests for table rendering and big-number formatting."""
+
+import math
+
+import pytest
+
+from repro.util.fmt import Table, format_pow, format_si, log2_big
+
+
+class TestFormatSI:
+    def test_plain(self):
+        assert format_si(0) == "0"
+        assert format_si(999) == "999"
+
+    def test_kilo(self):
+        assert format_si(1234) == "1.23k"
+
+    def test_negative(self):
+        assert format_si(-2500).startswith("-2.5")
+
+    def test_huge(self):
+        assert format_si(1e19).endswith("E")
+
+
+class TestFormatPow:
+    def test_power_of_two(self):
+        assert format_pow(1024) == "2^10.0"
+
+    def test_nonpositive(self):
+        assert format_pow(0) == "0"
+        assert format_pow(-5) == "-5"
+
+    def test_other_base(self):
+        assert format_pow(81, base=3) == "3^4.0"
+
+
+class TestLog2Big:
+    def test_small(self):
+        assert log2_big(8) == pytest.approx(3.0)
+
+    def test_huge_beyond_float(self):
+        value = 3 ** (10**4)
+        expected = (10**4) * math.log2(3)
+        assert log2_big(value) == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_big(0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"])
+        t.add_row(["x", 1])
+        t.add_row(["longer", 123456])
+        text = t.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        t = Table(["a"], title="hello")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "hello"
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([3.14159265])
+        assert "3.142" in t.render()
+
+    def test_as_dicts(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2])
+        assert t.as_dicts() == [{"a": "1", "b": "2"}]
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])

@@ -1,0 +1,96 @@
+"""Tests for the enumeration helpers."""
+
+import pytest
+
+from repro.util.itertools2 import (
+    chunked,
+    mixed_radix_counter,
+    mixed_radix_decode,
+    mixed_radix_encode,
+    mixed_radix_size,
+    pairs,
+    product_grid,
+    sample_distinct,
+    take,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestMixedRadix:
+    def test_counts_match_size(self):
+        radices = [2, 3, 4]
+        assert len(list(mixed_radix_counter(radices))) == mixed_radix_size(radices)
+
+    def test_odometer_order(self):
+        assert list(mixed_radix_counter([2, 2])) == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_empty_radices_yield_single_empty_tuple(self):
+        assert list(mixed_radix_counter([])) == [()]
+
+    def test_zero_radix_yields_nothing(self):
+        assert list(mixed_radix_counter([3, 0, 2])) == []
+
+    def test_negative_radix_rejected(self):
+        with pytest.raises(ValueError):
+            list(mixed_radix_counter([2, -1]))
+
+    def test_decode_matches_enumeration(self):
+        radices = [3, 2, 5]
+        for index, tup in enumerate(mixed_radix_counter(radices)):
+            assert mixed_radix_decode(index, radices) == tup
+
+    def test_encode_decode_roundtrip(self):
+        radices = [7, 4, 9]
+        for index in [0, 1, 17, 251]:
+            digits = mixed_radix_decode(index, radices)
+            assert mixed_radix_encode(digits, radices) == index
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            mixed_radix_decode(6, [2, 3])
+
+    def test_encode_bad_digit(self):
+        with pytest.raises(ValueError):
+            mixed_radix_encode([2, 0], [2, 3])
+
+
+class TestGridAndSampling:
+    def test_product_grid_cardinality(self):
+        rows = list(product_grid(a=[1, 2], b=["x", "y", "z"]))
+        assert len(rows) == 6
+        assert rows[0] == {"a": 1, "b": "x"}
+
+    def test_take(self):
+        assert take(iter(range(100)), 3) == [0, 1, 2]
+        assert take(iter([1]), 5) == [1]
+        with pytest.raises(ValueError):
+            take([], -1)
+
+    def test_sample_distinct_small_universe(self):
+        rng = ReproducibleRNG(0)
+        out = sample_distinct(rng, 10, 10)
+        assert sorted(out) == list(range(10))
+
+    def test_sample_distinct_huge_universe(self):
+        rng = ReproducibleRNG(0)
+        out = sample_distinct(rng, 10**18, 50)
+        assert len(set(out)) == 50
+        assert all(0 <= x < 10**18 for x in out)
+
+    def test_sample_distinct_rejects_oversample(self):
+        rng = ReproducibleRNG(0)
+        with pytest.raises(ValueError):
+            sample_distinct(rng, 3, 4)
+
+    def test_chunked(self):
+        assert list(chunked(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_pairs(self):
+        assert list(pairs([1, 2, 3])) == [(1, 2), (1, 3), (2, 3)]

@@ -1,0 +1,73 @@
+"""Tests for reproducible RNG streams."""
+
+import pytest
+
+from repro.util.rng import ReproducibleRNG, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_path_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_order_sensitivity(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+class TestReproducibleRNG:
+    def test_same_seed_same_stream(self):
+        a = ReproducibleRNG(7)
+        b = ReproducibleRNG(7)
+        assert [a.randrange(1000) for _ in range(20)] == [
+            b.randrange(1000) for _ in range(20)
+        ]
+
+    def test_spawn_independence(self):
+        root = ReproducibleRNG(7)
+        child_a = root.spawn("x")
+        child_b = root.spawn("y")
+        assert [child_a.randrange(100) for _ in range(10)] != [
+            child_b.randrange(100) for _ in range(10)
+        ]
+
+    def test_spawn_reproducible(self):
+        assert (
+            ReproducibleRNG(7).spawn("x").randrange(10**9)
+            == ReproducibleRNG(7).spawn("x").randrange(10**9)
+        )
+
+    def test_kbit_entry_range(self):
+        rng = ReproducibleRNG(1)
+        values = [rng.kbit_entry(3) for _ in range(200)]
+        assert all(0 <= v <= 7 for v in values)
+        assert len(set(values)) > 1
+
+    def test_kbit_entry_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ReproducibleRNG(1).kbit_entry(0)
+
+    def test_kbit_matrix_shape(self):
+        m = ReproducibleRNG(1).kbit_matrix(3, 4, 2)
+        assert len(m) == 3 and all(len(r) == 4 for r in m)
+        assert all(0 <= x <= 3 for row in m for x in row)
+
+    def test_entry_below(self):
+        rng = ReproducibleRNG(2)
+        assert all(0 <= rng.entry_below(5) < 5 for _ in range(100))
+        with pytest.raises(ValueError):
+            rng.entry_below(0)
+
+    def test_permutation_is_permutation(self):
+        perm = ReproducibleRNG(3).permutation(20)
+        assert sorted(perm) == list(range(20))
+
+    def test_bit_vector(self):
+        bits = ReproducibleRNG(4).bit_vector(50)
+        assert len(bits) == 50
+        assert set(bits) <= {0, 1}
+
+    def test_root_seed_recorded(self):
+        assert ReproducibleRNG(99).root_seed == 99

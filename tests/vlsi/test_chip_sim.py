@@ -1,0 +1,66 @@
+"""Tests for the cycle-accurate funnel chip simulator."""
+
+import pytest
+
+from repro.vlsi.chip_sim import (
+    FunnelRun,
+    layout_of,
+    measured_vs_bound,
+    simulate_funnel,
+    sweep_heights,
+)
+from repro.vlsi.cuts import thompson_cut
+
+
+class TestSimulation:
+    def test_single_lane_drains_serially(self):
+        run = simulate_funnel(50, 1)
+        assert run.cycles >= 50  # one bit per cycle through one wire
+
+    def test_more_lanes_fewer_cycles(self):
+        runs = sweep_heights(200, [1, 2, 4, 8])
+        cycles = [r.cycles for r in runs]
+        assert cycles == sorted(cycles, reverse=True)
+        assert all(a > b for a, b in zip(cycles, cycles[1:]))
+
+    def test_throughput_limit(self):
+        # T >= bits / lanes always (each lane absorbs one bit per cycle).
+        for h in (1, 3, 7):
+            run = simulate_funnel(100, h)
+            assert run.cycles >= 100 / h
+
+    def test_all_bits_accounted(self):
+        run = simulate_funnel(123, 5)
+        assert run.input_bits == 123
+        assert run.cycles < 10 * (123 + run.width)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_funnel(0, 1)
+        with pytest.raises(ValueError):
+            simulate_funnel(10, 0)
+
+    def test_products(self):
+        run = FunnelRun(10, 4, 40, 12)
+        assert run.area == 40
+        assert run.at_product == 480
+        assert run.at2_product == 5760
+
+
+class TestAgainstTheory:
+    def test_respects_thompson_floor(self):
+        rows = measured_vs_bound(392, 98.0, [1, 2, 4, 8, 14])
+        assert all(r["respects_floor"] for r in rows)
+
+    def test_at2_roughly_constant_in_drain_regime(self):
+        # In the drain-limited regime T ~ I/h and A ~ I, so A·T² ~ I³/h²:
+        # quadrupling lanes cuts A·T² by ~16x.
+        runs = sweep_heights(400, [2, 8])
+        ratio = runs[0].at2_product / runs[1].at2_product
+        assert 8 < ratio < 32
+
+    def test_layout_feeds_cut_machinery(self):
+        run = simulate_funnel(392, 7)
+        chip = layout_of(run)
+        cut = thompson_cut(chip)
+        assert cut.partition().is_even(tolerance=1)

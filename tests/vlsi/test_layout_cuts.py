@@ -1,0 +1,119 @@
+"""Tests for chip layouts and Thompson cuts."""
+
+import pytest
+
+from repro.vlsi.cuts import (
+    best_time_bound_over_area,
+    cut_bound_on_time,
+    thompson_cut,
+)
+from repro.vlsi.layout import (
+    ChipLayout,
+    boundary_layout,
+    column_blocks_layout,
+    row_major_layout,
+    scattered_layout,
+)
+from repro.util.rng import ReproducibleRNG
+
+
+class TestLayouts:
+    def test_row_major_dimensions(self):
+        chip = row_major_layout(100)
+        assert chip.area >= 100
+        assert chip.num_inputs == 100
+
+    def test_row_major_custom_width(self):
+        chip = row_major_layout(10, width=3)
+        assert chip.width == 3 and chip.height == 4
+
+    def test_boundary_ports_on_perimeter(self):
+        chip = boundary_layout(40)
+        for x, y in chip.ports:
+            assert x in (0, chip.width - 1) or y in (0, chip.height - 1)
+
+    def test_boundary_area_quadratic(self):
+        small = boundary_layout(40)
+        large = boundary_layout(80)
+        # Doubling the ports ~quadruples the area (perimeter-bound).
+        assert large.area > 3 * small.area
+
+    def test_scattered(self):
+        chip = scattered_layout(ReproducibleRNG(0), 50, 10, 10)
+        assert chip.num_inputs == 50
+
+    def test_column_blocks(self):
+        chip = column_blocks_layout(12, 3)
+        assert chip.width == 3
+        xs = {x for x, _ in chip.ports}
+        assert xs == {0, 1, 2}
+
+    def test_port_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ChipLayout(2, 2, ((5, 0),))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ChipLayout(0, 3, ())
+
+    def test_oriented_tall(self):
+        chip = ChipLayout(2, 5, ((0, 4), (1, 0)))
+        rotated = chip.oriented_tall()
+        assert rotated.height <= rotated.width
+        assert rotated.num_inputs == 2
+
+
+class TestThompsonCut:
+    def test_even_split_row_major(self):
+        for bits in (10, 99, 100, 256):
+            cut = thompson_cut(row_major_layout(bits))
+            assert cut.imbalance() <= 1
+
+    def test_wire_bound(self):
+        chip = row_major_layout(144)  # 12x12
+        cut = thompson_cut(chip)
+        assert cut.wires_cut <= min(chip.width, chip.height) + 1
+
+    def test_scattered_layouts(self):
+        rng = ReproducibleRNG(1)
+        for trial in range(10):
+            chip = scattered_layout(rng, 60 + trial, 9, 13)
+            cut = thompson_cut(chip)
+            # Ports can share cells, so a perfectly even jog may not exist;
+            # the cut must still be near-even and cheap.
+            assert cut.imbalance() <= 9  # <= max ports per cell here
+            assert cut.wires_cut <= 10
+
+    def test_partition_is_induced_correctly(self):
+        chip = row_major_layout(64)
+        cut = thompson_cut(chip)
+        partition = cut.partition()
+        assert partition.total_bits == 64
+        assert partition.is_even(tolerance=1)
+
+    def test_column_block_layout_cuts_cheaply(self):
+        chip = column_blocks_layout(100, 10)
+        cut = thompson_cut(chip)
+        assert cut.imbalance() <= 1
+
+    def test_single_port(self):
+        cut = thompson_cut(row_major_layout(1))
+        assert cut.imbalance() <= 1
+
+
+class TestTimeBounds:
+    def test_cut_bound(self):
+        chip = row_major_layout(100)
+        cut = thompson_cut(chip)
+        assert cut_bound_on_time(1000.0, cut) == 1000.0 / cut.wires_cut
+
+    def test_area_form(self):
+        assert best_time_bound_over_area(100.0, 100) == pytest.approx(100.0 / 11)
+
+    def test_validation(self):
+        chip = row_major_layout(4)
+        cut = thompson_cut(chip)
+        with pytest.raises(ValueError):
+            cut_bound_on_time(-1.0, cut)
+        with pytest.raises(ValueError):
+            best_time_bound_over_area(10.0, 0)

@@ -1,0 +1,112 @@
+"""Tests for the AT²/AT/T calculators and the Chazelle–Monier comparison."""
+
+import pytest
+
+from repro.vlsi.chazelle_monier import (
+    ChazelleMonierBounds,
+    Comparison,
+    boundary_area_penalty,
+    model_assumptions,
+)
+from repro.vlsi.tradeoffs import VLSIBounds, empirical_exponent, shape_exponents
+
+
+class TestVLSIBounds:
+    def test_at2_is_comm_squared(self):
+        b = VLSIBounds(10, 4)
+        assert b.at2() == b.comm_bits**2
+
+    def test_area_floor(self):
+        b = VLSIBounds(10, 4)
+        assert b.area() == 4 * 400
+
+    def test_min_time_consistency(self):
+        b = VLSIBounds(10, 4)
+        assert b.min_time() == pytest.approx(b.comm_bits / b.area() ** 0.5)
+
+    def test_time_decreases_with_area(self):
+        b = VLSIBounds(10, 4)
+        assert b.time_at_area(10_000) > b.time_at_area(40_000)
+
+    def test_area_below_floor_rejected(self):
+        b = VLSIBounds(10, 4)
+        with pytest.raises(ValueError):
+            b.time_at_area(1.0)
+
+    def test_alpha_interpolation(self):
+        b = VLSIBounds(10, 4)
+        assert b.at_general_alpha(0) == b.input_bits
+        assert b.at_general_alpha(1) == b.input_bits**2
+        with pytest.raises(ValueError):
+            b.at_general_alpha(2)
+
+
+class TestShapeExponents:
+    def test_at_exponents(self):
+        # Finite-difference the calculators and compare to the claimed
+        # (k, n) exponents — the "shape" contract of the reproduction.
+        claims = shape_exponents()
+        ns = [50, 100, 200, 400]
+        ks = [2, 4, 8, 16]
+        getters = {
+            "comm": lambda b: b.comm_bits,
+            "at2": lambda b: b.at2(),
+            "area": lambda b: b.area(),
+            "at": lambda b: b.at(),
+            "min_time": lambda b: b.min_time(),
+        }
+        for name, (k_exp, n_exp) in claims.items():
+            values_n = [
+                getters[name](VLSIBounds(n, 4))
+                if name != "comm"
+                else VLSIBounds(n, 4).comm_bits
+                for n in ns
+            ]
+            assert empirical_exponent(values_n, ns) == pytest.approx(n_exp, abs=1e-9)
+            values_k = [
+                getters[name](VLSIBounds(100, k))
+                if name != "comm"
+                else VLSIBounds(100, k).comm_bits
+                for k in ks
+            ]
+            assert empirical_exponent(values_k, ks) == pytest.approx(k_exp, abs=1e-9)
+
+    def test_empirical_exponent_validation(self):
+        with pytest.raises(ValueError):
+            empirical_exponent([1.0], [1.0])
+
+
+class TestChazelleMonier:
+    def test_their_bounds(self):
+        cm = ChazelleMonierBounds(100, 8)
+        assert cm.time() == 100
+        assert cm.at() == 10_000
+
+    def test_paper_improves_time_by_sqrt_k(self):
+        rows = dict(
+            (name, (ours, theirs, factor))
+            for name, ours, theirs, factor in Comparison(100, 16).rows()
+        )
+        # T improvement factor = sqrt(k)/2 in our normalization: > 1 for k > 4.
+        assert rows["T"][2] > 1.0
+        assert rows["A*T"][2] > 100.0
+
+    def test_improvement_grows_with_k(self):
+        small = dict(
+            (n, f) for n, _, _, f in Comparison(100, 4).rows()
+        )
+        large = dict(
+            (n, f) for n, _, _, f in Comparison(100, 64).rows()
+        )
+        assert large["T"] > small["T"]
+        assert large["A*T"] > small["A*T"]
+
+    def test_boundary_penalty_quadratic(self):
+        area, ratio = boundary_area_penalty(200)
+        assert area > 200  # far above the I floor
+        assert 0.01 < ratio < 1.0
+
+    def test_model_assumptions_documented(self):
+        assumptions = model_assumptions()
+        assert "chazelle_monier" in assumptions
+        assert any("boundary" in a for a in assumptions["chazelle_monier"])
