@@ -1,0 +1,107 @@
+"""E17 — chaos curves: what reliability costs when the channel misbehaves.
+
+Two measured curves over the fault-injecting channel (docs/fault_model.md):
+
+* **E17a** overhead bits vs fault rate, for the equality and fingerprint
+  protocols under independent bit flips: at rate 0 the ARQ tax is a fixed
+  bounded framing cost; as the rate rises, retransmissions drive the
+  overhead up while answers stay exact.
+* **E17b** success probability vs retry budget at a fixed fault rate: more
+  budget buys recovery, and exhausted budgets fail loudly (structured
+  transport failures), never silently.
+
+Both tables are also emitted as JSON (one object per sweep cell) so the
+curves can be replotted without re-running the sweep.  The invariant the
+whole experiment leans on: zero silent corruptions anywhere.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.comm.chaos import sweep, sweep_table
+from repro.comm.transport import ArqConfig
+from repro.util.fmt import Table
+
+
+RATES = (0.0, 0.005, 0.01, 0.02)
+BUDGETS = (0, 2, 8, 16)
+
+
+def overhead_vs_fault_rate():
+    points = sweep(
+        protocols=["equality", "fingerprint"],
+        kinds=("flip",),
+        rates=RATES,
+        runs=15,
+        seed=17,
+    )
+    table = sweep_table(points)
+    table.title = "E17a: overhead bits vs fault rate (bit flips)"
+    return table, points
+
+
+def success_vs_retry_budget():
+    table = Table(
+        ["protocol", "max_retries", "runs", "recovered", "silent_wrong",
+         "recovery_rate", "mean_overhead_bits"],
+        title="E17b: success probability vs retry budget (flip rate 0.02)",
+    )
+    curve = []
+    for budget in BUDGETS:
+        (point,) = sweep(
+            protocols=["equality"],
+            kinds=("flip",),
+            rates=(0.02,),
+            runs=20,
+            seed=17,
+            config=ArqConfig(max_retries=budget),
+        )
+        curve.append((budget, point))
+        table.add_row(
+            [
+                point.protocol,
+                budget,
+                point.runs,
+                point.recovered,
+                point.silent_wrong,
+                f"{point.recovery_rate:.2f}",
+                f"{point.mean_overhead_bits:.1f}",
+            ]
+        )
+    return table, curve
+
+
+@pytest.mark.benchmark(group="e17")
+def test_e17_overhead_vs_fault_rate(benchmark):
+    table, points = benchmark(overhead_vs_fault_rate)
+    emit(table)
+    print(json.dumps([p.as_dict() for p in points]))
+    assert sum(p.silent_wrong for p in points) == 0
+    for name in ("equality", "fingerprint"):
+        curve = [p for p in points if p.protocol == name]
+        clean = curve[0]
+        assert clean.rate == 0.0
+        # rate 0: every run recovers exactly, paying only the framing tax.
+        assert clean.recovered == clean.runs
+        assert clean.mean_retries == 0.0
+        assert 0 < clean.mean_overhead_bits < 1000
+        # faults make reliability strictly more expensive per delivered run.
+        assert curve[-1].mean_overhead_bits > clean.mean_overhead_bits
+        assert curve[-1].faults_injected > 0
+
+
+@pytest.mark.benchmark(group="e17")
+def test_e17_success_vs_retry_budget(benchmark):
+    table, curve = benchmark(success_vs_retry_budget)
+    emit(table)
+    print(json.dumps([{"max_retries": b, **p.as_dict()} for b, p in curve]))
+    assert all(p.silent_wrong == 0 for _, p in curve)
+    rates = [p.recovery_rate for _, p in curve]
+    # budget buys recovery: the curve ends high and above its start.
+    assert rates[-1] >= rates[0]
+    assert rates[-1] >= 0.7
+    # every non-recovered run failed loudly with a structured outcome.
+    for _, point in curve:
+        assert point.recovered + sum(point.failures.values()) == point.runs

@@ -161,10 +161,53 @@ def _cmd_experiments(args) -> int:
         ("E14", "the vector space span problem"),
         ("E15", "Yao's method + the model spectrum"),
         ("E16", "design-choice ablations"),
+        ("E17", "chaos: fault injection, ARQ overhead, retry budgets"),
     ]
     print("Experiments (run: pytest benchmarks/bench_eNN_*.py --benchmark-only -s):")
     for eid, description in experiments:
         print(f"  {eid:4s} {description}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.comm.chaos import FAULT_KINDS, SCENARIOS, sweep, sweep_table
+    from repro.comm.transport import ArqConfig
+
+    if args.quick:
+        protocols = ["equality", "trivial"]
+        kinds = ["flip", "erase"]
+        rates = [0.0, 0.01]
+        runs = 3
+    else:
+        protocols = args.protocols.split(",") if args.protocols else sorted(SCENARIOS)
+        kinds = args.kinds.split(",") if args.kinds else list(FAULT_KINDS)
+        rates = [float(r) for r in args.rates.split(",")] if args.rates else [
+            0.0, 0.002, 0.01, 0.05,
+        ]
+        runs = args.runs
+    config = ArqConfig(
+        max_retries=args.max_retries, frame_payload=args.frame_payload
+    )
+    points = sweep(
+        protocols=protocols,
+        kinds=kinds,
+        rates=rates,
+        runs=runs,
+        seed=args.seed,
+        config=config,
+    )
+    if args.json:
+        print(json.dumps([p.as_dict() for p in points], indent=2))
+    else:
+        print(sweep_table(points).render())
+    silent = sum(p.silent_wrong for p in points)
+    if silent:
+        print(f"SILENT CORRUPTION: {silent} run(s) returned ok with a wrong answer")
+        return 1
+    if not args.json:
+        print("no silent corruption: every wrong run failed loudly")
     return 0
 
 
@@ -202,6 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="list the experiment suite")
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser(
+        "chaos", help="sweep fault injection across the protocol suite"
+    )
+    p.add_argument("--protocols", help="comma-separated scenario names (default: all)")
+    p.add_argument("--kinds", help="comma-separated fault kinds (default: all)")
+    p.add_argument("--rates", help="comma-separated fault rates")
+    p.add_argument("--runs", type=int, default=20, help="seeded runs per cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-retries", type=int, default=8, help="ARQ retry budget")
+    p.add_argument(
+        "--frame-payload", type=int, default=None,
+        help="cap payload bits per ARQ frame (smaller = more robust)",
+    )
+    p.add_argument("--quick", action="store_true", help="CI-sized smoke sweep")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -17,6 +17,18 @@ The pieces, mapped to the paper's Section 2:
   fooling-set / rank / counting bounds.
 * :mod:`repro.comm.randomized` — the probabilistic model of the paper's
   introduction (correctness probability > 1/2 + ε).
+
+On top of the ideal model sits the robustness stack (see
+``docs/fault_model.md``):
+
+* :mod:`repro.comm.faults` — seeded fault injection
+  (:class:`FaultyChannel` + pluggable :class:`FaultModel` subclasses);
+* :mod:`repro.comm.transport` — reliable ARQ transport (framing, CRC-16,
+  sequence numbers, retransmission with deterministic backoff);
+* :func:`run_supervised` / :func:`run_with_retries` — structured
+  :class:`RunReport` outcomes instead of exceptions;
+* :mod:`repro.comm.chaos` — the chaos-test harness sweeping fault rates
+  across the protocol suite.
 """
 
 from repro.comm.bits import MatrixBitCodec, bits_to_int, int_to_bits
@@ -29,14 +41,60 @@ from repro.comm.partition import (
     random_even_partition,
     row_split,
 )
-from repro.comm.channel import BitChannel, ChannelClosed, Message, Transcript
+from repro.comm.channel import (
+    BitChannel,
+    ChannelClosed,
+    Message,
+    Transcript,
+    TransportFailure,
+)
 from repro.comm.agents import (
+    OUTCOMES,
+    BudgetExceeded,
+    Drain,
     ProtocolDeadlock,
     ProtocolError,
     Recv,
+    RunReport,
     RunResult,
     Send,
     run_protocol,
+    run_supervised,
+    run_with_retries,
+)
+from repro.comm.faults import (
+    BitFlipFaults,
+    BurstFaults,
+    ChannelDropFaults,
+    CompositeFaults,
+    DelayFaults,
+    Delivery,
+    DuplicateFaults,
+    ErasureFaults,
+    FaultEvent,
+    FaultLog,
+    FaultModel,
+    FaultyChannel,
+    NoFaults,
+)
+from repro.comm.transport import (
+    ArqConfig,
+    ArqEndpoint,
+    TransportStats,
+    arq_adapt,
+    crc16,
+    reliable_pair,
+)
+from repro.comm.chaos import (
+    FAULT_KINDS,
+    SCENARIOS,
+    ChaosCase,
+    ChaosOutcome,
+    SweepPoint,
+    make_fault_model,
+    run_case,
+    sweep,
+    sweep_table,
 )
 from repro.comm.protocol import (
     Leaf,
@@ -136,12 +194,47 @@ __all__ = [
     "ChannelClosed",
     "Message",
     "Transcript",
+    "TransportFailure",
+    "OUTCOMES",
+    "BudgetExceeded",
+    "Drain",
     "ProtocolDeadlock",
     "ProtocolError",
     "Recv",
+    "RunReport",
     "RunResult",
     "Send",
     "run_protocol",
+    "run_supervised",
+    "run_with_retries",
+    "BitFlipFaults",
+    "BurstFaults",
+    "ChannelDropFaults",
+    "CompositeFaults",
+    "DelayFaults",
+    "Delivery",
+    "DuplicateFaults",
+    "ErasureFaults",
+    "FaultEvent",
+    "FaultLog",
+    "FaultModel",
+    "FaultyChannel",
+    "NoFaults",
+    "ArqConfig",
+    "ArqEndpoint",
+    "TransportStats",
+    "arq_adapt",
+    "crc16",
+    "reliable_pair",
+    "FAULT_KINDS",
+    "SCENARIOS",
+    "ChaosCase",
+    "ChaosOutcome",
+    "SweepPoint",
+    "make_fault_model",
+    "run_case",
+    "sweep",
+    "sweep_table",
     "Leaf",
     "Node",
     "ProtocolTree",

@@ -71,6 +71,17 @@ class ChannelClosed(Exception):
     """Raised when an agent tries to use a channel after shutdown."""
 
 
+class TransportFailure(Exception):
+    """A reliable-transport endpoint gave up (retry budget exhausted).
+
+    Raised by :mod:`repro.comm.transport` when a frame could not be
+    delivered within the configured retry budget; the supervised runtime
+    (:func:`repro.comm.agents.run_supervised`) converts it into a structured
+    ``RunReport`` with outcome ``"transport_failure"`` instead of letting it
+    escape as a raw exception.
+    """
+
+
 class BitChannel:
     """A duplex, counted, recorded bit pipe between agents 0 and 1.
 
@@ -87,8 +98,15 @@ class BitChannel:
     # ------------------------------------------------------------------
     # Agent-facing API
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_agent(agent: int, role: str) -> None:
+        """Reject anything but the two legal agent ids, loudly."""
+        if agent not in (0, 1):
+            raise ValueError(f"{role} must be agent 0 or 1, got {agent!r}")
+
     def send(self, sender: int, bits) -> None:
         """Queue ``bits`` from ``sender`` to the other agent and record them."""
+        self._check_agent(sender, "sender")
         if self._closed:
             raise ChannelClosed("channel is closed")
         payload = tuple(int(b) for b in bits)
@@ -96,10 +114,21 @@ class BitChannel:
             raise ValueError("only bits may be sent")
         message = Message(sender, payload)
         self.transcript.messages.append(message)
-        self._pending[1 - sender].extend(payload)
+        self._deliver(1 - sender, payload)
+
+    def _deliver(self, receiver: int, payload: tuple[int, ...]) -> None:
+        """Place payload bits on a receiver's pending FIFO.
+
+        Split out so fault-injecting subclasses
+        (:class:`repro.comm.faults.FaultyChannel`) can corrupt, duplicate,
+        delay or drop the delivery while the transcript above still records
+        what the sender actually paid for.
+        """
+        self._pending[receiver].extend(payload)
 
     def available(self, receiver: int) -> int:
         """How many bits are queued for ``receiver``."""
+        self._check_agent(receiver, "receiver")
         return len(self._pending[receiver])
 
     def recv(self, receiver: int, nbits: int) -> tuple[int, ...]:
@@ -108,6 +137,7 @@ class BitChannel:
         Raises :class:`BlockingIOError` if not enough bits are queued —
         the scheduler treats that as "switch to the other agent".
         """
+        self._check_agent(receiver, "receiver")
         if self._closed:
             raise ChannelClosed("channel is closed")
         if nbits < 0:
@@ -119,6 +149,21 @@ class BitChannel:
             )
         out = tuple(queue[:nbits])
         del queue[:nbits]
+        return out
+
+    def drain(self, receiver: int) -> tuple[int, ...]:
+        """Dequeue *everything* currently addressed to ``receiver``.
+
+        The reliable-transport layer uses this to flush the tail of a
+        corrupted or truncated frame before asking for a retransmission, so
+        stream alignment recovers after a fault.
+        """
+        self._check_agent(receiver, "receiver")
+        if self._closed:
+            raise ChannelClosed("channel is closed")
+        queue = self._pending[receiver]
+        out = tuple(queue)
+        queue.clear()
         return out
 
     # ------------------------------------------------------------------

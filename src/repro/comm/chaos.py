@@ -1,0 +1,421 @@
+"""Chaos harness: protocols under injected faults, measured honestly.
+
+The question this module answers is empirical: *when the channel misbehaves,
+does the stack fail safely?*  For every registered protocol scenario it
+
+1. builds a fresh random instance (deterministically, from a seed),
+2. runs it once on a clean channel — the **gold standard** answer for this
+   exact instance and these exact public coins,
+3. re-runs it through the ARQ transport (:mod:`repro.comm.transport`) over a
+   :class:`~repro.comm.faults.FaultyChannel`, supervised
+   (:func:`~repro.comm.agents.run_supervised`),
+4. classifies the result: recovered with the gold answer, failed loudly
+   (structured non-``ok`` outcome), or — the one unacceptable bucket —
+   returned ``ok`` with a *different* answer (a silent corruption).
+
+:func:`sweep` aggregates this over fault kinds × rates × seeds into
+:class:`SweepPoint` rows: correctness and overhead curves against fault
+rate.  The ``chaos`` CLI subcommand and ``benchmarks/bench_e17_chaos.py``
+are thin shells over these functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.comm.agents import RunReport, run_protocol, run_supervised
+from repro.comm.bits import MatrixBitCodec
+from repro.comm.channel import BitChannel
+from repro.comm.faults import (
+    BitFlipFaults,
+    BurstFaults,
+    DelayFaults,
+    DuplicateFaults,
+    ErasureFaults,
+    FaultModel,
+    FaultyChannel,
+    NoFaults,
+)
+from repro.comm.partition import pi_zero
+from repro.comm.transport import ArqConfig, TransportStats, reliable_pair
+from repro.util.fmt import Table
+from repro.util.rng import ReproducibleRNG, derive_seed
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One concrete protocol instance ready to execute.
+
+    Attributes:
+        protocol: an object with ``agent0``/``agent1`` generator methods
+            (a :class:`~repro.comm.protocol.TwoPartyProtocol` or
+            :class:`~repro.comm.randomized.RandomizedProtocol`).
+        input0: agent 0's local input.
+        input1: agent 1's local input.
+        randomized: True when the agents take public coins.
+    """
+
+    protocol: Any
+    input0: Any
+    input1: Any
+    randomized: bool = False
+
+
+def _case_equality(seed: int) -> ChaosCase:
+    """EQ_16 on random strings (equal half the time)."""
+    from repro.protocols.equality import DeterministicEquality
+
+    rng = ReproducibleRNG(seed)
+    n = 16
+    x = tuple(rng.bit_vector(n))
+    y = tuple(x) if rng.random() < 0.5 else tuple(rng.bit_vector(n))
+    return ChaosCase(DeterministicEquality(n), x, y)
+
+
+def _pi_zero_views(seed: int, size: int, k: int):
+    """A random matrix split by π₀: (codec, partition, view0, view1)."""
+    from repro.exact.matrix import Matrix
+
+    rng = ReproducibleRNG(seed)
+    codec = MatrixBitCodec(size, size, k)
+    partition = pi_zero(codec)
+    m = Matrix.random_kbit(rng, size, size, k)
+    view0, view1 = partition.split_input(codec.encode(m))
+    return codec, partition, view0, view1
+
+
+def _case_trivial(seed: int) -> ChaosCase:
+    """Send-everything singularity on a 4×4 2-bit matrix under π₀."""
+    from repro.protocols.trivial import TrivialProtocol
+
+    codec, partition, view0, view1 = _pi_zero_views(seed, size=4, k=2)
+    return ChaosCase(TrivialProtocol(codec, partition), view0, view1)
+
+
+def _case_fingerprint(seed: int) -> ChaosCase:
+    """Randomized fingerprint singularity on a 4×4 2-bit matrix under π₀."""
+    from repro.protocols.fingerprint import FingerprintProtocol
+
+    codec, partition, view0, view1 = _pi_zero_views(seed, size=4, k=2)
+    return ChaosCase(
+        FingerprintProtocol(codec, partition), view0, view1, randomized=True
+    )
+
+
+def _case_matmul_verify(seed: int) -> ChaosCase:
+    """Deterministic C = A·B verification, 2×2 with 2-bit entries."""
+    from repro.exact.matrix import Matrix
+    from repro.protocols.matmul_verify import DeterministicMatMulVerify
+
+    rng = ReproducibleRNG(seed)
+    n, k = 2, 2
+    a = Matrix.random_kbit(rng, n, n, k)
+    b = Matrix.random_kbit(rng, n, n, k)
+    c = a @ b
+    if rng.random() < 0.5:  # half the instances are wrong products
+        rows = [list(c.row(i)) for i in range(n)]
+        rows[rng.randrange(n)][rng.randrange(n)] += 1
+        c = Matrix(rows)
+    return ChaosCase(DeterministicMatMulVerify(n, k), (a, b), c)
+
+
+def _case_rank_protocol(seed: int) -> ChaosCase:
+    """Column-basis π₀ singularity on a 4×4 0/1 matrix."""
+    from repro.exact.matrix import Matrix
+    from repro.protocols.rank_protocol import ColumnBasisProtocol
+
+    rng = ReproducibleRNG(seed)
+    m = Matrix.random_kbit(rng, 4, 4, 1)
+    left = m.slice(0, 4, 0, 2)
+    right = m.slice(0, 4, 2, 4)
+    return ChaosCase(ColumnBasisProtocol(), left, right)
+
+
+def _case_solvability(seed: int) -> ChaosCase:
+    """Trivial Ax = b solvability on a 3×4 system with 2-bit entries."""
+    from repro.exact.matrix import Matrix
+    from repro.exact.vector import Vector
+    from repro.protocols.solvability import TrivialSolvability, split_system
+
+    rng = ReproducibleRNG(seed)
+    n_rows, n_cols, k = 3, 4, 2
+    a = Matrix.random_kbit(rng, n_rows, n_cols, k)
+    b = Vector([rng.kbit_entry(k) for _ in range(n_rows)])
+    left, right = split_system(a, b)
+    return ChaosCase(TrivialSolvability(n_rows, k), left, right)
+
+
+#: Registered scenarios: name → (instance seed → :class:`ChaosCase`).
+SCENARIOS: dict[str, Callable[[int], ChaosCase]] = {
+    "equality": _case_equality,
+    "trivial": _case_trivial,
+    "fingerprint": _case_fingerprint,
+    "matmul_verify": _case_matmul_verify,
+    "rank_protocol": _case_rank_protocol,
+    "solvability": _case_solvability,
+}
+
+
+def make_fault_model(kind: str, rate: float, seed: int = 0) -> FaultModel:
+    """Build a seeded fault model of the named kind at the given rate.
+
+    Kinds: ``flip`` (independent bit flips), ``burst`` (burst flips),
+    ``erase`` (tail truncation), ``duplicate`` (message replays), ``delay``
+    (deliveries postponed behind later sends).  ``rate = 0`` always means a
+    clean channel.
+    """
+    if rate < 0:
+        raise ValueError("fault rate must be >= 0")
+    if rate == 0:
+        return NoFaults()
+    makers: dict[str, Callable[[], FaultModel]] = {
+        "flip": lambda: BitFlipFaults(rate, seed=seed),
+        "burst": lambda: BurstFaults(rate, seed=seed),
+        "erase": lambda: ErasureFaults(rate, seed=seed),
+        "duplicate": lambda: DuplicateFaults(rate, seed=seed),
+        "delay": lambda: DelayFaults(rate, seed=seed),
+    }
+    if kind not in makers:
+        raise ValueError(f"unknown fault kind {kind!r}; have {sorted(makers)}")
+    return makers[kind]()
+
+
+#: Fault kinds :func:`make_fault_model` understands.
+FAULT_KINDS = ("flip", "burst", "erase", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One faulty run, judged against its fault-free gold standard.
+
+    Attributes:
+        report: the supervised run's structured report (with the transport
+            accounting fields filled in).
+        gold: the answer the same instance produces on a clean channel.
+        answer: the faulty run's agreed answer (None unless ``ok``).
+        stats: merged :class:`~repro.comm.transport.TransportStats` of the
+            two endpoints.
+    """
+
+    report: RunReport
+    gold: Any
+    answer: Any
+    stats: TransportStats
+
+    @property
+    def recovered(self) -> bool:
+        """True when the run finished ``ok`` with the gold answer."""
+        return self.report.ok and self.answer == self.gold
+
+    @property
+    def silent_wrong(self) -> bool:
+        """True for the unacceptable bucket: ``ok`` but a different answer."""
+        return self.report.ok and self.answer != self.gold
+
+
+def run_case(
+    case: ChaosCase,
+    fault_model: FaultModel,
+    coin_seed: int = 0,
+    config: ArqConfig | None = None,
+    max_steps: int = 10_000_000,
+) -> ChaosOutcome:
+    """Execute one case under faults, ARQ-protected, judged against gold.
+
+    The gold standard is the *same* instance with the *same* public coins on
+    a clean channel (no transport, no faults) — so for randomized protocols
+    a disagreement really is corruption, never coin luck.
+    """
+    protocol = case.protocol
+    coins = ReproducibleRNG(coin_seed) if case.randomized else None
+    gold = run_protocol(
+        protocol.agent0,
+        protocol.agent1,
+        case.input0,
+        case.input1,
+        public_randomness=coins,
+    ).agreed_output()
+
+    coins = ReproducibleRNG(coin_seed) if case.randomized else None
+    if coins is None:
+        inner0 = protocol.agent0(case.input0)
+        inner1 = protocol.agent1(case.input1)
+    else:
+        inner0 = protocol.agent0(case.input0, coins)
+        inner1 = protocol.agent1(case.input1, coins)
+    wrapped0, wrapped1, e0, e1 = reliable_pair(inner0, inner1, config)
+    channel = FaultyChannel(fault_model)
+    report = run_supervised(
+        lambda _: wrapped0,
+        lambda _: wrapped1,
+        None,
+        None,
+        channel=channel,
+        max_steps=max_steps,
+    )
+    stats = e0.stats.merged(e1.stats)
+    report = replace(
+        report,
+        retries=stats.retries,
+        overhead_bits=stats.overhead_bits,
+        payload_bits=stats.payload_bits,
+    )
+    answer = report.agreed_output() if report.ok else None
+    return ChaosOutcome(report=report, gold=gold, answer=answer, stats=stats)
+
+
+@dataclass
+class SweepPoint:
+    """Aggregate of many seeded runs at one (protocol, kind, rate) cell.
+
+    Attributes:
+        protocol: scenario name.
+        kind: fault kind (``flip``, ``erase``, ...).
+        rate: the fault rate parameter.
+        runs: number of seeded executions aggregated.
+        recovered: runs that finished ``ok`` with the gold answer.
+        silent_wrong: runs that finished ``ok`` with a *wrong* answer —
+            must stay 0 for the stack to be trustworthy.
+        failures: structured non-``ok`` outcomes, by outcome name.
+        faults_injected: total fault events over all runs.
+        total_retries: transport recovery actions over all runs.
+        total_payload_bits / total_wire_bits: transport accounting sums.
+    """
+
+    protocol: str
+    kind: str
+    rate: float
+    runs: int = 0
+    recovered: int = 0
+    silent_wrong: int = 0
+    failures: dict[str, int] = field(default_factory=dict)
+    faults_injected: int = 0
+    total_retries: int = 0
+    total_payload_bits: int = 0
+    total_wire_bits: int = 0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of runs that recovered the gold answer."""
+        return self.recovered / self.runs if self.runs else 0.0
+
+    @property
+    def mean_overhead_bits(self) -> float:
+        """Mean wire bits beyond payload per run (the reliability tax)."""
+        if not self.runs:
+            return 0.0
+        return (self.total_wire_bits - self.total_payload_bits) / self.runs
+
+    @property
+    def mean_retries(self) -> float:
+        """Mean transport recovery actions per run."""
+        return self.total_retries / self.runs if self.runs else 0.0
+
+    def observe(self, outcome: ChaosOutcome) -> None:
+        """Fold one run into the aggregate."""
+        self.runs += 1
+        if outcome.silent_wrong:
+            self.silent_wrong += 1
+        elif outcome.recovered:
+            self.recovered += 1
+        else:
+            name = outcome.report.outcome
+            self.failures[name] = self.failures.get(name, 0) + 1
+        self.faults_injected += outcome.report.faults_injected
+        self.total_retries += outcome.stats.retries
+        self.total_payload_bits += outcome.stats.payload_bits
+        self.total_wire_bits += outcome.stats.wire_bits
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready flat representation (for the CLI and benchmarks)."""
+        return {
+            "protocol": self.protocol,
+            "kind": self.kind,
+            "rate": self.rate,
+            "runs": self.runs,
+            "recovered": self.recovered,
+            "silent_wrong": self.silent_wrong,
+            "failures": dict(self.failures),
+            "recovery_rate": self.recovery_rate,
+            "faults_injected": self.faults_injected,
+            "mean_retries": self.mean_retries,
+            "mean_overhead_bits": self.mean_overhead_bits,
+        }
+
+
+def sweep(
+    protocols: Sequence[str] | None = None,
+    kinds: Sequence[str] = ("flip", "erase", "duplicate"),
+    rates: Sequence[float] = (0.0, 0.002, 0.01, 0.05),
+    runs: int = 20,
+    seed: int = 0,
+    config: ArqConfig | None = None,
+) -> list[SweepPoint]:
+    """Correctness/overhead curves: protocols × fault kinds × rates.
+
+    Every cell aggregates ``runs`` seeded executions with independent
+    instances, coins and fault randomness (all derived from ``seed``, so
+    the whole sweep replays exactly).
+    """
+    names = list(protocols) if protocols is not None else sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown protocols {unknown}; have {sorted(SCENARIOS)}")
+    points: list[SweepPoint] = []
+    for name in names:
+        for kind in kinds:
+            for rate in rates:
+                point = SweepPoint(protocol=name, kind=kind, rate=rate)
+                for r in range(runs):
+                    case = SCENARIOS[name](derive_seed(seed, name, "instance", r))
+                    model = make_fault_model(
+                        kind, rate, seed=derive_seed(seed, name, kind, rate, r)
+                    )
+                    point.observe(
+                        run_case(
+                            case,
+                            model,
+                            coin_seed=derive_seed(seed, name, "coins", r),
+                            config=config,
+                        )
+                    )
+                points.append(point)
+    return points
+
+
+def sweep_table(points: Iterable[SweepPoint]) -> Table:
+    """Render sweep points as the standard experiment table."""
+    table = Table(
+        [
+            "protocol",
+            "kind",
+            "rate",
+            "runs",
+            "recovered",
+            "silent_wrong",
+            "failures",
+            "mean_retries",
+            "mean_overhead_bits",
+        ],
+        title="chaos sweep: recovery and overhead vs fault rate",
+    )
+    for p in points:
+        failures = (
+            ",".join(f"{k}:{v}" for k, v in sorted(p.failures.items())) or "-"
+        )
+        table.add_row(
+            [
+                p.protocol,
+                p.kind,
+                f"{p.rate:g}",
+                p.runs,
+                p.recovered,
+                p.silent_wrong,
+                failures,
+                f"{p.mean_retries:.2f}",
+                f"{p.mean_overhead_bits:.1f}",
+            ]
+        )
+    return table

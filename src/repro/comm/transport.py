@@ -1,0 +1,530 @@
+"""Reliable transport over an unreliable bit channel: framing, CRC, ARQ.
+
+The protocols in :mod:`repro.protocols` assume every bit arrives intact.
+Once the channel injects faults (:mod:`repro.comm.faults`), that assumption
+needs a transport layer to restore it — the classic ARQ (automatic repeat
+request) stack, built here entirely out of the agent runtime's effects so
+it composes with any protocol via ``yield from``:
+
+* **Frames.**  A data frame is ``[type=0][seq][len][payload][crc16]``; a
+  control frame is ``[type=1][flag][seq][crc16]`` with flag 1 = ACK,
+  0 = NAK.  The CRC is CRC-16-CCITT over everything before it, computed at
+  the bit level.
+* **Stop-and-wait ARQ.**  :meth:`ArqEndpoint.send` transmits a frame and
+  waits for a matching ACK; on NAK, timeout or garble it retransmits with
+  exponentially growing (deterministic, tick-based) timeouts, up to the
+  retry budget.  :meth:`ArqEndpoint.recv` validates checksum and sequence
+  number, ACKs good frames, NAKs damage, re-ACKs duplicates, and flushes
+  the stream (``Drain``) after any damage so alignment recovers.
+* **Graceful degradation.**  When the budget is exhausted the endpoint
+  raises :class:`~repro.comm.channel.TransportFailure`, which the
+  supervised runtime converts into a structured report — never an uncaught
+  exception in a production path.
+* **Accounting.**  Every endpoint keeps :class:`TransportStats` separating
+  the payload bits the inner protocol asked to move from the framing /
+  retransmission overhead actually paid on the wire, so chaos experiments
+  can plot recovery overhead against fault rate honestly.
+
+:func:`arq_adapt` tunnels an arbitrary agent program through an endpoint,
+turning any existing protocol into its reliable-transport variant without
+touching the protocol's code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.agents import AgentProgram, Drain, ProtocolError, Recv, Send
+from repro.comm.bits import bits_to_int, int_to_bits
+from repro.comm.channel import TransportFailure
+
+#: Frame-type bits.
+DATA_FRAME = 0
+CONTROL_FRAME = 1
+#: Control-frame flag bits.
+ACK = 1
+NAK = 0
+#: CRC width in bits (CRC-16-CCITT).
+CRC_BITS = 16
+
+_CRC_POLY = 0x1021
+_CRC_INIT = 0xFFFF
+
+
+def crc16(bits) -> list[int]:
+    """CRC-16-CCITT over a bit sequence, MSB-first, as 16 bits.
+
+    Bitwise so it works directly on the channel's native representation.
+    Detects all 1- and 2-bit errors and any burst of ≤ 16 bits — exactly
+    the damage the fault models inject most often.
+    """
+    reg = _CRC_INIT
+    for b in bits:
+        msb = (reg >> 15) & 1
+        reg = (reg << 1) & 0xFFFF
+        if msb ^ (b & 1):
+            reg ^= _CRC_POLY
+    return list(int_to_bits(reg, CRC_BITS))
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Tuning knobs for an ARQ endpoint.
+
+    Attributes:
+        max_retries: retransmissions allowed per frame beyond the first
+            transmission (0 = fire once, never retry).
+        base_timeout: ticks to wait for an ACK (or frame) before the first
+            retransmission; doubles per retry (exponential backoff).
+        max_timeout: cap on the backed-off timeout.
+        seq_bits: width of the sequence-number field (wraps mod 2^seq_bits).
+        len_bits: width of the payload-length field; payloads longer than
+            ``2^len_bits - 1`` are split across frames transparently.
+        linger_timeout: how long a finished agent keeps re-ACKing stray
+            retransmissions before truly returning (the TIME_WAIT analogue;
+            prevents the peer's final frame from dying un-ACKed).
+        frame_payload: optional cap on payload bits per frame, below the
+            ``len_bits`` limit.  Smaller frames pay more framing overhead
+            but survive high bit-error rates far better (each frame is an
+            independent delivery attempt) — the knob behind the chaos
+            harness's overhead-vs-robustness tradeoff.
+    """
+
+    max_retries: int = 8
+    base_timeout: int = 16
+    max_timeout: int = 4096
+    seq_bits: int = 8
+    len_bits: int = 16
+    linger_timeout: int = 64
+    frame_payload: int | None = None
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_timeout < 1 or self.max_timeout < self.base_timeout:
+            raise ValueError("need 1 <= base_timeout <= max_timeout")
+        if self.seq_bits < 1 or self.len_bits < 1:
+            raise ValueError("seq_bits and len_bits must be >= 1")
+        if self.linger_timeout < 1:
+            raise ValueError("linger_timeout must be >= 1")
+        if self.frame_payload is not None and self.frame_payload < 1:
+            raise ValueError("frame_payload must be >= 1 when given")
+
+    @property
+    def max_payload(self) -> int:
+        """Largest payload a single frame can carry."""
+        cap = (1 << self.len_bits) - 1
+        if self.frame_payload is not None:
+            return min(cap, self.frame_payload)
+        return cap
+
+    @property
+    def data_header_bits(self) -> int:
+        """Bits in a data-frame header (type + seq + len)."""
+        return 1 + self.seq_bits + self.len_bits
+
+    @property
+    def control_frame_bits(self) -> int:
+        """Total bits in a control frame (type + flag + seq + crc)."""
+        return 1 + 1 + self.seq_bits + CRC_BITS
+
+
+@dataclass
+class TransportStats:
+    """Per-endpoint accounting: payload vs overhead, and every recovery act.
+
+    Attributes:
+        payload_bits: bits the inner protocol asked this endpoint to send.
+        wire_bits: bits this endpoint actually put on the channel
+            (frames + control traffic + retransmissions).
+        frames_sent: data frames transmitted (including retransmissions).
+        frames_delivered: data frames this endpoint accepted and passed up.
+        retransmissions: data frames sent again after a failed attempt.
+        acks_sent / naks_sent: control frames emitted.
+        timeouts: Recv timeouts experienced (waiting for data or acks).
+        crc_failures: frames rejected for checksum mismatch.
+        duplicates_dropped: data frames discarded as replays.
+        flushed_bits: bits discarded by resynchronizing drains.
+    """
+
+    payload_bits: int = 0
+    wire_bits: int = 0
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    naks_sent: int = 0
+    timeouts: int = 0
+    crc_failures: int = 0
+    duplicates_dropped: int = 0
+    flushed_bits: int = 0
+
+    @property
+    def overhead_bits(self) -> int:
+        """Wire bits beyond the inner payload — the price of reliability."""
+        return self.wire_bits - self.payload_bits
+
+    @property
+    def retries(self) -> int:
+        """Total recovery actions (retransmissions + NAKs + timeouts)."""
+        return self.retransmissions + self.naks_sent + self.timeouts
+
+    def merged(self, other: "TransportStats") -> "TransportStats":
+        """Field-wise sum of two endpoints' stats (one per agent)."""
+        return TransportStats(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+
+@dataclass
+class ArqEndpoint:
+    """One agent's half of the reliable transport.
+
+    Owns the direction-local sequence counters and statistics; its
+    :meth:`send`/:meth:`recv` are generators meant to be driven with
+    ``yield from`` inside an agent program (or via :func:`arq_adapt`).
+    """
+
+    config: ArqConfig = field(default_factory=ArqConfig)
+    stats: TransportStats = field(default_factory=TransportStats)
+    _send_seq: int = 0
+    _recv_expected: int = 0
+    # A data frame accepted while we were waiting for an ACK (see
+    # _handle_stray_data): the next recv() returns it without touching
+    # the channel.
+    _stash: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Frame building
+    # ------------------------------------------------------------------
+    def _data_frame(self, seq: int, payload) -> list[int]:
+        """[type=0][seq][len][payload][crc] as a bit list."""
+        cfg = self.config
+        body = (
+            [DATA_FRAME]
+            + list(int_to_bits(seq, cfg.seq_bits))
+            + list(int_to_bits(len(payload), cfg.len_bits))
+            + list(payload)
+        )
+        return body + crc16(body)
+
+    def _control_frame(self, flag: int, seq: int) -> list[int]:
+        """[type=1][flag][seq][crc] as a bit list."""
+        body = [CONTROL_FRAME, flag] + list(int_to_bits(seq, self.config.seq_bits))
+        return body + crc16(body)
+
+    def _put(self, frame: list[int]):
+        """Yield the Send for a frame, counting its wire bits."""
+        self.stats.wire_bits += len(frame)
+        yield Send(frame)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, payload) -> AgentProgram:
+        """Reliably deliver ``payload`` bits to the peer (``yield from`` me).
+
+        Splits into frames of at most ``config.max_payload`` bits; each
+        frame is retransmitted with exponential backoff until ACKed or the
+        retry budget dies (:class:`~repro.comm.channel.TransportFailure`).
+        """
+        payload = [int(b) for b in payload]
+        cfg = self.config
+        self.stats.payload_bits += len(payload)
+        chunks = [
+            payload[i : i + cfg.max_payload]
+            for i in range(0, len(payload), cfg.max_payload)
+        ] or [[]]
+        for chunk in chunks:
+            yield from self._send_frame(chunk)
+
+    def _send_frame(self, chunk: list[int]) -> AgentProgram:
+        """Stop-and-wait one frame through: transmit, await ACK, retry."""
+        cfg = self.config
+        seq = self._send_seq
+        frame = self._data_frame(seq, chunk)
+        timeout = cfg.base_timeout
+        for attempt in range(cfg.max_retries + 1):
+            if attempt:
+                self.stats.retransmissions += 1
+            self.stats.frames_sent += 1
+            yield from self._put(frame)
+            acked = yield from self._await_ack(seq, timeout)
+            if acked:
+                self._send_seq = (seq + 1) % (1 << cfg.seq_bits)
+                return
+            timeout = min(timeout * 2, cfg.max_timeout)
+        raise TransportFailure(
+            f"retry budget ({cfg.max_retries}) exhausted for frame seq={seq} "
+            f"({len(chunk)} payload bits)"
+        )
+
+    def _await_ack(self, seq: int, timeout: int) -> AgentProgram:
+        """Wait for the ACK of ``seq``; returns True to proceed, False to
+        retransmit.  Tolerates stray data frames (fault duplicates) and
+        stale control frames while waiting."""
+        cfg = self.config
+        for _ in range(4 + cfg.max_retries):
+            first = yield Recv(1, timeout=timeout)
+            if first is None:
+                self.stats.timeouts += 1
+                return False
+            if first[0] == DATA_FRAME:
+                verdict = yield from self._handle_stray_data(timeout)
+                if verdict == "acked":
+                    return True  # implicit ACK: the peer has progressed
+                if verdict == "retry":
+                    return False
+                continue
+            rest = yield Recv(cfg.control_frame_bits - 1, timeout=timeout)
+            if rest is None:
+                self.stats.timeouts += 1
+                return False
+            body = [CONTROL_FRAME] + list(rest[: 1 + cfg.seq_bits])
+            if crc16(body) != list(rest[1 + cfg.seq_bits :]):
+                self.stats.crc_failures += 1
+                flushed = yield Drain()
+                self.stats.flushed_bits += len(flushed)
+                return False
+            flag = rest[0]
+            acked_seq = bits_to_int(rest[1 : 1 + cfg.seq_bits])
+            if flag == ACK and acked_seq == seq:
+                return True
+            if flag == ACK:
+                continue  # stale duplicate ACK — keep waiting
+            return False  # NAK — retransmit immediately
+        return False
+
+    def _handle_stray_data(self, timeout: int) -> AgentProgram:
+        """Deal with a data frame that arrives while we await an ACK.
+
+        Three cases, returned as a verdict string:
+
+        * ``"retry"`` — the frame was truncated or garbled; flush and
+          retransmit our own outstanding frame.
+        * ``"continue"`` — a valid *duplicate* (old seq): the peer's copy
+          of a frame we already delivered, meaning our ACK got lost.
+          Re-ACK it and keep waiting.
+        * ``"acked"`` — a valid *new* frame: the peer's inner program has
+          progressed past our outstanding frame, so its ACK to us was lost
+          in flight.  Treat it as an implicit ACK, ACK the new frame and
+          stash its payload for the next :meth:`recv`.
+        """
+        cfg = self.config
+        head = yield Recv(cfg.seq_bits + cfg.len_bits, timeout=timeout)
+        if head is None:
+            flushed = yield Drain()
+            self.stats.flushed_bits += len(flushed)
+            return "retry"
+        length = bits_to_int(head[cfg.seq_bits :])
+        body = yield Recv(length + CRC_BITS, timeout=timeout)
+        if body is None:
+            flushed = yield Drain()
+            self.stats.flushed_bits += len(flushed)
+            return "retry"
+        payload = list(body[:length])
+        frame_body = [DATA_FRAME] + list(head) + payload
+        if crc16(frame_body) != list(body[length:]):
+            self.stats.crc_failures += 1
+            flushed = yield Drain()
+            self.stats.flushed_bits += len(flushed)
+            return "retry"
+        seq = bits_to_int(head[: cfg.seq_bits])
+        if seq != self._recv_expected:
+            self.stats.duplicates_dropped += 1
+            self.stats.acks_sent += 1
+            yield from self._put(self._control_frame(ACK, seq))
+            return "continue"
+        if self._stash is not None:
+            # Can't hold two frames — treat as damage and resynchronize.
+            flushed = yield Drain()
+            self.stats.flushed_bits += len(flushed)
+            return "retry"
+        self.stats.acks_sent += 1
+        yield from self._put(self._control_frame(ACK, seq))
+        self._recv_expected = (seq + 1) % (1 << cfg.seq_bits)
+        self.stats.frames_delivered += 1
+        self._stash = tuple(payload)
+        return "acked"
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def recv(self) -> AgentProgram:
+        """Reliably receive one frame's payload (``yield from`` me).
+
+        Validates CRC and sequence number; ACKs good frames, re-ACKs
+        duplicates, NAKs damage after flushing the stream, and raises
+        :class:`~repro.comm.channel.TransportFailure` when the budget
+        dies without a good frame.
+        """
+        if self._stash is not None:
+            payload = self._stash
+            self._stash = None
+            return payload
+        cfg = self.config
+        timeout = cfg.base_timeout
+        failures = 0
+        while failures <= cfg.max_retries:
+            first = yield Recv(1, timeout=timeout)
+            if first is None:
+                self.stats.timeouts += 1
+                failures += 1
+                yield from self._flush_and_nak()
+                timeout = min(timeout * 2, cfg.max_timeout)
+                continue
+            if first[0] == CONTROL_FRAME:
+                # Stale ACK/NAK from an earlier exchange — consume, ignore.
+                rest = yield Recv(cfg.control_frame_bits - 1, timeout=timeout)
+                if rest is None:
+                    flushed = yield Drain()
+                    self.stats.flushed_bits += len(flushed)
+                continue
+            head = yield Recv(cfg.seq_bits + cfg.len_bits, timeout=timeout)
+            if head is None:
+                self.stats.timeouts += 1
+                failures += 1
+                yield from self._flush_and_nak()
+                timeout = min(timeout * 2, cfg.max_timeout)
+                continue
+            seq = bits_to_int(head[: cfg.seq_bits])
+            length = bits_to_int(head[cfg.seq_bits :])
+            body = yield Recv(length + CRC_BITS, timeout=timeout)
+            if body is None:
+                self.stats.timeouts += 1
+                failures += 1
+                yield from self._flush_and_nak()
+                timeout = min(timeout * 2, cfg.max_timeout)
+                continue
+            payload = list(body[:length])
+            frame_body = [DATA_FRAME] + list(head) + payload
+            if crc16(frame_body) != list(body[length:]):
+                self.stats.crc_failures += 1
+                failures += 1
+                yield from self._flush_and_nak()
+                timeout = min(timeout * 2, cfg.max_timeout)
+                continue
+            if seq != self._recv_expected:
+                # A retransmission (or fault duplicate) of an old frame:
+                # its ACK must have been lost — re-ACK so the peer advances.
+                self.stats.duplicates_dropped += 1
+                self.stats.acks_sent += 1
+                yield from self._put(self._control_frame(ACK, seq))
+                continue
+            self.stats.acks_sent += 1
+            yield from self._put(self._control_frame(ACK, seq))
+            self._recv_expected = (seq + 1) % (1 << cfg.seq_bits)
+            self.stats.frames_delivered += 1
+            return tuple(payload)
+        raise TransportFailure(
+            f"receive budget ({cfg.max_retries}) exhausted waiting for frame "
+            f"seq={self._recv_expected}"
+        )
+
+    def _flush_and_nak(self) -> AgentProgram:
+        """Drop whatever is queued and ask the peer to retransmit."""
+        flushed = yield Drain()
+        self.stats.flushed_bits += len(flushed)
+        self.stats.naks_sent += 1
+        yield from self._put(self._control_frame(NAK, self._recv_expected))
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def linger(self) -> AgentProgram:
+        """Serve stray retransmissions after the inner program finished.
+
+        Without this, a fault hitting the *final* ACK of a run would leave
+        the peer retransmitting at a wall of silence until its budget died.
+        Lingering keeps re-ACKing (bounded by the retry budget) until the
+        line stays quiet for ``linger_timeout`` ticks.
+        """
+        cfg = self.config
+        for _ in range(cfg.max_retries + 1):
+            first = yield Recv(1, timeout=cfg.linger_timeout)
+            if first is None:
+                return  # line quiet — peer is done too
+            if first[0] == CONTROL_FRAME:
+                rest = yield Recv(cfg.control_frame_bits - 1, timeout=cfg.linger_timeout)
+                if rest is None:
+                    flushed = yield Drain()
+                    self.stats.flushed_bits += len(flushed)
+                continue
+            head = yield Recv(
+                cfg.seq_bits + cfg.len_bits, timeout=cfg.linger_timeout
+            )
+            if head is None:
+                flushed = yield Drain()
+                self.stats.flushed_bits += len(flushed)
+                continue
+            seq = bits_to_int(head[: cfg.seq_bits])
+            length = bits_to_int(head[cfg.seq_bits :])
+            body = yield Recv(length + CRC_BITS, timeout=cfg.linger_timeout)
+            if body is None:
+                flushed = yield Drain()
+                self.stats.flushed_bits += len(flushed)
+                continue
+            frame_body = [DATA_FRAME] + list(head) + list(body[:length])
+            if crc16(frame_body) == list(body[length:]):
+                # A retransmission whose ACK was lost — re-ACK it.
+                self.stats.acks_sent += 1
+                self.stats.duplicates_dropped += 1
+                yield from self._put(self._control_frame(ACK, seq))
+            else:
+                flushed = yield Drain()
+                self.stats.flushed_bits += len(flushed)
+
+
+def arq_adapt(inner: AgentProgram, endpoint: ArqEndpoint) -> AgentProgram:
+    """Tunnel an agent program's Send/Recv through reliable ARQ frames.
+
+    Drives ``inner`` as a sub-generator: every ``Send`` becomes a framed,
+    acknowledged, retransmitted transfer; every ``Recv(n)`` is satisfied
+    from an inbox refilled one validated frame at a time.  The inner
+    program needs no changes and never sees a corrupted bit — it either
+    gets clean data or the run ends in a structured transport failure.
+    """
+    inbox: list[int] = []
+    inject: Any = None
+    while True:
+        try:
+            effect = inner.send(inject)
+        except StopIteration as stop:
+            yield from endpoint.linger()
+            return stop.value
+        inject = None
+        if isinstance(effect, Send):
+            yield from endpoint.send(effect.bits)
+        elif isinstance(effect, Recv):
+            while len(inbox) < effect.nbits:
+                payload = yield from endpoint.recv()
+                inbox.extend(payload)
+            inject = tuple(inbox[: effect.nbits])
+            del inbox[: effect.nbits]
+        elif isinstance(effect, Drain):
+            inject = tuple(inbox)
+            inbox.clear()
+        else:
+            raise ProtocolError(
+                f"adapted program yielded {effect!r}; expected Send, Recv or Drain"
+            )
+
+
+def reliable_pair(
+    program0: AgentProgram,
+    program1: AgentProgram,
+    config: ArqConfig | None = None,
+) -> tuple[AgentProgram, AgentProgram, ArqEndpoint, ArqEndpoint]:
+    """Wrap two instantiated agent programs in ARQ transport.
+
+    Returns ``(wrapped0, wrapped1, endpoint0, endpoint1)`` — keep the
+    endpoints to read :class:`TransportStats` after the run.
+    """
+    cfg = config or ArqConfig()
+    e0 = ArqEndpoint(cfg)
+    e1 = ArqEndpoint(cfg)
+    return arq_adapt(program0, e0), arq_adapt(program1, e1), e0, e1

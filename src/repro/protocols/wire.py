@@ -38,17 +38,30 @@ def encode_varint(value: int) -> list[int]:
 
 
 def decode_varint(bits, cursor: int) -> tuple[int, int]:
-    """(value, next cursor).  Raises ValueError on truncated input."""
+    """(value, next cursor).  Raises ValueError on truncated input.
+
+    Also rejects *non-canonical* encodings — a length prefix that does not
+    match the magnitude's bit length, a zero-length magnitude, or a
+    negative zero.  Canonicality matters under fault injection: it
+    guarantees a corrupted encoding can never silently decode back to the
+    value it started from.
+    """
     if cursor + 17 > len(bits):
         raise ValueError("truncated varint header on the wire")
     length = bits_to_int(bits[cursor : cursor + 16])
     cursor += 16
+    if length == 0:
+        raise ValueError("corrupt varint: zero-length magnitude on the wire")
     sign = bits[cursor]
     cursor += 1
     if cursor + length > len(bits):
         raise ValueError("truncated varint payload on the wire")
     magnitude = bits_to_int(bits[cursor : cursor + length])
     cursor += length
+    if length != max(1, magnitude.bit_length()):
+        raise ValueError("corrupt varint: non-canonical length prefix")
+    if sign and magnitude == 0:
+        raise ValueError("corrupt varint: negative zero on the wire")
     return (-magnitude if sign else magnitude), cursor
 
 
@@ -58,12 +71,20 @@ def encode_fraction(value: Fraction) -> list[int]:
 
 
 def decode_fraction(bits, cursor: int) -> tuple[Fraction, int]:
-    """(fraction, next cursor); validates the denominator."""
+    """(fraction, next cursor); validates the denominator.
+
+    Rejects non-reduced encodings (the encoder always emits
+    ``Fraction``-normalized values), so corruption cannot produce a second
+    encoding of the same number.
+    """
     numerator, cursor = decode_varint(bits, cursor)
     denominator, cursor = decode_varint(bits, cursor)
     if denominator <= 0:
         raise ValueError("corrupt fraction on the wire")
-    return Fraction(numerator, denominator), cursor
+    value = Fraction(numerator, denominator)
+    if value.numerator != numerator or value.denominator != denominator:
+        raise ValueError("corrupt fraction: non-reduced encoding on the wire")
+    return value, cursor
 
 
 def encode_fraction_matrix(matrix: Matrix | None, ambient: int) -> list[int]:
@@ -83,11 +104,27 @@ def encode_fraction_matrix(matrix: Matrix | None, ambient: int) -> list[int]:
 
 
 def decode_fraction_matrix(bits, ambient: int) -> Matrix | None:
-    """Inverse of :func:`encode_fraction_matrix` (None for an empty basis)."""
+    """Inverse of :func:`encode_fraction_matrix` (None for an empty basis).
+
+    Raises ``ValueError`` on a truncated header or body, and on an
+    inconsistent header (``rows > 0`` with an empty body, or ``rows == 0``
+    with a non-empty one) — a corrupted stream must never be silently
+    misparsed.
+    """
+    if len(bits) < HEADER_BITS:
+        raise ValueError(
+            f"truncated matrix header on the wire: {len(bits)} < {HEADER_BITS} bits"
+        )
     rows = bits_to_int(bits[:16])
     body_bits = bits_to_int(bits[16:48])
     if rows == 0:
+        if body_bits != 0:
+            raise ValueError("corrupt matrix header: zero rows with non-empty body")
         return None
+    if body_bits == 0:
+        raise ValueError("corrupt matrix header: positive rows with empty body")
+    if HEADER_BITS + body_bits > len(bits):
+        raise ValueError("truncated matrix body on the wire")
     cursor = HEADER_BITS
     end = HEADER_BITS + body_bits
     out: list[list[Fraction]] = []

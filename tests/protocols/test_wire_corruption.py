@@ -1,0 +1,185 @@
+"""Property-based corruption tests for the wire formats.
+
+The contract under fault injection: a corrupted encoding must either raise
+``ValueError`` or decode to a *different* value — never decode silently back
+to the original, and never escape with an unrelated exception.  Canonical
+encodings (minimal varint lengths, no negative zero, reduced fractions,
+consistent matrix headers) are what make the single-bit-flip half of this
+provable, so the properties below are exhaustive over flip positions.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.matrix import Matrix
+from repro.protocols.wire import (
+    HEADER_BITS,
+    decode_fraction,
+    decode_fraction_matrix,
+    decode_varint,
+    encode_fraction,
+    encode_fraction_matrix,
+    encode_varint,
+)
+
+integers = st.integers(min_value=-(2**24), max_value=2**24)
+fractions = st.builds(
+    Fraction,
+    st.integers(min_value=-(2**12), max_value=2**12),
+    st.integers(min_value=1, max_value=2**12),
+)
+
+
+def small_matrices(max_dim: int = 2, magnitude: int = 8):
+    """Strategy for tiny fraction matrices (rows × cols ≤ 2 × 2)."""
+    entry = st.builds(
+        Fraction,
+        st.integers(min_value=-magnitude, max_value=magnitude),
+        st.integers(min_value=1, max_value=magnitude),
+    )
+    return st.integers(min_value=1, max_value=max_dim).flatmap(
+        lambda cols: st.lists(
+            st.lists(entry, min_size=cols, max_size=cols),
+            min_size=1,
+            max_size=max_dim,
+        ).map(Matrix)
+    )
+
+
+class TestVarintCorruption:
+    @given(integers)
+    @settings(max_examples=60)
+    def test_every_single_flip_detected_or_changes_value(self, value):
+        bits = encode_varint(value)
+        for i in range(len(bits)):
+            damaged = list(bits)
+            damaged[i] ^= 1
+            try:
+                decoded, _ = decode_varint(damaged, 0)
+            except ValueError:
+                continue  # detected — the good outcome
+            assert decoded != value, f"flip at {i} silently preserved {value}"
+
+    @given(integers)
+    @settings(max_examples=60)
+    def test_every_truncation_raises(self, value):
+        bits = encode_varint(value)
+        for cut in range(len(bits)):
+            with pytest.raises(ValueError):
+                decode_varint(bits[:cut], 0)
+
+    def test_non_canonical_length_rejected(self):
+        from repro.comm.bits import int_to_bits
+
+        # length prefix says 4 bits, but the magnitude 5 fits in 3
+        oversized = list(int_to_bits(4, 16)) + [0] + [1, 0, 1, 0]
+        with pytest.raises(ValueError, match="non-canonical"):
+            decode_varint(oversized, 0)
+
+    def test_negative_zero_rejected(self):
+        from repro.comm.bits import int_to_bits
+
+        bits = list(int_to_bits(1, 16)) + [1] + [0]
+        with pytest.raises(ValueError, match="negative zero"):
+            decode_varint(bits, 0)
+
+    def test_zero_length_rejected(self):
+        from repro.comm.bits import int_to_bits
+
+        bits = list(int_to_bits(0, 16)) + [0]
+        with pytest.raises(ValueError, match="zero-length"):
+            decode_varint(bits, 0)
+
+
+class TestFractionCorruption:
+    @given(fractions)
+    @settings(max_examples=40)
+    def test_roundtrip(self, value):
+        bits = encode_fraction(value)
+        decoded, cursor = decode_fraction(bits, 0)
+        assert decoded == value and cursor == len(bits)
+
+    @given(fractions)
+    @settings(max_examples=30)
+    def test_every_single_flip_detected_or_changes_value(self, value):
+        bits = encode_fraction(value)
+        for i in range(len(bits)):
+            damaged = list(bits)
+            damaged[i] ^= 1
+            try:
+                decoded, _ = decode_fraction(damaged, 0)
+            except ValueError:
+                continue
+            assert decoded != value, f"flip at {i} silently preserved {value}"
+
+    def test_non_reduced_rejected(self):
+        bits = encode_varint(2) + encode_varint(4)  # 2/4 — never emitted
+        with pytest.raises(ValueError, match="non-reduced"):
+            decode_fraction(bits, 0)
+
+    def test_non_positive_denominator_rejected(self):
+        bits = encode_varint(1) + encode_varint(-2)
+        with pytest.raises(ValueError, match="corrupt fraction"):
+            decode_fraction(bits, 0)
+
+
+class TestMatrixCorruption:
+    @given(small_matrices())
+    @settings(max_examples=25)
+    def test_roundtrip(self, matrix):
+        bits = encode_fraction_matrix(matrix, matrix.num_cols)
+        decoded = decode_fraction_matrix(bits, matrix.num_cols)
+        assert decoded == matrix
+
+    @given(small_matrices(max_dim=2, magnitude=4))
+    @settings(max_examples=10, deadline=None)
+    def test_every_single_flip_detected_or_changes_value(self, matrix):
+        ambient = matrix.num_cols
+        bits = encode_fraction_matrix(matrix, ambient)
+        for i in range(len(bits)):
+            damaged = list(bits)
+            damaged[i] ^= 1
+            try:
+                decoded = decode_fraction_matrix(damaged, ambient)
+            except ValueError:
+                continue
+            assert decoded != matrix, f"flip at {i} silently preserved the matrix"
+
+    @given(small_matrices(max_dim=2, magnitude=4))
+    @settings(max_examples=10, deadline=None)
+    def test_every_truncation_raises(self, matrix):
+        ambient = matrix.num_cols
+        bits = encode_fraction_matrix(matrix, ambient)
+        for cut in range(len(bits)):
+            with pytest.raises(ValueError):
+                decode_fraction_matrix(bits[:cut], ambient)
+
+    def test_empty_basis_roundtrip(self):
+        bits = encode_fraction_matrix(None, 3)
+        assert decode_fraction_matrix(bits, 3) is None
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError, match="truncated matrix header"):
+            decode_fraction_matrix([0] * (HEADER_BITS - 1), 2)
+
+    def test_zero_rows_nonzero_body_rejected(self):
+        from repro.comm.bits import int_to_bits
+
+        bits = list(int_to_bits(0, 16)) + list(int_to_bits(8, 32)) + [0] * 8
+        with pytest.raises(ValueError, match="zero rows"):
+            decode_fraction_matrix(bits, 2)
+
+    def test_positive_rows_empty_body_rejected(self):
+        from repro.comm.bits import int_to_bits
+
+        bits = list(int_to_bits(1, 16)) + list(int_to_bits(0, 32))
+        with pytest.raises(ValueError, match="empty body"):
+            decode_fraction_matrix(bits, 2)
+
+    def test_wrong_ambient_rejected_on_encode(self):
+        matrix = Matrix([[Fraction(1)]])
+        with pytest.raises(ValueError, match="ambient"):
+            encode_fraction_matrix(matrix, 2)
