@@ -25,6 +25,7 @@ from repro.comm import (
 from repro.exact import is_singular
 from repro.singularity import RestrictedFamily, TheoremBounds, trivial_upper_bound_bits
 from repro.util.fmt import Table
+from repro.util.parallel import parmap
 
 
 def exact_small_instances():
@@ -52,22 +53,28 @@ def exact_small_instances():
     return table, rows
 
 
+def _asymptotic_point(task: tuple[int, int]) -> tuple[int, int, float, float, float]:
+    """One (n, k) cell of the sweep — pure, so parmap-safe at any worker
+    count (honors REPRO_WORKERS)."""
+    n, k = task
+    tb = TheoremBounds(RestrictedFamily(n, k))
+    lower = tb.yao_lower_bound_bits()
+    return n, k, lower, tb.knsquared(), lower / tb.knsquared()
+
+
 def asymptotic_sweep() -> tuple[Table, list[float]]:
     table = Table(
         ["n", "k", "Yao lower (bits)", "k*n^2", "ratio", "trivial upper"],
         title="E1b: Theorem 1.1 lower bound vs k*n^2 (asymptotic calculators)",
     )
+    grid = [(n, k) for n in (63, 127, 255, 511, 1001) for k in (2, 8)]
     ratios = []
-    for n in (63, 127, 255, 511, 1001):
-        for k in (2, 8):
-            tb = TheoremBounds(RestrictedFamily(n, k))
-            lower = tb.yao_lower_bound_bits()
-            ratio = lower / tb.knsquared()
-            ratios.append(ratio)
-            table.add_row(
-                [n, k, f"{lower:.3e}", f"{tb.knsquared():.3e}", f"{ratio:.4f}",
-                 f"{trivial_upper_bound_bits(n, k):.3e}"]
-            )
+    for n, k, lower, kn2, ratio in parmap(_asymptotic_point, grid):
+        ratios.append(ratio)
+        table.add_row(
+            [n, k, f"{lower:.3e}", f"{kn2:.3e}", f"{ratio:.4f}",
+             f"{trivial_upper_bound_bits(n, k):.3e}"]
+        )
     return table, ratios
 
 

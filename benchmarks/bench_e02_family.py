@@ -11,7 +11,8 @@ import pytest
 from benchmarks.conftest import emit
 from repro.singularity import FamilyInstance, RestrictedFamily
 from repro.util.fmt import Table
-from repro.util.rng import ReproducibleRNG
+from repro.util.parallel import parmap
+from repro.util.rng import ReproducibleRNG, derive_seed
 
 SWEEP = [(5, 3), (7, 2), (9, 2), (11, 2), (9, 4), (13, 2), (7, 5)]
 
@@ -42,14 +43,21 @@ def audit_family(n: int, k: int, rng) -> dict:
     }
 
 
+def _audit_task(task: tuple[int, int, int]) -> dict:
+    """One sweep cell with its own derived RNG — parmap-safe, bit-identical
+    at every worker count."""
+    n, k, root_seed = task
+    return audit_family(n, k, ReproducibleRNG(derive_seed(root_seed, "e02", n, k)))
+
+
 def build_table(rng) -> tuple[Table, list[dict]]:
     table = Table(
         ["n", "k", "q", "free bits", "total bits", "free/total", "free/(k n^2)"],
         title="E2: restricted family free information = Theta(k n^2)",
     )
     results = []
-    for n, k in SWEEP:
-        row = audit_family(n, k, rng)
+    tasks = [(n, k, rng.root_seed) for n, k in SWEEP]
+    for row in parmap(_audit_task, tasks):
         results.append(row)
         table.add_row(
             [

@@ -21,7 +21,20 @@ from repro.protocols import (
     error_upper_bound,
 )
 from repro.util.fmt import Table
-from repro.util.rng import ReproducibleRNG
+from repro.util.parallel import parmap
+from repro.util.rng import ReproducibleRNG, derive_seed
+
+
+def _cost_point(task: tuple[int, int, int]) -> tuple[int, int, int, int]:
+    """One (size, k) cell, input drawn from its own derived seed — the
+    measured costs are bit-identical at every parmap worker count."""
+    size, k, seed = task
+    codec = MatrixBitCodec(size, size, k)
+    partition = pi_zero(codec)
+    m = Matrix.random_kbit(ReproducibleRNG(seed), size, size, k)
+    trivial = TrivialProtocol(codec, partition).run_on_matrix(m).bits_exchanged
+    fingerprint = FingerprintProtocol(codec, partition).run_on_matrix(m, 0).bits_exchanged
+    return size, k, trivial, fingerprint
 
 
 def cost_sweep() -> tuple[Table, list[tuple[int, float]]]:
@@ -29,14 +42,12 @@ def cost_sweep() -> tuple[Table, list[tuple[int, float]]]:
         ["2n", "k", "trivial bits", "fingerprint bits", "ratio", "winner"],
         title="E11a: measured deterministic vs randomized cost",
     )
-    rng = ReproducibleRNG(11)
     ratios = []
-    for size, k in [(6, 2), (6, 8), (6, 32), (6, 128), (10, 128)]:
-        codec = MatrixBitCodec(size, size, k)
-        partition = pi_zero(codec)
-        m = Matrix.random_kbit(rng, size, size, k)
-        trivial = TrivialProtocol(codec, partition).run_on_matrix(m).bits_exchanged
-        fingerprint = FingerprintProtocol(codec, partition).run_on_matrix(m, 0).bits_exchanged
+    tasks = [
+        (size, k, derive_seed(11, "e11", size, k))
+        for size, k in [(6, 2), (6, 8), (6, 32), (6, 128), (10, 128)]
+    ]
+    for size, k, trivial, fingerprint in parmap(_cost_point, tasks):
         ratio = trivial / fingerprint
         ratios.append((k, ratio))
         table.add_row(
@@ -44,6 +55,19 @@ def cost_sweep() -> tuple[Table, list[tuple[int, float]]]:
              "randomized" if fingerprint < trivial else "deterministic"]
         )
     return table, ratios
+
+
+def _error_trial(seed: int) -> tuple[bool, bool]:
+    """One seeded trial on the pinned singular/nonsingular pair."""
+    codec = MatrixBitCodec(6, 6, 2)
+    protocol = FingerprintProtocol(codec, pi_zero(codec))
+    singular = Matrix(
+        [[1, 1, 0, 0, 0, 0], [2, 2, 0, 0, 0, 0]] + [[0] * 6] * 4
+    )
+    return (
+        not protocol.decide(singular, seed),
+        bool(protocol.decide(Matrix.identity(6), seed)),
+    )
 
 
 def error_measurement(trials: int = 40) -> tuple[Table, float]:
@@ -54,12 +78,9 @@ def error_measurement(trials: int = 40) -> tuple[Table, float]:
         [[1, 1, 0, 0, 0, 0], [2, 2, 0, 0, 0, 0]] + [[0] * 6] * 4
     )
     assert is_singular(singular)
-    wrong_singular = sum(
-        not protocol.decide(singular, seed) for seed in range(trials)
-    )
-    wrong_nonsingular = sum(
-        protocol.decide(Matrix.identity(6), seed) for seed in range(trials)
-    )
+    outcomes = parmap(_error_trial, range(trials))
+    wrong_singular = sum(s for s, _ in outcomes)
+    wrong_nonsingular = sum(n for _, n in outcomes)
     bound = error_upper_bound(3, 2, protocol.prime_bits)
     table = Table(
         ["side", "errors", "trials", "analytic bound"],

@@ -1,0 +1,204 @@
+"""The pinned performance benchmark behind ``python -m repro bench``.
+
+Runs one fixed, seeded workload four ways and writes ``BENCH_PERF.json``:
+
+* the E6-scale restricted truth matrix built with the exact ``fraction``
+  engine and again with the vectorized ``modnp`` engine — the matrices must
+  be byte-identical and the speedup is the headline number (the acceptance
+  bar is 5x);
+* the same build pipeline and a chaos mini-sweep at ``--workers 1`` and
+  ``--workers N`` — verdicts and matrices must be byte-identical, proving
+  :func:`repro.util.parallel.parmap`'s seed-per-task determinism.
+
+The JSON also snapshots every :mod:`repro.obs` counter and timer the run
+touched (span-cache traffic, mod-p filter counts, wire bits), so a perf
+regression comes with its own diagnostics attached.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.util.rng import ReproducibleRNG
+
+#: The acceptance bar for modnp vs fraction on the pinned workload.
+SPEEDUP_TARGET = 5.0
+
+
+def _pinned_workload(quick: bool):
+    """The fixed (family, rows, columns) triple every engine run measures.
+
+    Full mode is E6-scale (n=5, k=3 — the smallest nonempty-E family — with
+    enough columns that per-entry Fraction costs dominate); quick mode is a
+    CI smoke size.
+    """
+    from repro.singularity import truth_builder as tb
+    from repro.singularity.family import RestrictedFamily
+
+    if quick:
+        fam = RestrictedFamily(5, 3)
+        n_rows, completion_rows, n_random = 10, 5, 12
+    else:
+        fam = RestrictedFamily(5, 3)
+        n_rows, completion_rows, n_random = 25, 12, 60
+    rng = ReproducibleRNG(1989)
+    rows = tb.sample_distinct_rows(fam, rng, n_rows)
+    columns = tb.completed_columns(fam, rows[:completion_rows], rng, 1)
+    columns += tb.random_columns(fam, rng, n_random)
+    return fam, rows, columns
+
+
+def _time_engine(fam, rows, columns, engine: str, repeats: int) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall time of one engine (best-of defeats noise)."""
+    from repro.singularity.truth_builder import restricted_truth_matrix
+
+    best = float("inf")
+    tm = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        tm = restricted_truth_matrix(fam, rows, columns, engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best, tm
+
+
+def bench_engines(quick: bool) -> dict[str, Any]:
+    """Fraction vs modnp on the pinned truth-matrix build."""
+    fam, rows, columns = _pinned_workload(quick)
+    repeats = 1 if quick else 3
+    fraction_s, tm_fraction = _time_engine(fam, rows, columns, "fraction", repeats)
+    modnp_s, tm_modnp = _time_engine(fam, rows, columns, "modnp", repeats)
+    identical = bool((tm_fraction.data == tm_modnp.data).all())
+    speedup = fraction_s / modnp_s if modnp_s > 0 else float("inf")
+    return {
+        "workload": {
+            "family": repr(fam),
+            "shape": list(tm_fraction.shape),
+            "entries": tm_fraction.shape[0] * tm_fraction.shape[1],
+            "ones": int(tm_fraction.data.sum()),
+        },
+        "fraction_seconds": fraction_s,
+        "modnp_seconds": modnp_s,
+        "speedup": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_target": speedup >= SPEEDUP_TARGET,
+        "byte_identical": identical,
+    }
+
+
+def bench_parallel(quick: bool, workers: int) -> dict[str, Any]:
+    """Serial vs parallel determinism: truth-matrix build and chaos sweep."""
+    from repro.comm.chaos import sweep
+    from repro.singularity import truth_builder as tb
+
+    fam, rows, columns_serial = _pinned_workload(quick)
+
+    def build(n_workers: int):
+        t0 = time.perf_counter()
+        cols = tb.completed_columns(fam, rows[: len(rows) // 2], ReproducibleRNG(1989), 2, workers=n_workers)
+        tm = tb.restricted_truth_matrix(fam, rows, cols + columns_serial, engine="modnp")
+        return time.perf_counter() - t0, tm
+
+    serial_s, tm1 = build(1)
+    parallel_s, tmn = build(workers)
+    tm_identical = bool(
+        tm1.shape == tmn.shape and (tm1.data == tmn.data).all()
+    )
+
+    chaos_kwargs: dict[str, Any] = dict(
+        protocols=["equality", "trivial"],
+        kinds=["flip", "erase"],
+        rates=[0.0, 0.01] if quick else [0.0, 0.01, 0.05],
+        runs=3 if quick else 10,
+        seed=17,
+    )
+    t0 = time.perf_counter()
+    points1 = sweep(workers=1, **chaos_kwargs)
+    chaos_serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pointsn = sweep(workers=workers, **chaos_kwargs)
+    chaos_parallel_s = time.perf_counter() - t0
+    chaos_identical = [p.as_dict() for p in points1] == [
+        p.as_dict() for p in pointsn
+    ]
+    return {
+        "workers_compared": [1, workers],
+        "truth_matrix": {
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "byte_identical": tm_identical,
+        },
+        "chaos": {
+            "serial_seconds": chaos_serial_s,
+            "parallel_seconds": chaos_parallel_s,
+            "cells": len(points1),
+            "verdicts_identical": bool(chaos_identical),
+        },
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    workers: int = 4,
+    out_path: str | Path = "BENCH_PERF.json",
+) -> dict[str, Any]:
+    """Run the full pinned benchmark and write the JSON report.
+
+    The report's ``ok`` field demands byte-identity everywhere and (in full
+    mode only — quick CI boxes are too noisy to gate on wall time) the 5x
+    engine speedup.
+    """
+    obs.reset()
+    started = time.time()
+    engines = bench_engines(quick)
+    parallel = bench_parallel(quick, workers)
+    report: dict[str, Any] = {
+        "bench": "repro pinned perf sweep",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "started_unix": started,
+        "elapsed_seconds": time.time() - started,
+        "engines": engines,
+        "parallel": parallel,
+        "obs": obs.snapshot(),
+    }
+    identical = (
+        engines["byte_identical"]
+        and parallel["truth_matrix"]["byte_identical"]
+        and parallel["chaos"]["verdicts_identical"]
+    )
+    report["ok"] = bool(
+        identical and (quick or engines["meets_target"])
+    )
+    Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_summary(report: dict[str, Any]) -> str:
+    """Human-readable digest of one report (the CLI's stdout)."""
+    e = report["engines"]
+    p = report["parallel"]
+    lines = [
+        f"pinned truth-matrix build {e['workload']['shape'][0]}x"
+        f"{e['workload']['shape'][1]} ({e['workload']['ones']} ones):",
+        f"  fraction engine : {e['fraction_seconds'] * 1e3:9.1f} ms",
+        f"  modnp engine    : {e['modnp_seconds'] * 1e3:9.1f} ms",
+        f"  speedup         : {e['speedup']:9.1f}x (target >= "
+        f"{e['speedup_target']:g}x, byte-identical: {e['byte_identical']})",
+        f"parallel determinism (workers {p['workers_compared']}):",
+        f"  truth matrix    : identical = "
+        f"{p['truth_matrix']['byte_identical']} "
+        f"({p['truth_matrix']['serial_seconds'] * 1e3:.1f} ms -> "
+        f"{p['truth_matrix']['parallel_seconds'] * 1e3:.1f} ms)",
+        f"  chaos verdicts  : identical = {p['chaos']['verdicts_identical']} "
+        f"over {p['chaos']['cells']} cells "
+        f"({p['chaos']['serial_seconds'] * 1e3:.1f} ms -> "
+        f"{p['chaos']['parallel_seconds'] * 1e3:.1f} ms)",
+        f"ok = {report['ok']}",
+    ]
+    return "\n".join(lines)

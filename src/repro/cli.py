@@ -6,6 +6,8 @@
     python -m repro bounds --n 255 --k 8
     python -m repro check
     python -m repro experiments
+    python -m repro bench --quick
+    python -m repro chaos --quick --workers 4
 
 Every subcommand is a thin shell over the library; anything printed here is
 reproducible programmatically through the public API.
@@ -197,6 +199,7 @@ def _cmd_chaos(args) -> int:
         runs=runs,
         seed=args.seed,
         config=config,
+        workers=args.workers,
     )
     if args.json:
         print(json.dumps([p.as_dict() for p in points], indent=2))
@@ -209,6 +212,17 @@ def _cmd_chaos(args) -> int:
     if not args.json:
         print("no silent corruption: every wrong run failed loudly")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import render_summary, run_bench
+
+    report = run_bench(
+        quick=args.quick, workers=args.workers or 4, out_path=args.out
+    )
+    print(render_summary(report))
+    print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,7 +275,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quick", action="store_true", help="CI-sized smoke sweep")
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the sweep (default: REPRO_WORKERS or 1); "
+        "results are bit-identical at every value",
+    )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "bench",
+        help="pinned perf sweep: fraction vs modnp, serial vs parallel "
+        "(writes BENCH_PERF.json)",
+    )
+    p.add_argument("--quick", action="store_true", help="CI smoke size")
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel worker count to compare against serial (default 4)",
+    )
+    p.add_argument("--out", default="BENCH_PERF.json", help="report path")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class Message:
@@ -114,6 +116,7 @@ class BitChannel:
             raise ValueError("only bits may be sent")
         message = Message(sender, payload)
         self.transcript.messages.append(message)
+        obs.counter("channel.wire_bits").inc(len(payload))
         self._deliver(1 - sender, payload)
 
     def _deliver(self, receiver: int, payload: tuple[int, ...]) -> None:

@@ -41,6 +41,7 @@ from repro.comm.faults import (
 from repro.comm.partition import pi_zero
 from repro.comm.transport import ArqConfig, TransportStats, reliable_pair
 from repro.util.fmt import Table
+from repro.util.parallel import parmap
 from repro.util.rng import ReproducibleRNG, derive_seed
 
 
@@ -315,18 +316,24 @@ class SweepPoint:
 
     def observe(self, outcome: ChaosOutcome) -> None:
         """Fold one run into the aggregate."""
+        self.observe_summary(_summarize(outcome))
+
+    def observe_summary(self, summary: "RunSummary") -> None:
+        """Fold one run's reduced summary (what :func:`sweep` workers ship
+        back — a :class:`ChaosOutcome` holds generators and is not
+        picklable) into the aggregate."""
         self.runs += 1
-        if outcome.silent_wrong:
+        if summary.silent_wrong:
             self.silent_wrong += 1
-        elif outcome.recovered:
+        elif summary.recovered:
             self.recovered += 1
         else:
-            name = outcome.report.outcome
+            name = summary.failure
             self.failures[name] = self.failures.get(name, 0) + 1
-        self.faults_injected += outcome.report.faults_injected
-        self.total_retries += outcome.stats.retries
-        self.total_payload_bits += outcome.stats.payload_bits
-        self.total_wire_bits += outcome.stats.wire_bits
+        self.faults_injected += summary.faults_injected
+        self.total_retries += summary.retries
+        self.total_payload_bits += summary.payload_bits
+        self.total_wire_bits += summary.wire_bits
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready flat representation (for the CLI and benchmarks)."""
@@ -345,6 +352,49 @@ class SweepPoint:
         }
 
 
+@dataclass(frozen=True)
+class RunSummary:
+    """The picklable residue of one :class:`ChaosOutcome` — exactly what a
+    :class:`SweepPoint` needs to aggregate, shippable across process
+    boundaries by :func:`sweep`'s workers."""
+
+    recovered: bool
+    silent_wrong: bool
+    failure: str | None
+    faults_injected: int
+    retries: int
+    payload_bits: int
+    wire_bits: int
+
+
+def _summarize(outcome: ChaosOutcome) -> RunSummary:
+    return RunSummary(
+        recovered=outcome.recovered,
+        silent_wrong=outcome.silent_wrong,
+        failure=None if outcome.report.ok else outcome.report.outcome,
+        faults_injected=outcome.report.faults_injected,
+        retries=outcome.stats.retries,
+        payload_bits=outcome.stats.payload_bits,
+        wire_bits=outcome.stats.wire_bits,
+    )
+
+
+def _sweep_task(
+    task: tuple[str, str, float, int, int, ArqConfig | None]
+) -> RunSummary:
+    """One seeded execution of one sweep cell — all randomness derived from
+    the task's coordinates, so results are identical at any worker count."""
+    name, kind, rate, r, seed, config = task
+    case = SCENARIOS[name](derive_seed(seed, name, "instance", r))
+    model = make_fault_model(
+        kind, rate, seed=derive_seed(seed, name, kind, rate, r)
+    )
+    outcome = run_case(
+        case, model, coin_seed=derive_seed(seed, name, "coins", r), config=config
+    )
+    return _summarize(outcome)
+
+
 def sweep(
     protocols: Sequence[str] | None = None,
     kinds: Sequence[str] = ("flip", "erase", "duplicate"),
@@ -352,36 +402,41 @@ def sweep(
     runs: int = 20,
     seed: int = 0,
     config: ArqConfig | None = None,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Correctness/overhead curves: protocols × fault kinds × rates.
 
     Every cell aggregates ``runs`` seeded executions with independent
     instances, coins and fault randomness (all derived from ``seed``, so
-    the whole sweep replays exactly).
+    the whole sweep replays exactly).  Runs fan out through
+    :func:`repro.util.parallel.parmap`; the verdicts are bit-identical at
+    every ``workers`` value because each run's randomness comes from its
+    coordinates, never from shared state.
     """
     names = list(protocols) if protocols is not None else sorted(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
         raise ValueError(f"unknown protocols {unknown}; have {sorted(SCENARIOS)}")
+    cells = [
+        (name, kind, rate)
+        for name in names
+        for kind in kinds
+        for rate in rates
+    ]
+    tasks = [
+        (name, kind, rate, r, seed, config)
+        for name, kind, rate in cells
+        for r in range(runs)
+    ]
+    summaries = parmap(_sweep_task, tasks, workers=workers)
     points: list[SweepPoint] = []
-    for name in names:
-        for kind in kinds:
-            for rate in rates:
-                point = SweepPoint(protocol=name, kind=kind, rate=rate)
-                for r in range(runs):
-                    case = SCENARIOS[name](derive_seed(seed, name, "instance", r))
-                    model = make_fault_model(
-                        kind, rate, seed=derive_seed(seed, name, kind, rate, r)
-                    )
-                    point.observe(
-                        run_case(
-                            case,
-                            model,
-                            coin_seed=derive_seed(seed, name, "coins", r),
-                            config=config,
-                        )
-                    )
-                points.append(point)
+    cursor = 0
+    for name, kind, rate in cells:
+        point = SweepPoint(protocol=name, kind=kind, rate=rate)
+        for summary in summaries[cursor : cursor + runs]:
+            point.observe_summary(summary)
+        cursor += runs
+        points.append(point)
     return points
 
 

@@ -17,15 +17,24 @@ where it certifies Yao's bound against ground truth.
 Also computes the exact *protocol partition number* ``d^P(f)`` (number of
 leaves of an optimal-leaf protocol) and exposes an optimal
 :class:`~repro.comm.protocol.ProtocolTree`.
+
+One DP serves both queries: :func:`communication_complexity` and
+:func:`optimal_protocol_tree` share a memoized :class:`_ExactSearch` per
+deduplicated matrix (every solved subrectangle remembers its best split, so
+the tree is a free walk over the memo).  Asking for ``D(f)`` and then the
+tree therefore costs **one** search, not two — the
+``exhaustive.subproblems`` counter in :mod:`repro.obs` counts distinct
+subrectangles solved and is the test suite's proof of the sharing.
 """
 
 from __future__ import annotations
 
 import functools
-from collections.abc import Sequence
+from collections import OrderedDict
 
 import numpy as np
 
+from repro import obs
 from repro.comm.protocol import Leaf, Node, ProtocolTree
 from repro.comm.truth_matrix import TruthMatrix
 
@@ -65,7 +74,7 @@ def dedupe(tm: TruthMatrix) -> TruthMatrix:
     return tm.submatrix(row_keep, col_keep)
 
 
-def _bipartitions(mask: int, members: tuple[int, ...]):
+def _bipartitions(members: tuple[int, ...]):
     """All splits of `members` into (non-empty, non-empty), up to swapping."""
     m = len(members)
     # Fix members[0] on the left side to kill the swap symmetry.
@@ -81,40 +90,122 @@ def _bipartitions(mask: int, members: tuple[int, ...]):
             yield tuple(left), tuple(right)
 
 
-def communication_complexity(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
-    """Exact D(f) of the (deduplicated) truth matrix."""
-    tm = dedupe(tm)
-    _check_size(tm, limit)
-    data = tm.data
-    all_rows = tuple(range(tm.shape[0]))
-    all_cols = tuple(range(tm.shape[1]))
+#: A solved subrectangle: (cost, split).  ``split`` is None for a
+#: monochromatic leaf, else ``(axis, left, right)`` — axis 0 splits rows,
+#: axis 1 splits columns, left/right are the index tuples of the children.
+_Solved = tuple[int, "tuple[int, tuple[int, ...], tuple[int, ...]] | None"]
 
-    @functools.lru_cache(maxsize=None)
-    def solve(rows: tuple[int, ...], cols: tuple[int, ...]) -> int:
-        block = data[np.ix_(rows, cols)]
+
+class _ExactSearch:
+    """The shared memoized D(f) DP over one deduplicated truth matrix.
+
+    Every solved subrectangle stores its cost **and** the bipartition that
+    achieves it, so any number of ``D(f)`` / protocol-tree queries after the
+    first traversal are pure memo walks.
+    """
+
+    def __init__(self, data: np.ndarray):
+        self.data = data
+        self.memo: dict[tuple[tuple[int, ...], tuple[int, ...]], _Solved] = {}
+
+    def solve(self, rows: tuple[int, ...], cols: tuple[int, ...]) -> _Solved:
+        cached = self.memo.get((rows, cols))
+        if cached is not None:
+            return cached
+        obs.counter("exhaustive.subproblems").inc()
+        block = self.data[np.ix_(rows, cols)]
         if (block == block[0, 0]).all():
-            return 0
-        best = None
+            result: _Solved = (0, None)
+            self.memo[(rows, cols)] = result
+            return result
+        best_cost: int | None = None
+        best_split = None
         # Agent 0 speaks: split rows.
         if len(rows) > 1:
-            for left, right in _bipartitions(0, rows):
-                cost = 1 + max(solve(left, cols), solve(right, cols))
-                if best is None or cost < best:
-                    best = cost
-                    if best == 1:
+            for left, right in _bipartitions(rows):
+                cost = 1 + max(
+                    self.solve(left, cols)[0], self.solve(right, cols)[0]
+                )
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_split = (0, left, right)
+                    if best_cost == 1:
                         break
         # Agent 1 speaks: split columns.
-        if (best is None or best > 1) and len(cols) > 1:
-            for left, right in _bipartitions(0, cols):
-                cost = 1 + max(solve(rows, left), solve(rows, right))
-                if best is None or cost < best:
-                    best = cost
-                    if best == 1:
+        if (best_cost is None or best_cost > 1) and len(cols) > 1:
+            for left, right in _bipartitions(cols):
+                cost = 1 + max(
+                    self.solve(rows, left)[0], self.solve(rows, right)[0]
+                )
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_split = (1, left, right)
+                    if best_cost == 1:
                         break
-        assert best is not None, "non-monochromatic 1x1 block is impossible"
-        return best
+        assert best_cost is not None, "non-monochromatic 1x1 block is impossible"
+        result = (best_cost, best_split)
+        self.memo[(rows, cols)] = result
+        return result
 
-    return solve(all_rows, all_cols)
+    def solve_root(self) -> _Solved:
+        n_rows, n_cols = self.data.shape
+        return self.solve(tuple(range(n_rows)), tuple(range(n_cols)))
+
+    def build_tree(
+        self,
+        rows: tuple[int, ...],
+        cols: tuple[int, ...],
+        row_index: dict,
+        col_index: dict,
+    ):
+        """Walk the memo into a protocol tree (solves on demand if asked for
+        a subrectangle the cost query never reached)."""
+        cost, split = self.solve(rows, cols)
+        if split is None:
+            return Leaf(int(self.data[rows[0], cols[0]]))
+        axis, left, right = split
+        if axis == 0:
+            return Node(
+                0,
+                _row_predicate(row_index, frozenset(right)),
+                self.build_tree(left, cols, row_index, col_index),
+                self.build_tree(right, cols, row_index, col_index),
+            )
+        return Node(
+            1,
+            _col_predicate(col_index, frozenset(right)),
+            self.build_tree(rows, left, row_index, col_index),
+            self.build_tree(rows, right, row_index, col_index),
+        )
+
+
+#: LRU of shared searches keyed by the deduplicated matrix's bytes+shape, so
+#: a D(f) query followed by a tree query (the E15 pattern) reuses one DP.
+_SEARCH_CACHE: OrderedDict[tuple[bytes, tuple[int, int]], _ExactSearch] = (
+    OrderedDict()
+)
+_SEARCH_CACHE_LIMIT = 64
+
+
+def _search_for(deduped: TruthMatrix) -> _ExactSearch:
+    data = np.ascontiguousarray(deduped.data)
+    key = (data.tobytes(), deduped.shape)
+    search = _SEARCH_CACHE.get(key)
+    if search is None:
+        search = _ExactSearch(data)
+        _SEARCH_CACHE[key] = search
+        if len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+            _SEARCH_CACHE.popitem(last=False)
+    else:
+        _SEARCH_CACHE.move_to_end(key)
+    return search
+
+
+def communication_complexity(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
+    """Exact D(f) of the (deduplicated) truth matrix."""
+    deduped = dedupe(tm)
+    _check_size(deduped, limit)
+    return _search_for(deduped).solve_root()[0]
 
 
 def optimal_protocol_tree(
@@ -128,7 +219,6 @@ def optimal_protocol_tree(
     """
     deduped = dedupe(tm)
     _check_size(deduped, limit)
-    data = deduped.data
 
     # Map original labels to deduped indices so returned predicates accept
     # any label of the original matrix.  dedupe() keeps first occurrences in
@@ -148,41 +238,11 @@ def optimal_protocol_tree(
             distinct_cols[col] = len(distinct_cols)
         col_index[tm.col_labels[i]] = distinct_cols[col]
 
-    @functools.lru_cache(maxsize=None)
-    def solve(rows: tuple[int, ...], cols: tuple[int, ...]):
-        block = data[np.ix_(rows, cols)]
-        if (block == block[0, 0]).all():
-            return 0, Leaf(int(block[0, 0]))
-        best_cost = None
-        best_node = None
-        if len(rows) > 1:
-            for left, right in _bipartitions(0, rows):
-                c0, t0 = solve(left, cols)
-                c1, t1 = solve(right, cols)
-                cost = 1 + max(c0, c1)
-                if best_cost is None or cost < best_cost:
-                    right_set = frozenset(right)
-                    predicate = _row_predicate(row_index, right_set)
-                    best_cost = cost
-                    best_node = Node(0, predicate, t0, t1)
-                    if best_cost == 1:
-                        break
-        if (best_cost is None or best_cost > 1) and len(cols) > 1:
-            for left, right in _bipartitions(0, cols):
-                c0, t0 = solve(rows, left)
-                c1, t1 = solve(rows, right)
-                cost = 1 + max(c0, c1)
-                if best_cost is None or cost < best_cost:
-                    right_set = frozenset(right)
-                    predicate = _col_predicate(col_index, right_set)
-                    best_cost = cost
-                    best_node = Node(1, predicate, t0, t1)
-                    if best_cost == 1:
-                        break
-        assert best_cost is not None and best_node is not None
-        return best_cost, best_node
-
-    cost, root = solve(tuple(range(deduped.shape[0])), tuple(range(deduped.shape[1])))
+    search = _search_for(deduped)
+    all_rows = tuple(range(deduped.shape[0]))
+    all_cols = tuple(range(deduped.shape[1]))
+    cost, _ = search.solve(all_rows, all_cols)
+    root = search.build_tree(all_rows, all_cols, row_index, col_index)
     return cost, ProtocolTree(root)
 
 
@@ -219,12 +279,12 @@ def partition_number(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
             return 1
         best = None
         if len(rows) > 1:
-            for left, right in _bipartitions(0, rows):
+            for left, right in _bipartitions(rows):
                 total = solve(left, cols) + solve(right, cols)
                 if best is None or total < best:
                     best = total
         if len(cols) > 1:
-            for left, right in _bipartitions(0, cols):
+            for left, right in _bipartitions(cols):
                 total = solve(rows, left) + solve(rows, right)
                 if best is None or total < best:
                     best = total

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.comm.truth_matrix import TruthMatrix
 
 
@@ -83,6 +84,7 @@ def max_one_rectangle_exact(tm: TruthMatrix, max_rows: int = 20) -> tuple[int, t
     best_area = 0
     best: tuple[int, tuple[int, ...], tuple[int, ...]] = (0, (), ())
     full = (1 << n_cols) - 1
+    obs.counter("rectangles.enumerated").inc((1 << n_rows) - 1)
     for subset in range(1, 1 << n_rows):
         rows = [i for i in range(n_rows) if subset >> i & 1]
         mask = full

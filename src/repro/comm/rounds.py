@@ -72,7 +72,7 @@ def round_bounded_cc(
         # Speak a bit: split the speaker's side.
         side = rows if speaker == 0 else cols
         if len(side) > 1:
-            for left, right in _bipartitions(0, side):
+            for left, right in _bipartitions(side):
                 if speaker == 0:
                     cost = 1 + max(
                         solve(left, cols, 0, rounds_left),

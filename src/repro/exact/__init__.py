@@ -16,7 +16,8 @@ The public surface:
 * :func:`solve`, :func:`is_solvable` — Corollary 1.3's decision.
 * :class:`Subspace` — spans, intersections, projections (Lemmas 3.2–3.7).
 * Modular arithmetic — GF(p) linear algebra, primes, CRT (the randomized
-  protocol's machinery).
+  protocol's machinery), plus the NumPy-vectorized batch kernels of
+  :mod:`repro.exact.modnp` (``rank``/``det``/span membership over uint64).
 * Normal forms — Hermite and Smith over ℤ.
 """
 
@@ -75,6 +76,7 @@ from repro.exact.modular import (
     count_primes_with_bits,
     crt_combine,
     det_mod,
+    det_mod_rows,
     is_prime,
     is_singular_mod,
     next_prime,
@@ -84,6 +86,7 @@ from repro.exact.modular import (
     rank_mod,
     solve_mod,
 )
+from repro.exact import modnp
 from repro.exact.gf2 import (
     gf2_rank,
     gf2_rank_of_matrix,
@@ -157,6 +160,8 @@ __all__ = [
     "count_primes_with_bits",
     "crt_combine",
     "det_mod",
+    "det_mod_rows",
+    "modnp",
     "is_prime",
     "is_singular_mod",
     "next_prime",

@@ -62,17 +62,27 @@ def rational_determinant(m: Matrix) -> Fraction:
     return det
 
 
+#: Largest n the cofactor oracle accepts.  Laplace expansion is Θ(n·n!):
+#: 8! ≈ 40k leaf terms is instant, 11! ≈ 40M is not — the docstring, the
+#: guard, and the error message all enforce this one number.
+_COFACTOR_ORACLE_LIMIT = 8
+
+
 def cofactor_determinant(m: Matrix) -> Fraction:
     """Determinant by Laplace expansion along the first row.
 
-    Exponential time — a reference oracle for matrices up to ~8x8, used by
+    Exponential time — a reference oracle for matrices up to
+    ``_COFACTOR_ORACLE_LIMIT`` × ``_COFACTOR_ORACLE_LIMIT`` (8x8), used by
     the test suite to validate the elimination engines.
     """
     if not m.is_square:
         raise ValueError("determinant needs a square matrix")
     n = m.num_rows
-    if n > 10:
-        raise ValueError("cofactor expansion is an oracle for small matrices only")
+    if n > _COFACTOR_ORACLE_LIMIT:
+        raise ValueError(
+            f"cofactor expansion is a small-matrix oracle: n <= "
+            f"{_COFACTOR_ORACLE_LIMIT} enforced, got n = {n}"
+        )
     return _cofactor(m.rows())
 
 
@@ -160,7 +170,7 @@ def crt_determinant(m: Matrix, primes: list[int]) -> int:
         raise ValueError(
             f"prime product {modulus} does not exceed twice the Hadamard bound {bound}"
         )
-    residues = [det_mod(m.to_int_rows(), p) for p in primes]
+    residues = [det_mod(m, p) for p in primes]
     combined = crt_combine(residues, primes)
     # Symmetric lift: the true determinant lies in [-bound, bound].
     if combined > modulus // 2:

@@ -11,7 +11,12 @@ the protocol agents can run it on wire-format data without constructing
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import only for annotations
+    from repro.exact.matrix import Matrix
 
 
 # ----------------------------------------------------------------------
@@ -154,8 +159,7 @@ def _eliminate_mod(rows: list[list[int]], p: int) -> tuple[int, int, int]:
 
 def rank_mod(rows: Sequence[Sequence[int]], p: int) -> int:
     """Rank of an integer matrix over the field GF(p) (``p`` prime)."""
-    if not is_prime(p):
-        raise ValueError(f"{p} is not prime")
+    _validate_modulus(p)
     if not rows or not rows[0]:
         raise ValueError("matrix must be non-empty")
     work = mat_mod(rows, p)
@@ -163,10 +167,45 @@ def rank_mod(rows: Sequence[Sequence[int]], p: int) -> int:
     return rank
 
 
-def det_mod(rows: Sequence[Sequence[int]], p: int) -> int:
-    """Determinant of a square integer matrix mod prime ``p``."""
+def _validate_modulus(p: int) -> None:
+    """``p`` must be a prime ``>= 2`` — eliminations invert pivots by Fermat,
+    which silently returns garbage over a composite modulus."""
+    if p < 2:
+        raise ValueError(f"modulus must be >= 2, got {p}")
     if not is_prime(p):
-        raise ValueError(f"{p} is not prime")
+        raise ValueError(f"modulus must be prime, got {p}")
+
+
+def det_mod(m: "Matrix | Sequence[Sequence[int]]", p: int) -> int:
+    """Determinant of a square integer :class:`Matrix` mod prime ``p``.
+
+    Like every sibling determinant engine, takes a
+    :class:`~repro.exact.matrix.Matrix`.  The historical raw-rows form
+    (``list[list[int]]``) still works through a deprecation shim —
+    :func:`det_mod_rows` is the supported wire-format entry point for
+    protocol code holding decoded rows.
+    """
+    _validate_modulus(p)
+    if hasattr(m, "to_int_rows"):
+        rows = m.to_int_rows()
+    else:
+        warnings.warn(
+            "det_mod(rows, p) with raw row sequences is deprecated; pass a "
+            "Matrix, or use det_mod_rows for wire-format data",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rows = m
+    return det_mod_rows(rows, p)
+
+
+def det_mod_rows(rows: Sequence[Sequence[int]], p: int) -> int:
+    """Determinant mod prime ``p`` on wire-format rows (``list[list[int]]``).
+
+    The raw-rows engine behind :func:`det_mod`, for protocol agents that
+    hold decoded rows and no :class:`Matrix`.
+    """
+    _validate_modulus(p)
     n = len(rows)
     if any(len(r) != n for r in rows):
         raise ValueError("determinant needs a square matrix")
@@ -192,8 +231,7 @@ def solve_mod(
     rows: Sequence[Sequence[int]], rhs: Sequence[int], p: int
 ) -> list[int] | None:
     """One solution of ``A x = b`` over GF(p), or ``None`` if inconsistent."""
-    if not is_prime(p):
-        raise ValueError(f"{p} is not prime")
+    _validate_modulus(p)
     n_rows = len(rows)
     if len(rhs) != n_rows:
         raise ValueError("rhs length mismatch")

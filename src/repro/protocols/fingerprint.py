@@ -8,8 +8,9 @@ here:
    Θ(max(log n, log k)) bits;
 2. agent 0 reduces every entry it holds mod ``p`` and ships the residues —
    ``⌈log₂ p⌉`` bits each, so ≈ 2n²·log p total for an even split;
-3. agent 1 assembles the matrix over GF(p), decides singularity there, and
-   replies with one bit.
+3. agent 1 assembles the matrix over GF(p), decides singularity there (via
+   the vectorized kernel of :mod:`repro.exact.modnp` for kernel-sized
+   primes, the pure-Python engine above 2³¹), and replies with one bit.
 
 Error analysis (one-sided):  a matrix singular over ℚ is singular mod every
 prime, so "singular" answers are always right.  A nonsingular matrix is
@@ -30,9 +31,9 @@ from repro.comm.bits import MatrixBitCodec, bits_to_int, int_to_bits
 from repro.comm.partition import Partition
 from repro.comm.randomized import RandomizedProtocol
 from repro.exact.determinant import hadamard_bound_kbit
+from repro.exact.modnp import is_singular_mod
 from repro.exact.modular import (
     count_primes_with_bits,
-    is_singular_mod,
     random_prime_with_bits,
 )
 from repro.exact.matrix import Matrix

@@ -11,6 +11,7 @@ from repro.util.itertools2 import (
     sample_distinct,
     take,
 )
+from repro.util.parallel import parmap, resolve_workers
 from repro.util.rng import ReproducibleRNG, derive_seed
 from repro.util.fmt import Table, format_si, format_pow
 
@@ -19,6 +20,8 @@ __all__ = [
     "product_grid",
     "sample_distinct",
     "take",
+    "parmap",
+    "resolve_workers",
     "ReproducibleRNG",
     "derive_seed",
     "Table",

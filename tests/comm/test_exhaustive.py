@@ -119,6 +119,50 @@ class TestOptimalTree:
                 assert tree.evaluate(rl, cl)[0] == tm.data[i, j]
 
 
+class TestSharedSearch:
+    def test_tree_after_cc_costs_no_new_subproblems(self):
+        """The bugfix this suite pins down: D(f) followed by the tree used
+        to run the exponential DP twice; now the tree is a walk over the
+        first search's memo.  The obs counter is the proof."""
+        from repro import obs
+        from repro.comm import exhaustive
+
+        tm = gt_matrix(6)
+        exhaustive._SEARCH_CACHE.clear()
+        with obs.scoped():
+            communication_complexity(tm)
+            first = obs.snapshot()["counters"]["exhaustive.subproblems"]
+            assert first > 0
+            cost, tree = optimal_protocol_tree(tm)
+            second = obs.snapshot()["counters"]["exhaustive.subproblems"]
+        # The tree query may touch at most a handful of subrectangles the
+        # cost query pruned past (children along non-optimal branches are
+        # never needed); in practice it re-solves nothing.
+        assert second == first
+        assert tree.depth() == cost
+
+    def test_repeated_cc_queries_hit_the_cache(self):
+        from repro import obs
+        from repro.comm import exhaustive
+
+        tm = eq_matrix(6)
+        exhaustive._SEARCH_CACHE.clear()
+        with obs.scoped():
+            communication_complexity(tm)
+            first = obs.snapshot()["counters"]["exhaustive.subproblems"]
+            communication_complexity(tm)
+            assert obs.snapshot()["counters"]["exhaustive.subproblems"] == first
+
+    def test_cache_bounded(self):
+        from repro.comm import exhaustive
+
+        exhaustive._SEARCH_CACHE.clear()
+        for i in range(exhaustive._SEARCH_CACHE_LIMIT + 8):
+            tm = tm_from([[1 if j == i % 3 else 0 for j in range(3)], [0, 1, 1]])
+            communication_complexity(tm)
+        assert len(exhaustive._SEARCH_CACHE) <= exhaustive._SEARCH_CACHE_LIMIT
+
+
 class TestPartitionNumber:
     def test_constant(self):
         assert partition_number(tm_from([[1, 1], [1, 1]])) == 1

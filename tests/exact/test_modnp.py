@@ -1,0 +1,185 @@
+"""Oracle tests for the vectorized GF(p) kernels (repro.exact.modnp).
+
+Every kernel is checked against an independent engine: the pure-Python
+mod-p elimination of :mod:`repro.exact.modular`, the fraction-free Bareiss
+determinant, and the exact :class:`~repro.exact.span.Subspace` membership.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exact import modnp
+from repro.exact.determinant import bareiss_determinant
+from repro.exact.matrix import Matrix
+from repro.exact.modular import det_mod_rows, rank_mod as rank_mod_py
+from repro.exact.span import Subspace
+from repro.exact.vector import Vector
+from repro.util.rng import ReproducibleRNG
+
+PRIMES = (2, 3, 10007, modnp.DEFAULT_PRIME)
+
+
+def random_rows(rng, n_rows, n_cols, lo=-50, hi=50):
+    return [
+        [rng.randrange(lo, hi) for _ in range(n_cols)] for _ in range(n_rows)
+    ]
+
+
+class TestValidation:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError, match="prime"):
+            modnp.rank_mod([[1]], 6)
+
+    def test_rejects_negative_modulus(self):
+        with pytest.raises(ValueError, match="prime"):
+            modnp.det_mod([[1]], -7)
+
+    def test_rejects_oversized_prime(self):
+        big = 2305843009213693951  # Mersenne prime 2^61 - 1, way over 2^31
+        with pytest.raises(ValueError, match="2\\^31"):
+            modnp.rank_mod([[1]], big)
+
+    def test_default_prime_fits_kernel(self):
+        assert modnp.DEFAULT_PRIME < modnp.MAX_MODULUS
+
+    def test_rejects_nonsquare_det(self):
+        with pytest.raises(ValueError, match="square"):
+            modnp.det_mod([[1, 2]], 7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            modnp.as_residues([], 7)
+
+
+class TestAsResidues:
+    def test_huge_python_ints_reduced_exactly(self):
+        # Entries like q^n overflow any fixed dtype; the reduction must
+        # happen in exact Python arithmetic first.
+        big = 12345678901234567890123456789
+        p = 10007
+        out = modnp.as_residues([[big, -big]], p)
+        assert out.dtype == np.uint64
+        assert int(out[0, 0]) == big % p
+        assert int(out[0, 1]) == (-big) % p
+
+    def test_accepts_matrix(self):
+        m = Matrix([[1, 2], [3, 4]])
+        out = modnp.as_residues(m, 7)
+        assert out.tolist() == [[1, 2], [3, 4]]
+
+    def test_accepts_numpy_and_copies(self):
+        src = np.array([[5, 9]], dtype=np.int64)
+        out = modnp.as_residues(src, 7)
+        assert out.tolist() == [[5, 2]]
+        out[0, 0] = 0
+        assert src[0, 0] == 5  # caller's array untouched
+
+
+class TestRankOracle:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_matches_pure_python(self, p):
+        rng = ReproducibleRNG(p)
+        for _ in range(15):
+            rows = random_rows(rng, rng.randrange(1, 6), rng.randrange(1, 6))
+            assert modnp.rank_mod(rows, p) == rank_mod_py(rows, p)
+
+    def test_echelon_shape_contract(self):
+        ech, pivots = modnp.echelon_mod([[2, 4], [1, 2], [0, 1]], 7)
+        assert pivots == [0, 1]
+        # Unit pivots, zeros below.
+        assert ech[0, 0] == 1 and ech[1, pivots[1]] == 1
+        assert ech[1, 0] == 0 and ech[2, 0] == 0
+
+
+class TestDetOracle:
+    @pytest.mark.parametrize("p", (3, 10007, modnp.DEFAULT_PRIME))
+    def test_single_matches_engines(self, p):
+        rng = ReproducibleRNG(p + 1)
+        for _ in range(15):
+            n = rng.randrange(1, 6)
+            rows = random_rows(rng, n, n)
+            expected = bareiss_determinant(Matrix(rows)) % p
+            assert modnp.det_mod(rows, p) == expected
+            assert modnp.det_mod(rows, p) == det_mod_rows(rows, p)
+
+    def test_batch_matches_singles(self):
+        rng = ReproducibleRNG(99)
+        p = 10007
+        mats = [random_rows(rng, 4, 4) for _ in range(40)]
+        batched = modnp.det_mod_batch(mats, p)
+        for mat, d in zip(mats, batched):
+            assert int(d) == modnp.det_mod(mat, p)
+
+    def test_batch_mixes_singular_and_not(self):
+        p = 101
+        mats = [
+            [[1, 2], [2, 4]],     # singular
+            [[0, 1], [1, 0]],     # det -1 (swap path)
+            [[3, 0], [0, 5]],     # det 15
+            [[0, 0], [0, 0]],     # zero matrix
+        ]
+        assert modnp.det_mod_batch(mats, p).tolist() == [0, p - 1, 15, 0]
+
+    def test_swap_sign(self):
+        assert modnp.det_mod([[0, 1], [1, 0]], 7) == 6
+
+
+class TestSpanMembership:
+    def test_matches_exact_subspace(self):
+        rng = ReproducibleRNG(5)
+        p = modnp.DEFAULT_PRIME
+        for _ in range(10):
+            dim, amb = 2, 4
+            basis = random_rows(rng, dim, amb, lo=-9, hi=9)
+            span = Subspace.span([Vector(r) for r in basis])
+            queries = random_rows(rng, 12, amb, lo=-9, hi=9)
+            # Members: random combinations of the basis.
+            members = [
+                [
+                    sum(c * row[j] for c, row in zip(coeffs, basis))
+                    for j in range(amb)
+                ]
+                for coeffs in (
+                    [rng.randrange(-4, 5) for _ in range(dim)]
+                    for _ in range(6)
+                )
+            ]
+            verdict = modnp.span_membership_batch(
+                basis, members + queries, p
+            )
+            exact = [Vector(v) in span for v in members + queries]
+            # Soundness direction: exact members are always mod-p members.
+            for got, truth in zip(verdict, exact):
+                if truth:
+                    assert got
+            # At a 2^31-scale prime, no false positives in practice either.
+            assert verdict.tolist() == exact
+
+    def test_column_span_wrapper(self):
+        # Columns of A span {(1,0,1), (0,1,1)}-space.
+        a = [[1, 0], [0, 1], [1, 1]]
+        verdict = modnp.column_span_membership_batch(
+            a, [[1, 0, 1], [0, 1, 1], [1, 1, 2], [0, 0, 1]], 10007
+        )
+        assert verdict.tolist() == [True, True, True, False]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            modnp.span_membership_batch([[1, 0]], [[1, 0, 0]], 7)
+
+
+class TestFingerprintDispatch:
+    def test_small_prime_agrees_with_python(self):
+        m = [[1, 2], [2, 4]]
+        assert modnp.is_singular_mod(m, 10007)
+        assert not modnp.is_singular_mod([[1, 0], [0, 1]], 10007)
+
+    def test_oversized_prime_falls_back(self):
+        # A 33-bit prime (what default_prime_bits can produce at n=255):
+        # must dispatch to the pure-Python engine, not raise.
+        p = 8589934609
+        from repro.exact.modular import is_prime
+
+        assert is_prime(p)
+        assert modnp.is_singular_mod([[1, 2], [2, 4]], p)
+        assert not modnp.is_singular_mod([[1, 0], [0, 1]], p)

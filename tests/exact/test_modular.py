@@ -8,6 +8,7 @@ from repro.exact.modular import (
     count_primes_with_bits,
     crt_combine,
     det_mod,
+    det_mod_rows,
     is_prime,
     is_singular_mod,
     next_prime,
@@ -74,19 +75,30 @@ class TestModularLinearAlgebra:
         for _ in range(25):
             m = Matrix.random_kbit(rng, 4, 4, 3)
             p = 10007
-            assert det_mod(m.to_int_rows(), p) == bareiss_determinant(m) % p
+            assert det_mod(m, p) == bareiss_determinant(m) % p
 
     def test_det_mod_with_swaps(self):
-        m = [[0, 1], [1, 0]]
+        m = Matrix([[0, 1], [1, 0]])
         assert det_mod(m, 7) == (-1) % 7
+
+    def test_det_mod_rows_wire_format(self):
+        assert det_mod_rows([[0, 1], [1, 0]], 7) == (-1) % 7
+
+    def test_det_mod_raw_rows_deprecated_but_working(self):
+        with pytest.warns(DeprecationWarning, match="det_mod_rows"):
+            assert det_mod([[0, 1], [1, 0]], 7) == (-1) % 7
 
     def test_det_mod_requires_prime(self):
         with pytest.raises(ValueError):
-            det_mod([[1]], 4)
+            det_mod(Matrix([[1]]), 4)
+        with pytest.raises(ValueError):
+            det_mod_rows([[1]], 4)
+        with pytest.raises(ValueError):
+            det_mod(Matrix([[1]]), -3)
 
     def test_det_mod_requires_square(self):
         with pytest.raises(ValueError):
-            det_mod([[1, 2]], 7)
+            det_mod_rows([[1, 2]], 7)
 
     def test_singular_mod_one_sided(self):
         # Singular over Q => singular mod every p.

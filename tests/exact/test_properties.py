@@ -87,7 +87,7 @@ def test_rank_mod_lower_bounds_rank(m):
 @settings(max_examples=40, deadline=None)
 @given(square_matrices())
 def test_det_mod_is_reduction(m):
-    assert det_mod(m.to_int_rows(), 10007) == bareiss_determinant(m) % 10007
+    assert det_mod(m, 10007) == bareiss_determinant(m) % 10007
 
 
 @settings(max_examples=40, deadline=None)

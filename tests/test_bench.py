@@ -1,0 +1,73 @@
+"""Tests for the pinned perf harness (repro.bench, `python -m repro bench`)."""
+
+import json
+
+import pytest
+
+from repro.bench import SPEEDUP_TARGET, bench_engines, render_summary, run_bench
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_PERF.json"
+    report = run_bench(quick=True, workers=2, out_path=out)
+    return report, out
+
+
+class TestRunBench:
+    def test_writes_valid_json(self, quick_report):
+        report, out = quick_report
+        on_disk = json.loads(out.read_text())
+        assert on_disk["engines"] == report["engines"]
+        assert on_disk["quick"] is True
+
+    def test_byte_identity_everywhere(self, quick_report):
+        report, _ = quick_report
+        assert report["engines"]["byte_identical"] is True
+        assert report["parallel"]["truth_matrix"]["byte_identical"] is True
+        assert report["parallel"]["chaos"]["verdicts_identical"] is True
+        assert report["ok"] is True
+
+    def test_speedup_measured(self, quick_report):
+        report, _ = quick_report
+        e = report["engines"]
+        assert e["speedup"] > 0
+        assert e["speedup_target"] == SPEEDUP_TARGET
+        assert e["fraction_seconds"] > 0 and e["modnp_seconds"] > 0
+
+    def test_obs_snapshot_attached(self, quick_report):
+        report, _ = quick_report
+        counters = report["obs"]["counters"]
+        # The modnp fast path must actually have filtered something.
+        assert counters.get("truth_builder.modnp_filtered", 0) > 0
+        assert "truth_builder.fraction" in report["obs"]["timers"]
+        assert "truth_builder.modnp" in report["obs"]["timers"]
+
+    def test_summary_renders(self, quick_report):
+        report, _ = quick_report
+        text = render_summary(report)
+        assert "speedup" in text
+        assert "ok = True" in text
+
+
+class TestCli:
+    def test_bench_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "perf.json"
+        rc = main(["bench", "--quick", "--workers", "2", "--out", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["ok"] is True
+        assert "speedup" in capsys.readouterr().out
+
+
+def test_full_mode_targets_5x():
+    # The acceptance bar itself — full mode must gate on >= 5x.
+    assert SPEEDUP_TARGET == 5.0
+
+
+@pytest.mark.slow
+def test_full_bench_meets_target(tmp_path):
+    report = run_bench(quick=False, workers=4, out_path=tmp_path / "full.json")
+    assert report["engines"]["meets_target"]
+    assert report["ok"]
