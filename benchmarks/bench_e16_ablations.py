@@ -40,10 +40,10 @@ def run_ablations() -> tuple[Table, dict]:
             [
                 "D width shrunk",
                 f"width={w.width} (paper: {fam.d_width})",
-                f"completion failure rate {w.failure_rate:.2f}",
+                f"completion failure rate {float(w.failure_rate):.2f}",
             ]
         )
-    outcomes["d_width"] = {w.width: w.failure_rate for w in widths}
+    outcomes["d_width"] = {w.width: float(w.failure_rate) for w in widths}
 
     prime_curve = ablate_prime_bits(3, 3, [2, 4, 8, 16], trials=12)
     for bits, rate in prime_curve:

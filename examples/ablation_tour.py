@@ -37,7 +37,7 @@ def main() -> None:
     table = Table(["D width", "completion failure rate"])
     for result in ablate_d_width(fam, rng, trials=30):
         marker = " (paper's width)" if result.width == fam.d_width else ""
-        table.add_row([f"{result.width}{marker}", f"{result.failure_rate:.2f}"])
+        table.add_row([f"{result.width}{marker}", f"{float(result.failure_rate):.2f}"])
     table.print()
 
     print("\n3. Shrink the fingerprint prime: the randomized protocol's "

@@ -8,6 +8,8 @@
     python -m repro experiments
     python -m repro bench --quick
     python -m repro chaos --quick --workers 4
+    python -m repro lint --format json
+    python -m repro lint --explain ISO301
 
 Every subcommand is a thin shell over the library; anything printed here is
 reproducible programmatically through the public API.
@@ -214,6 +216,12 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main_lint
+
+    return main_lint(args)
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import render_summary, run_bench
 
@@ -281,6 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical at every value",
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "lint",
+        help="static invariant checks: exactness (EXA), determinism (DET), "
+        "two-party isolation (ISO), wire codec pairing (WIRE)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "bench",

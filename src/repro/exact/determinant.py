@@ -146,13 +146,22 @@ def _isqrt_ceil(x: int) -> int:
 def max_prime_divisors(m: Matrix, min_prime: int) -> int:
     """How many primes ``>= min_prime`` can divide ``det(m)`` if it is nonzero.
 
-    ``|det| <= H`` implies at most ``log_{min_prime}(H)`` such prime factors.
-    This is the quantity that makes the randomized protocol's error small.
+    ``|det| <= H`` implies at most ``floor(log_{min_prime}(H))`` such prime
+    factors (their product alone already reaches ``min_prime^count``).  This
+    is the quantity that makes the randomized protocol's error small, so it
+    is computed with exact integer arithmetic: at the ``q^{n}``-scale bounds
+    the family produces, ``math.log``'s 53-bit mantissa could round the
+    exponent across an integer boundary and understate the error.
     """
     bound = hadamard_bound(m)
     if bound <= 1:
         return 0
-    return max(1, math.ceil(math.log(bound) / math.log(min_prime)))
+    count = 0
+    power = min_prime
+    while power <= bound:
+        count += 1
+        power *= min_prime
+    return max(1, count)
 
 
 def crt_determinant(m: Matrix, primes: list[int]) -> int:

@@ -351,7 +351,7 @@ class Matrix:
     # ------------------------------------------------------------------
     # Interop
     # ------------------------------------------------------------------
-    def to_numpy(self):
+    def to_numpy(self):  # repro-lint: disable=EXA102 -- documented float64 export, never decides
         """Entries as a float64 numpy array.
 
         Only for *cross-checks and visualization* — decisions must stay on

@@ -73,7 +73,7 @@ def gram_rank_agrees(m: Matrix) -> bool:
     return rank(gram_matrix(m)) == rank(m)
 
 
-def numeric_svd_check(m: Matrix, rel_tol: float = 1e-9) -> bool:
+def numeric_svd_check(m: Matrix, rel_tol: float = 1e-9) -> bool:  # repro-lint: disable=EXA101,EXA102,EXA103 -- numeric cross-check only, never decides
     """Does numpy's floating SVD see the same rank as the exact path?
 
     Counts singular values above ``rel_tol * sigma_max * max(shape)`` — the

@@ -1,0 +1,64 @@
+"""repro.lint — AST-based invariant checking for the reproduction.
+
+Static analysis that enforces what the Python runtime cannot: the three
+meta-invariants every measured bound in Chu & Schnitger rests on.
+
+* **EXA** — exact arithmetic in the truth-matrix/oracle paths (no floats
+  where singularity is decided);
+* **DET** — bit-identical determinism in protocols and sweeps (seeded
+  randomness, logical clocks, canonical iteration order);
+* **ISO** — two-party information-flow isolation (Alice never reads
+  Bob's view except across the metered channel);
+* **WIRE** — every wire encoder has a decoder and both survive the
+  corruption suite.
+
+Entry points::
+
+    python -m repro lint                   # gate: exit 1 on new findings
+    python -m repro lint --format json     # machine-readable report
+    python -m repro lint --explain ISO301  # rule rationale + example fix
+
+or programmatically::
+
+    from repro.lint import default_config, run_lint
+    report = run_lint(default_config())
+    assert report.ok, report.counts_by_code()
+
+The checker parses source with :mod:`ast` and never imports the modules
+it analyses.  See ``docs/static_analysis.md`` for the rule catalogue,
+pragma syntax and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import AgentRegistry, LintConfig, default_config
+from repro.lint.engine import discover_files, run_lint, stale_baseline_entries
+from repro.lint.findings import JSON_SCHEMA_VERSION, Finding, LintReport
+from repro.lint.rules import FAMILY_CODES, all_codes, explanation_for
+
+__all__ = [
+    "AgentRegistry",
+    "BaselineEntry",
+    "BaselineError",
+    "FAMILY_CODES",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "all_codes",
+    "apply_baseline",
+    "default_config",
+    "discover_files",
+    "explanation_for",
+    "load_baseline",
+    "run_lint",
+    "stale_baseline_entries",
+    "write_baseline",
+]

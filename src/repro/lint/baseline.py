@@ -1,0 +1,123 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+A baseline entry matches findings by ``(code, path, symbol)`` — stable
+under line-number churn — and must carry a ``justification`` explaining
+why the finding is tolerated rather than fixed.  The lint gate fails on
+any finding *not* in the baseline, and the self-check test additionally
+fails on *stale* entries (baselined findings that no longer occur), so
+the file can only shrink or be consciously re-justified.
+
+File format (JSON, sorted, diff-friendly)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"code": "EXA102", "path": "src/repro/exact/modular.py",
+         "symbol": "count_primes_with_bits", "justification": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding identity."""
+
+    code: str
+    path: str
+    symbol: str
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.symbol)
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file; an absent file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} must be an object with version == {BASELINE_VERSION}"
+        )
+    entries = []
+    for raw in data.get("entries", []):
+        try:
+            entries.append(BaselineEntry(
+                code=raw["code"], path=raw["path"], symbol=raw.get("symbol", ""),
+                justification=raw.get("justification", ""),
+            ))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"malformed baseline entry {raw!r}") from exc
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Mark baselined findings suppressed; report stale entries.
+
+    Returns ``(findings_with_suppression, stale_entries)`` where a stale
+    entry matched nothing — a signal the debt was paid and the entry must
+    be deleted.
+    """
+    by_key = {e.key(): e for e in entries}
+    used: set[tuple[str, str, str]] = set()
+    out: list[Finding] = []
+    for f in findings:
+        if f.active and f.baseline_key() in by_key:
+            used.add(f.baseline_key())
+            out.append(replace(f, suppressed="baseline"))
+        else:
+            out.append(f)
+    stale = [e for e in entries if e.key() not in used]
+    return out, stale
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> list[BaselineEntry]:
+    """Write a baseline covering every active finding (justifications blank).
+
+    Intended for bootstrapping: the author then fills in justifications —
+    or better, fixes the findings and shrinks the file.
+    """
+    entries = sorted(
+        {
+            BaselineEntry(code=f.code, path=f.path, symbol=f.symbol)
+            for f in findings
+            if f.active
+        },
+        key=lambda e: e.key(),
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [e.as_dict() for e in entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries

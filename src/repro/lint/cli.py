@@ -1,0 +1,137 @@
+"""``python -m repro lint`` — the command-line face of the checker.
+
+Exit codes: 0 clean (all findings pragma'd or baselined), 1 active
+findings (or stale baseline entries), 2 usage errors (unknown rule code,
+malformed baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import BaselineError, load_baseline, write_baseline
+from repro.lint.config import LintConfig, default_config
+from repro.lint.engine import run_lint
+from repro.lint.findings import LintReport
+from repro.lint.rules import all_codes, explanation_for
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the lint options to an argparse subparser."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: LINT_BASELINE.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as active",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current active findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="CODE",
+        help="print the rationale and example fix for a rule code and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule code with its one-line summary and exit",
+    )
+
+
+def _explain(code: str) -> int:
+    exp = explanation_for(code)
+    if exp is None:
+        known = ", ".join(all_codes())
+        print(f"unknown rule code {code!r}; known codes: {known}", file=sys.stderr)
+        return 2
+    print(exp.render())
+    return 0
+
+
+def _render_text(report: LintReport, stale) -> str:
+    lines = []
+    for f in sorted(report.findings, key=lambda f: (f.path, f.line, f.col, f.code)):
+        if f.active:
+            lines.append(f.render())
+    for entry in stale:
+        lines.append(
+            f"{entry['path']}: stale baseline entry {entry['code']} "
+            f"[{entry['symbol']}] — the finding no longer occurs; delete the entry"
+        )
+    counts = report.counts_by_code()
+    summary = (
+        f"{report.files_scanned} file(s) scanned, "
+        f"{len(report.active_findings)} finding(s)"
+        + (f" ({', '.join(f'{c}: {n}' for c, n in counts.items())})" if counts else "")
+    )
+    lines.append(summary if lines else f"{summary} — clean")
+    return "\n".join(lines)
+
+
+def main_lint(args) -> int:
+    """Entry point used by ``repro.cli``."""
+    if args.explain:
+        return _explain(args.explain)
+    if args.list_rules:
+        for code in all_codes():
+            exp = explanation_for(code)
+            print(f"{code}  {exp.summary}")
+        return 0
+
+    config = default_config()
+    if args.paths:
+        config = LintConfig(
+            src_root=config.src_root,
+            paths=tuple(Path(p) for p in args.paths),
+            wire_module=config.wire_module,
+            wire_test_paths=config.wire_test_paths,
+            baseline_path=config.baseline_path,
+        )
+    if args.baseline:
+        config.baseline_path = Path(args.baseline)
+
+    repo_root = config.src_root.parent
+
+    if args.write_baseline:
+        if config.baseline_path is None:
+            print("no baseline path configured", file=sys.stderr)
+            return 2
+        report = run_lint(config, repo_root=repo_root, use_baseline=False)
+        entries = write_baseline(config.baseline_path, report.findings)
+        print(f"wrote {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+              f"to {config.baseline_path}")
+        return 0
+
+    try:
+        entries = (
+            None if args.no_baseline or config.baseline_path is None
+            else load_baseline(config.baseline_path)
+        )
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    report = run_lint(
+        config,
+        repo_root=repo_root,
+        baseline_entries=entries,
+        use_baseline=not args.no_baseline,
+    )
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(_render_text(report, report.stale_baseline))
+    return 0 if report.ok else 1

@@ -1,0 +1,122 @@
+"""The linter's output currency: :class:`Finding` and its JSON shape.
+
+A finding is one rule violation at one source location.  Findings are
+identified for baseline purposes by ``(code, path, symbol)`` — *not* by
+line number — so a committed baseline survives unrelated edits that shift
+lines around.  ``symbol`` is the dotted in-file qualname of the enclosing
+function/class (``""`` for module level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Version tag for the JSON report schema (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        code: the rule code, e.g. ``"EXA102"``.
+        path: path of the offending file, relative to the lint root.
+        line: 1-based source line.
+        col: 0-based source column.
+        symbol: dotted qualname of the enclosing def/class ('' at module level).
+        message: human-readable description of the violation.
+        suppressed: ``""`` for an active finding, else ``"pragma"`` or
+            ``"baseline"``.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    suppressed: str = ""
+
+    @property
+    def active(self) -> bool:
+        """True iff this finding should fail the lint run."""
+        return not self.suppressed
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The identity used to match committed baseline entries."""
+        return (self.code, self.path, self.symbol)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        """One-line text rendering: ``path:line:col: CODE message [sym]``."""
+        where = f" [{self.symbol}]" if self.symbol else ""
+        tag = f" ({self.suppressed})" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{where}{tag}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, JSON-ready via :meth:`as_dict`.
+
+    Attributes:
+        findings: every finding, including suppressed ones.
+        files_scanned: how many files were parsed.
+        rules_run: rule codes that executed (sorted).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+    #: Baseline entries (as dicts) that matched no finding — paid-off debt
+    #: that must be deleted from the committed baseline.
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    @property
+    def active_findings(self) -> list[Finding]:
+        """Findings not suppressed by a pragma or the baseline."""
+        return [f for f in self.findings if f.active]
+
+    @property
+    def ok(self) -> bool:
+        """True iff no active findings remain and no baseline entry is stale."""
+        return not self.active_findings and not self.stale_baseline
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Active finding counts per rule code (sorted keys)."""
+        out: dict[str, int] = {}
+        for f in self.active_findings:
+            out[f.code] = out.get(f.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def as_dict(self) -> dict:
+        """The machine-readable report (see tests for the frozen schema)."""
+        suppressed = [f for f in self.findings if f.suppressed]
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": sorted(self.rules_run),
+            "counts": self.counts_by_code(),
+            "findings": [f.as_dict() for f in sorted(
+                self.findings, key=lambda f: (f.path, f.line, f.col, f.code)
+            )],
+            "suppressed_pragma": sum(
+                1 for f in suppressed if f.suppressed == "pragma"
+            ),
+            "suppressed_baseline": sum(
+                1 for f in suppressed if f.suppressed == "baseline"
+            ),
+            "stale_baseline_entries": list(self.stale_baseline),
+        }

@@ -1,0 +1,81 @@
+"""``# repro-lint: disable=CODE`` pragma parsing.
+
+Two spellings, mirroring the classic linter idiom:
+
+* ``# repro-lint: disable=EXA102`` on a source line disables the listed
+  codes *on that line*.  When the line is the header of a ``def``/``class``
+  (or one of its decorators), the engine widens the suppression to the
+  whole body — the natural way to exempt a documented boundary function.
+* ``# repro-lint: disable-file=EXA102,DET203`` anywhere in the file
+  disables the listed codes for the entire file.
+
+Codes are comma-separated; ``all`` disables every rule.  Anything after
+the code list (e.g. ``-- justification text``) is ignored, so pragmas can
+carry their reason inline.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class PragmaIndex:
+    """Parsed pragma state for one file.
+
+    Attributes:
+        line_disables: line number -> set of codes disabled on that line.
+        file_disables: codes disabled for the whole file.
+    """
+
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+
+    def disabled_on_line(self, line: int, code: str) -> bool:
+        """Is ``code`` disabled at ``line`` (by line or file pragma)?"""
+        if self._matches(self.file_disables, code):
+            return True
+        return self._matches(self.line_disables.get(line, ()), code)
+
+    @staticmethod
+    def _matches(codes, code: str) -> bool:
+        return "all" in codes or code in codes
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {c.strip() for c in raw.split(",") if c.strip()}
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Extract every pragma comment from ``source``.
+
+    Uses :mod:`tokenize` so pragmas inside string literals are ignored.
+    A file that fails to tokenize yields an empty index (the engine
+    reports the syntax error separately).
+    """
+    index = PragmaIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if not match:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("kind") == "disable-file":
+                index.file_disables |= codes
+            else:
+                line = tok.start[0]
+                index.line_disables.setdefault(line, set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return index

@@ -1,0 +1,41 @@
+"""Rule registry: the four families and their explanations.
+
+Importing this package registers every rule code; the engine iterates
+:data:`MODULE_RULES` / :data:`PROJECT_RULES`, and the CLI serves
+``--explain`` from :func:`explanation_for`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import det, exa, iso, wire
+from repro.lint.rules.base import EXPLANATIONS, Explanation, all_codes
+
+#: Per-module rule families: check(ModuleContext) -> Iterable[Finding].
+MODULE_RULES = (exa.check, det.check, iso.check)
+
+#: Project-level rule families: check(ProjectContext) -> Iterable[Finding].
+PROJECT_RULES = (wire.check,)
+
+#: Every rule code, grouped by family prefix.
+FAMILY_CODES = {
+    "EXA": exa.CODES,
+    "DET": det.CODES,
+    "ISO": iso.CODES,
+    "WIRE": wire.CODES,
+}
+
+
+def explanation_for(code: str) -> Explanation | None:
+    """The registered explanation for ``code`` (None if unknown)."""
+    return EXPLANATIONS.get(code)
+
+
+__all__ = [
+    "MODULE_RULES",
+    "PROJECT_RULES",
+    "FAMILY_CODES",
+    "EXPLANATIONS",
+    "Explanation",
+    "all_codes",
+    "explanation_for",
+]

@@ -1,0 +1,174 @@
+"""EXA — exact arithmetic in the truth-matrix / oracle paths.
+
+The paper's lower-bound machinery counts *exact* singular instances: one
+wrong singularity verdict perturbs the 1-entries of the truth matrix and
+with them every rectangle bound downstream (Lemmas 3.2-3.7 feed Theorem
+1.1 through exact counting).  Rounding is therefore not a numerical
+nuisance here — it is a soundness bug.  Inside the EXA scope only
+``int``/``Fraction`` arithmetic (and the allowlisted uint64 mod-p kernels)
+may decide anything.
+
+Codes:
+
+* EXA101 — float or complex literal.
+* EXA102 — ``float(...)`` conversion, or a float-valued ``math`` function
+  or constant (``math.log2``, ``math.pi``, …).  Integer-exact ``math``
+  helpers (``isqrt``, ``gcd``, ``comb``, ``ceil``/``floor``…) are fine.
+* EXA103 — floating NumPy usage: ``np.float64``-style dtypes,
+  ``dtype=float``, ``astype(float)``, or anything under ``np.linalg``.
+* EXA104 — tolerance comparison (``math.isclose``, ``np.isclose`` /
+  ``allclose``, ``pytest.approx``): an exact path has nothing to be
+  approximately equal to.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    ModuleContext,
+    QualnameVisitor,
+    dotted_name,
+    imported_module_aliases,
+    register_code,
+)
+
+EXA101 = register_code(
+    "EXA101",
+    "float/complex literal in an exactness-critical module",
+    """The EXA scope (repro.exact, repro.singularity, the truth-matrix
+oracle path) feeds the paper's counting arguments; a float literal is a
+rounding error waiting to reach a singularity verdict.  Represent
+constants as int or Fraction.""",
+    "threshold = 0.5  # inside repro.singularity",
+    "from fractions import Fraction\nthreshold = Fraction(1, 2)",
+)
+
+EXA102 = register_code(
+    "EXA102",
+    "float() conversion or float-valued math.* call in exact scope",
+    """float(x) and math.log/sqrt/... silently leave the exact domain; a
+53-bit mantissa cannot hold the q^{n^2}-scale integers the counting
+lemmas produce, so comparisons downstream become unsound.  Use integer
+arithmetic (math.isqrt, bit_length, exact loops) or Fraction.  Documented
+real-valued *reporting* helpers may carry a `# repro-lint: disable=EXA102`
+pragma on their def line.""",
+    "return max(1, math.ceil(math.log(bound) / math.log(p)))",
+    "count = 0\nwhile p ** (count + 1) <= bound:\n    count += 1\nreturn max(1, count)",
+)
+
+EXA103 = register_code(
+    "EXA103",
+    "floating NumPy dtype or np.linalg in exact scope",
+    """np.float64 arrays round entries above 2^53 and np.linalg decides
+rank/det numerically — both void the exact truth-matrix invariant.  The
+only sanctioned NumPy in the oracle path is the allowlisted uint64 mod-p
+kernel module (repro.exact.modnp), whose results are cross-checked against
+the Fraction engine.""",
+    "a = m.to_numpy()\nreturn np.linalg.matrix_rank(a)",
+    "from repro.exact.rank import rank\nreturn rank(m)",
+)
+
+EXA104 = register_code(
+    "EXA104",
+    "tolerance comparison (isclose/allclose/approx) in exact scope",
+    """A tolerance admits exactly the wrong inputs: the restricted family
+is engineered so that singular and non-singular instances can be
+arbitrarily close numerically.  Exact paths must compare with ==.""",
+    "if math.isclose(det, 0.0): ...",
+    "if det == 0: ...",
+)
+
+#: math.* members that return (or are) floats.
+_FLOAT_MATH = {
+    "acos", "acosh", "asin", "asinh", "atan", "atan2", "atanh", "cbrt",
+    "copysign", "cos", "cosh", "degrees", "dist", "e", "erf", "erfc",
+    "exp", "exp2", "expm1", "fabs", "fmod", "frexp", "fsum", "gamma",
+    "hypot", "inf", "ldexp", "lgamma", "log", "log10", "log1p", "log2",
+    "modf", "nan", "nextafter", "pi", "pow", "radians", "remainder",
+    "sin", "sinh", "sqrt", "tan", "tanh", "tau", "ulp",
+}
+
+#: numpy attributes that name floating dtypes.
+_NP_FLOAT_ATTRS = {
+    "float16", "float32", "float64", "float128", "float_", "double",
+    "single", "half", "longdouble", "cfloat", "complex64", "complex128",
+}
+
+_TOLERANCE_CALLS = {"isclose", "allclose", "approx"}
+
+
+class _ExaVisitor(QualnameVisitor):
+    def __init__(self, ctx: ModuleContext):
+        super().__init__()
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.math_aliases = imported_module_aliases(ctx.tree, "math")
+        self.np_aliases = imported_module_aliases(ctx.tree, "numpy")
+
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(code, node, self.symbol, message))
+
+    # -- EXA101: literals ----------------------------------------------
+    def visit_Constant(self, node: ast.Constant):
+        if isinstance(node.value, (float, complex)):
+            self._flag(EXA101, node, f"{type(node.value).__name__} literal {node.value!r}")
+        self.generic_visit(node)
+
+    # -- EXA102/103/104: attribute chains and calls --------------------
+    def visit_Attribute(self, node: ast.Attribute):
+        name = dotted_name(node)
+        if name:
+            head, _, rest = name.partition(".")
+            if head in self.math_aliases and rest in _FLOAT_MATH:
+                self._flag(EXA102, node, f"float-valued math member {name}")
+            elif head in self.np_aliases:
+                if rest.split(".")[0] == "linalg":
+                    self._flag(EXA103, node, f"numeric linear algebra {name}")
+                elif rest in _NP_FLOAT_ATTRS:
+                    self._flag(EXA103, node, f"floating NumPy dtype {name}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            self._flag(EXA102, node, "float() conversion")
+        if isinstance(func, ast.Attribute):
+            if func.attr in _TOLERANCE_CALLS:
+                self._flag(EXA104, node, f"tolerance comparison .{func.attr}()")
+            if func.attr == "astype" and _is_float_dtype_arg(
+                list(node.args) + [kw.value for kw in node.keywords], self.np_aliases
+            ):
+                self._flag(EXA103, node, "astype(...) to a floating dtype")
+        for kw in node.keywords:
+            if kw.arg == "dtype" and _is_float_dtype_arg([kw.value], self.np_aliases):
+                self._flag(EXA103, kw.value, "dtype= names a floating dtype")
+        self.generic_visit(node)
+
+
+def _is_float_dtype_arg(nodes: list[ast.AST], np_aliases: set[str]) -> bool:
+    for arg in nodes:
+        if isinstance(arg, ast.Name) and arg.id in ("float", "complex"):
+            return True
+        if isinstance(arg, ast.Constant) and arg.value in ("float", "float64", "float32"):
+            return True
+        name = dotted_name(arg)
+        if name:
+            head, _, rest = name.partition(".")
+            if head in np_aliases and rest in _NP_FLOAT_ATTRS:
+                return True
+    return False
+
+
+def check(ctx: ModuleContext) -> Iterable[Finding]:
+    """Run the EXA family on one module (no-op outside the EXA scope)."""
+    if not ctx.config.in_exa_scope(ctx.module):
+        return []
+    visitor = _ExaVisitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.findings
+
+
+CODES = (EXA101, EXA102, EXA103, EXA104)

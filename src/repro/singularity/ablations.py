@@ -20,6 +20,7 @@ failure — the experimental counterpart of "why is this hypothesis needed?".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 
 from repro.exact.matrix import Matrix
 from repro.exact.span import Subspace
@@ -127,8 +128,9 @@ class DWidthAblation:
     failures: int
 
     @property
-    def failure_rate(self) -> float:
-        return self.failures / self.trials if self.trials else 0.0
+    def failure_rate(self) -> Fraction:
+        """Exact failure ratio (callers float() it for display only)."""
+        return Fraction(self.failures, self.trials) if self.trials else Fraction(0)
 
 
 def ablate_d_width(

@@ -31,11 +31,11 @@ class QPower:
     q_exp: Fraction
     n_exp: Fraction = Fraction(0)
 
-    def log2(self) -> float:
+    def log2(self) -> float:  # repro-lint: disable=EXA102 -- lossy table output of an exact QPower
         """log base 2 of the value."""
         return float(self.q_exp) * math.log2(self.q) + float(self.n_exp) * math.log2(self.n)
 
-    def log_q(self) -> float:
+    def log_q(self) -> float:  # repro-lint: disable=EXA102 -- lossy table output of an exact QPower
         """Exponent base q (the paper writes everything as q^{...})."""
         if self.q < 2:
             raise ValueError("log_q needs q >= 2")
@@ -146,7 +146,7 @@ class TheoremBounds:
         return max(few, many)
 
     # -- the theorem -----------------------------------------------------
-    def yao_lower_bound_bits(self) -> float:
+    def yao_lower_bound_bits(self) -> float:  # repro-lint: disable=EXA101 -- log-scale bound report
         """CC ≥ log2(#1-rectangles needed) - 2 ≥ -log2(max fraction) - 2."""
         return max(0.0, -self.max_covered_fraction_log2() - 2)
 

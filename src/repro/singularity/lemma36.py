@@ -91,14 +91,14 @@ def intersection_dimension_profile(
 # ----------------------------------------------------------------------
 # Lemma 3.6 — the enumeration bound
 # ----------------------------------------------------------------------
-def lemma36_row_threshold_log2(family: RestrictedFamily) -> float:
+def lemma36_row_threshold_log2(family: RestrictedFamily) -> float:  # repro-lint: disable=EXA102 -- log-scale bound report
     """log2 of r = q^{n²/16 + n·log_q n} = q^{n²/16} · n^n (exact algebra,
     float log only at the end)."""
     n, q = family.n, family.q
     return (n * n / 16) * math.log2(q) + n * math.log2(n)
 
 
-def lemma36_enumeration_capacity_log2(family: RestrictedFamily, shared_dim: int) -> float:
+def lemma36_enumeration_capacity_log2(family: RestrictedFamily, shared_dim: int) -> float:  # repro-lint: disable=EXA101,EXA102 -- log-scale bound report
     """log2 of the number of distinct Span(A_i) enumerable when all share a
     fixed subspace of dimension ``shared_dim`` = 7n/8 - 1.
 
@@ -152,7 +152,7 @@ def count_ew_vectors_in_subspace(
     return count
 
 
-def lemma37_column_bound_log2(family: RestrictedFamily) -> float:
+def lemma37_column_bound_log2(family: RestrictedFamily) -> float:  # repro-lint: disable=EXA102 -- log-scale bound report
     """log2 of the paper's column cap q^{3n²/8} for rectangles with ≥ r rows
     (π₀ case; the proper-partition variant uses 3n²/16)."""
     n, q = family.n, family.q

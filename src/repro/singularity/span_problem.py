@@ -65,7 +65,7 @@ def enumerate_l(vectors: Sequence[Vector]) -> set[Subspace]:
     return spaces
 
 
-def lovasz_saks_bound_bits(vectors: Sequence[Vector]) -> float:
+def lovasz_saks_bound_bits(vectors: Sequence[Vector]) -> float:  # repro-lint: disable=EXA102 -- log-scale bound report
     """log₂ #L — the fixed-partition communication complexity."""
     return math.log2(len(enumerate_l(vectors)))
 
@@ -89,7 +89,7 @@ def span_instance_agrees_with_singularity(m: Matrix) -> bool:
     return (not is_singular(m)) == matrix_to_span_instance(m).union_spans()
 
 
-def kbit_span_universe_log2(n: int, k: int) -> float:
+def kbit_span_universe_log2(n: int, k: int) -> float:  # repro-lint: disable=EXA102 -- log-scale bound report
     """log₂ |X| for X = all k-bit integer vectors of length n: k·n bits.
 
     The lattice L is far larger; Theorem 1.1 gives the Θ(k n²) answer that

@@ -36,6 +36,7 @@ at any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 
 from repro import obs
 from repro.comm.truth_matrix import TruthMatrix, truth_matrix_from_family
@@ -219,13 +220,15 @@ class RestrictedMatrixReport:
     shape: tuple[int, int]
     ones: int
     max_rectangle_area: int
-    max_rectangle_fraction: float
+    #: ``area / ones`` as an exact ratio — the degeneracy check compares it
+    #: to 1, and a float here could round a barely-proper matrix past it.
+    max_rectangle_fraction: Fraction
     ones_per_row_max: int
 
     @property
     def is_degenerate(self) -> bool:
         """A single rectangle covering everything — the e_width = 0 disease."""
-        return self.ones > 0 and self.max_rectangle_fraction >= 1.0
+        return self.ones > 0 and self.max_rectangle_fraction >= 1
 
 
 def build_and_measure(
@@ -256,6 +259,6 @@ def build_and_measure(
         tm.shape,
         ones,
         area,
-        (area / ones) if ones else 0.0,
+        Fraction(area, ones) if ones else Fraction(0),
         per_row_max,
     )

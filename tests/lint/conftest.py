@@ -1,0 +1,42 @@
+"""Shared lint-test machinery: one lint run over the fixture tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_config() -> LintConfig:
+    """A config pointed at the fixture tree (default scopes apply)."""
+    src_root = FIXTURES / "src"
+    return LintConfig(
+        src_root=src_root,
+        paths=(src_root / "repro",),
+        wire_module=src_root / "repro" / "protocols" / "wire.py",
+        wire_test_paths=(FIXTURES / "wire_exercise.py",),
+        baseline_path=None,
+    )
+
+
+@pytest.fixture(scope="session")
+def fixture_report():
+    """The fixture tree linted once, shared by every rule test."""
+    return run_lint(fixture_config(), repo_root=FIXTURES)
+
+
+def findings_at(report, path_suffix=None, symbol=None, code=None):
+    """Findings filtered by display-path suffix / symbol / code."""
+    return [
+        f
+        for f in report.findings
+        if (path_suffix is None or f.path.endswith(path_suffix))
+        and (symbol is None or f.symbol == symbol)
+        and (code is None or f.code == code)
+    ]
+
+
+def codes_at(report, path_suffix=None, symbol=None) -> set[str]:
+    return {f.code for f in findings_at(report, path_suffix, symbol)}

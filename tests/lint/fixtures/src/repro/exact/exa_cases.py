@@ -1,0 +1,45 @@
+"""Deliberate EXA violations — scanned by the lint tests, never imported."""
+
+import math
+
+import numpy as np
+
+
+def half():
+    return 0.5  # EXA101
+
+
+def spin():
+    return 1j  # EXA101 (complex literal)
+
+
+def to_float(x):
+    return float(x)  # EXA102
+
+
+def log_of(x):
+    return math.log2(x)  # EXA102
+
+
+def isqrt_ok(x):
+    return math.isqrt(x) + math.gcd(x, 6)  # control: integer-exact, clean
+
+
+def as_float_array(xs):
+    return np.asarray(xs, dtype=np.float64)  # EXA103
+
+
+def stringly_typed(xs):
+    return np.asarray(xs).astype("float64")  # EXA103
+
+
+def numeric_rank(a):
+    return np.linalg.matrix_rank(a)  # EXA103
+
+
+def near(a, b):
+    return np.isclose(a, b)  # EXA104
+
+
+def uint_ok(xs):
+    return np.asarray(xs, dtype=np.uint64)  # control: integer dtype, clean

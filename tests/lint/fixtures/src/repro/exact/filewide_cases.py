@@ -1,0 +1,5 @@
+# repro-lint: disable-file=EXA101
+"""Whole-file suppression: every EXA101 below is pragma-suppressed."""
+
+HALF = 0.5
+QUARTER = 0.25

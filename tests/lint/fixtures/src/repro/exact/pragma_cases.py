@@ -1,0 +1,16 @@
+"""Pragma suppression fixtures: line pragmas and def-header pragmas."""
+
+import math
+
+
+def reported_bits(x):
+    return math.log2(x)  # repro-lint: disable=EXA102 -- display only
+
+
+def documented_boundary():  # repro-lint: disable=EXA101,EXA102
+    scaled = float(7)
+    return scaled + 0.5
+
+
+def still_flagged():
+    return 0.25  # active EXA101: no pragma anywhere near

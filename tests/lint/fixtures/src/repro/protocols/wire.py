@@ -1,0 +1,25 @@
+"""Fixture wire module: a tested pair, two orphans, an untested pair."""
+
+
+def encode_tag(value):
+    return [value & 1]
+
+
+def decode_tag(bits, cursor):
+    return bits[cursor], cursor + 1
+
+
+def encode_orphan(value):  # WIRE401: no decode_orphan
+    return [value]
+
+
+def decode_widow(bits, cursor):  # WIRE402: no encode_widow
+    return bits[cursor], cursor + 1
+
+
+def encode_untested(value):  # WIRE403: pair exists, tests never touch it
+    return [value]
+
+
+def decode_untested(bits, cursor):
+    return bits[cursor], cursor + 1

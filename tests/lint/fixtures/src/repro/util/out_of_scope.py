@@ -1,0 +1,8 @@
+"""Control: repro.util is outside every rule scope — nothing here fires."""
+
+import math
+import random
+
+
+def noisy_float():
+    return random.random() * math.pi * 0.5

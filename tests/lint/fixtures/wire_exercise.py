@@ -1,0 +1,9 @@
+"""Stands in for the corruption suite: exercises exactly the `tag` pair."""
+
+from src.repro.protocols.wire import decode_tag, encode_tag
+
+
+def exercise_tag_roundtrip():
+    bits = encode_tag(1)
+    value, cursor = decode_tag(bits, 0)
+    return value, cursor

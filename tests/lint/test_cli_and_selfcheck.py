@@ -1,0 +1,117 @@
+"""CLI behavior, the frozen JSON schema, --explain coverage, self-check.
+
+The self-check is the linter eating its own dogfood: the real source tree
+must lint clean against the committed baseline, the baseline must stay
+small and justified, and no entry may go stale without failing.
+"""
+
+import json
+
+from repro.cli import main
+from repro.lint import (
+    FAMILY_CODES,
+    JSON_SCHEMA_VERSION,
+    all_codes,
+    default_config,
+    explanation_for,
+    load_baseline,
+    run_lint,
+    stale_baseline_entries,
+)
+
+#: Frozen top-level JSON report schema — bump JSON_SCHEMA_VERSION to change.
+REPORT_KEYS = {
+    "version",
+    "ok",
+    "files_scanned",
+    "rules_run",
+    "counts",
+    "findings",
+    "suppressed_pragma",
+    "suppressed_baseline",
+    "stale_baseline_entries",
+}
+
+FINDING_KEYS = {"code", "path", "line", "col", "symbol", "message", "suppressed"}
+
+
+class TestJsonSchema:
+    def test_report_shape(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == REPORT_KEYS
+        assert data["version"] == JSON_SCHEMA_VERSION == 1
+        assert data["ok"] is True
+        assert data["files_scanned"] > 0
+        assert set(data["rules_run"]) == set(all_codes())
+        for finding in data["findings"]:
+            assert set(finding) == FINDING_KEYS
+
+    def test_baselined_findings_are_marked(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["suppressed_baseline"] > 0
+        assert data["stale_baseline_entries"] == []
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_no_baseline_surfaces_the_debt(self, capsys):
+        assert main(["lint", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "EXA102" in out
+
+    def test_explain_known_code(self, capsys):
+        assert main(["lint", "--explain", "ISO301"]) == 0
+        out = capsys.readouterr().out
+        assert "ISO301" in out and "Why it matters" in out
+
+    def test_explain_unknown_code_is_usage_error(self, capsys):
+        assert main(["lint", "--explain", "NOPE999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in all_codes():
+            assert code in out
+
+
+class TestExplainCoverage:
+    def test_every_rule_code_has_a_full_explanation(self):
+        assert all_codes(), "no rules registered?"
+        for code in all_codes():
+            exp = explanation_for(code)
+            assert exp is not None, f"{code} lacks an explanation"
+            assert exp.summary and exp.rationale
+            assert exp.example_bad and exp.example_fix
+            rendered = exp.render()
+            assert code in rendered
+
+    def test_family_codes_cover_all_codes(self):
+        flattened = {code for codes in FAMILY_CODES.values() for code in codes}
+        assert flattened == set(all_codes())
+
+
+class TestSelfCheck:
+    """The real tree, the real baseline: the gate CI relies on."""
+
+    def test_source_tree_is_clean(self):
+        report = run_lint(default_config())
+        assert report.ok, (
+            f"active findings: {[f.render() for f in report.active_findings]}; "
+            f"stale baseline: {report.stale_baseline}"
+        )
+
+    def test_baseline_is_small_and_justified(self):
+        config = default_config()
+        entries = load_baseline(config.baseline_path)
+        assert len(entries) <= 5, "baseline may only shrink — fix, don't add"
+        for entry in entries:
+            assert entry.justification, f"{entry.key()} lacks a justification"
+
+    def test_no_stale_baseline_entries(self):
+        assert stale_baseline_entries(default_config()) == []

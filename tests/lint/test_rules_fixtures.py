@@ -1,0 +1,126 @@
+"""Every rule code fires on its seeded fixture violation — and only there.
+
+The fixture tree (tests/lint/fixtures) mirrors the real layout so the
+default scope patterns apply; each test pins one rule code to the symbol
+that seeds it, plus a control that must stay clean.
+"""
+
+from tests.lint.conftest import codes_at, findings_at
+
+EXA = "src/repro/exact/exa_cases.py"
+DET = "src/repro/protocols/det_cases.py"
+ISO = "src/repro/protocols/iso_cases.py"
+WIRE = "src/repro/protocols/wire.py"
+
+
+class TestExaFamily:
+    def test_float_literal(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "half") == {"EXA101"}
+
+    def test_complex_literal(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "spin") == {"EXA101"}
+
+    def test_float_conversion(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "to_float") == {"EXA102"}
+
+    def test_float_math_member(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "log_of") == {"EXA102"}
+
+    def test_integer_math_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "isqrt_ok") == set()
+
+    def test_float_dtype_kwarg(self, fixture_report):
+        assert "EXA103" in codes_at(fixture_report, EXA, "as_float_array")
+
+    def test_astype_string_dtype(self, fixture_report):
+        assert "EXA103" in codes_at(fixture_report, EXA, "stringly_typed")
+
+    def test_np_linalg(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "numeric_rank") == {"EXA103"}
+
+    def test_tolerance_comparison(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "near") == {"EXA104"}
+
+    def test_integer_dtype_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, EXA, "uint_ok") == set()
+
+    def test_allowlisted_module_is_skipped(self, fixture_report):
+        assert findings_at(fixture_report, "src/repro/exact/modnp.py") == []
+
+    def test_out_of_scope_module_is_skipped(self, fixture_report):
+        assert findings_at(fixture_report, "src/repro/util/out_of_scope.py") == []
+
+
+class TestDetFamily:
+    def test_ambient_random_attribute(self, fixture_report):
+        assert codes_at(fixture_report, DET, "ambient_coin") == {"DET201"}
+
+    def test_from_random_import(self, fixture_report):
+        module_level = findings_at(fixture_report, DET, symbol="", code="DET201")
+        assert module_level, "from random import ... must flag at module level"
+
+    def test_numpy_random(self, fixture_report):
+        assert codes_at(fixture_report, DET, "np_noise") == {"DET202"}
+
+    def test_wall_clock(self, fixture_report):
+        assert codes_at(fixture_report, DET, "wall_clock_deadline") == {"DET203"}
+
+    def test_datetime_now(self, fixture_report):
+        assert codes_at(fixture_report, DET, "stamped") == {"DET203"}
+
+    def test_set_iteration_feeding_send(self, fixture_report):
+        assert codes_at(fixture_report, DET, "leaks_set_order") == {"DET204"}
+
+    def test_values_view_feeding_send(self, fixture_report):
+        assert codes_at(fixture_report, DET, "leaks_values_view") == {"DET204"}
+
+    def test_set_iteration_without_sink_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, DET, "harmless_set_iteration") == set()
+
+    def test_sorted_iteration_in_sink_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, DET, "canonical_order") == set()
+
+
+class TestIsoFamily:
+    def test_other_party_view_param_and_read(self, fixture_report):
+        found = findings_at(
+            fixture_report, ISO, "PeekingProtocol.agent0", code="ISO301"
+        )
+        assert len(found) >= 2  # the parameter and the read
+
+    def test_mutable_global_touch(self, fixture_report):
+        assert codes_at(fixture_report, ISO, "PeekingProtocol.agent1") == {"ISO302"}
+
+    def test_global_statement(self, fixture_report):
+        found = findings_at(
+            fixture_report, ISO, "PeekingProtocol.alice_sneaky", code="ISO302"
+        )
+        assert found and "global statement" in found[0].message
+
+    def test_direct_channel_calls(self, fixture_report):
+        found = findings_at(fixture_report, ISO, "bob_direct", code="ISO303")
+        assert len(found) == 2  # .send() and the constructor
+
+    def test_split_input_in_agent(self, fixture_report):
+        assert codes_at(fixture_report, ISO, "agent0") == {"ISO304"}
+
+    def test_neutral_function_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, ISO, "neutral_helper") == set()
+
+
+class TestWireFamily:
+    def test_encoder_without_decoder(self, fixture_report):
+        found = findings_at(fixture_report, WIRE, "encode_orphan", code="WIRE401")
+        assert found and "decode_orphan" in found[0].message
+
+    def test_decoder_without_encoder(self, fixture_report):
+        found = findings_at(fixture_report, WIRE, "decode_widow", code="WIRE402")
+        assert found and "encode_widow" in found[0].message
+
+    def test_unexercised_pair(self, fixture_report):
+        found = findings_at(fixture_report, WIRE, "encode_untested", code="WIRE403")
+        assert found
+
+    def test_exercised_pair_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, WIRE, "encode_tag") == set()
+        assert codes_at(fixture_report, WIRE, "decode_tag") == set()

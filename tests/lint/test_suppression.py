@@ -1,0 +1,135 @@
+"""Pragma and baseline suppression semantics."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from tests.lint.conftest import FIXTURES, findings_at, fixture_config
+
+PRAGMA = "src/repro/exact/pragma_cases.py"
+FILEWIDE = "src/repro/exact/filewide_cases.py"
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self, fixture_report):
+        found = findings_at(fixture_report, PRAGMA, "reported_bits", code="EXA102")
+        assert found and all(f.suppressed == "pragma" for f in found)
+
+    def test_def_header_pragma_covers_the_body(self, fixture_report):
+        found = findings_at(fixture_report, PRAGMA, "documented_boundary")
+        assert {f.code for f in found} == {"EXA101", "EXA102"}
+        assert all(f.suppressed == "pragma" for f in found)
+
+    def test_unpragmad_finding_stays_active(self, fixture_report):
+        found = findings_at(fixture_report, PRAGMA, "still_flagged", code="EXA101")
+        assert found and all(f.active for f in found)
+
+    def test_disable_file_pragma(self, fixture_report):
+        found = findings_at(fixture_report, FILEWIDE)
+        assert found, "filewide fixture must still produce (suppressed) findings"
+        assert all(f.suppressed == "pragma" for f in found)
+
+    def test_suppressed_findings_do_not_fail_the_run(self, fixture_report):
+        active_paths = {f.path for f in fixture_report.active_findings}
+        assert not any(p.endswith(FILEWIDE) for p in active_paths)
+
+
+class TestBaseline:
+    def test_matching_entry_suppresses(self):
+        entries = [
+            BaselineEntry(
+                code="EXA101",
+                path="src/repro/exact/exa_cases.py",
+                symbol="half",
+                justification="test",
+            )
+        ]
+        report = run_lint(
+            fixture_config(), repo_root=FIXTURES, baseline_entries=entries
+        )
+        found = findings_at(report, "exa_cases.py", "half", code="EXA101")
+        assert found and found[0].suppressed == "baseline"
+        assert report.stale_baseline == []
+
+    def test_stale_entry_is_reported_and_fails(self):
+        entries = [
+            BaselineEntry(
+                code="EXA101",
+                path="src/repro/exact/exa_cases.py",
+                symbol="no_such_function",
+                justification="paid off long ago",
+            )
+        ]
+        report = run_lint(
+            fixture_config(), repo_root=FIXTURES, baseline_entries=entries
+        )
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0]["symbol"] == "no_such_function"
+        assert not report.ok
+
+    def test_baseline_matches_by_symbol_not_line(self):
+        # Same identity as test_matching_entry_suppresses: the entry carries
+        # no line number at all, so line churn cannot invalidate it.
+        entry = BaselineEntry(
+            code="EXA101", path="src/repro/exact/exa_cases.py", symbol="half"
+        )
+        assert entry.key() == ("EXA101", "src/repro/exact/exa_cases.py", "half")
+
+    def test_write_then_load_roundtrip(self, tmp_path, fixture_report):
+        path = tmp_path / "baseline.json"
+        written = write_baseline(path, fixture_report.findings)
+        loaded = load_baseline(path)
+        assert [e.key() for e in loaded] == [e.key() for e in written]
+        # Every active fixture finding is covered; suppressed ones are not.
+        active_keys = {f.baseline_key() for f in fixture_report.active_findings}
+        assert {e.key() for e in loaded} == active_keys
+
+    def test_roundtrip_baseline_makes_the_run_clean(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = run_lint(fixture_config(), repo_root=FIXTURES)
+        write_baseline(path, first.findings)
+        second = run_lint(
+            fixture_config(),
+            repo_root=FIXTURES,
+            baseline_entries=load_baseline(path),
+        )
+        assert second.ok
+        assert second.active_findings == []
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "versioned.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_no_baseline_reports_everything_active(self):
+        report = run_lint(
+            fixture_config(),
+            repo_root=FIXTURES,
+            baseline_entries=[
+                BaselineEntry(
+                    code="EXA101",
+                    path="src/repro/exact/exa_cases.py",
+                    symbol="half",
+                )
+            ],
+            use_baseline=False,
+        )
+        found = findings_at(report, "exa_cases.py", "half", code="EXA101")
+        assert found and found[0].active
