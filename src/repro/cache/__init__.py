@@ -1,0 +1,56 @@
+"""Persistent content-addressed result cache for the exact-search engines.
+
+The exact D(f)/d^P(f) searches (:mod:`repro.comm.exhaustive`) are the
+expensive spine of experiment E15 and every partition sweep; their answers
+are pure functions of (matrix bytes, engine version), so they deserve to
+survive the process.  This package is the deterministic on-disk store that
+makes them do so:
+
+* **keys** — ``blake2b(prefix | engine-version | shape | matrix bytes)``;
+  see :mod:`repro.cache.keys`;
+* **records** — versioned canonical JSON, atomically replaced, merged
+  field-by-field (``d``, ``leaves``, ``tree``); see
+  :mod:`repro.cache.store`;
+* **activation** — opt-in via :func:`configure` / the ``REPRO_CACHE_DIR``
+  environment variable; without either the library never touches disk;
+* **CLI** — ``python -m repro cache {stats,clear,verify}``;
+* **observability** — ``cache.lookups`` / ``cache.hits`` / ``cache.misses``
+  / ``cache.stores`` counters in :mod:`repro.obs`.
+
+Design notes (key layout, determinism rules, bench methodology) live in
+docs/performance.md.
+"""
+
+from repro.cache.keys import KEY_PREFIX, canonical_matrix_bytes, matrix_key
+from repro.cache.store import (
+    ENV_VAR,
+    RECORD_FIELDS,
+    RECORD_VERSION,
+    CacheStore,
+    active_store,
+    configure,
+    decode_record,
+    directory,
+    disabled,
+    encode_record,
+    record_problems,
+    unconfigure,
+)
+
+__all__ = [
+    "KEY_PREFIX",
+    "canonical_matrix_bytes",
+    "matrix_key",
+    "ENV_VAR",
+    "RECORD_FIELDS",
+    "RECORD_VERSION",
+    "CacheStore",
+    "active_store",
+    "configure",
+    "decode_record",
+    "directory",
+    "disabled",
+    "encode_record",
+    "record_problems",
+    "unconfigure",
+]

@@ -1,0 +1,44 @@
+"""Deterministic content-addressed cache keys.
+
+A key is a blake2b digest over a domain-separated byte string: the cache
+format prefix, the *engine version tag* (see
+``repro.comm.exhaustive.ENGINE_VERSIONS``) and the canonical bytes of the
+deduplicated truth matrix.  Two processes — or two machines — computing the
+same function with the same engine therefore address the same record, and
+bumping an engine's version tag orphans every record the old engine wrote
+without any migration machinery.
+
+Determinism is load-bearing (the DET lint rules watch this package): no
+wall-clock, no ambient randomness, no dict-order dependence may leak into a
+key or a serialized record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Domain separator; bump only with the record schema in ``store.py``.
+KEY_PREFIX = b"repro-cache-v1"
+
+
+def canonical_matrix_bytes(data) -> bytes:
+    """C-order uint8 bytes of a 0/1 matrix — the canonical content form."""
+    import numpy as np
+
+    array = np.ascontiguousarray(np.asarray(data, dtype=np.uint8))
+    return array.tobytes()
+
+
+def matrix_key(engine_version: str, shape, data_bytes: bytes) -> str:
+    """Content address of one (engine, matrix) pair, as a hex digest."""
+    if not engine_version or "\0" in engine_version:
+        raise ValueError("engine_version must be a non-empty NUL-free tag")
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(KEY_PREFIX)
+    digest.update(b"\0")
+    digest.update(engine_version.encode("ascii"))
+    digest.update(b"\0")
+    digest.update(f"{int(shape[0])}x{int(shape[1])}".encode("ascii"))
+    digest.update(b"\0")
+    digest.update(data_bytes)
+    return digest.hexdigest()

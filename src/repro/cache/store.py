@@ -1,0 +1,325 @@
+"""The on-disk store: versioned JSON records, atomically replaced.
+
+Layout: ``<root>/objects/<key>.json``, one record per content address.
+Records are canonical JSON (sorted keys, compact separators) so that two
+processes writing the same result produce byte-identical files; writes go
+through a per-process temporary file and ``os.replace`` so readers never
+observe a torn record.  Records carry no timestamps and no machine
+identity — the cache is a pure function of its inputs, which is what lets
+CI runs, benchmark runs and local sweeps share it safely.
+
+``merge`` is read-modify-replace: ``communication_complexity``,
+``optimal_protocol_tree`` and ``partition_number`` each contribute their
+field (``d`` / ``tree`` / ``leaves``) to the same record, so a warm record
+accumulates whichever results have ever been computed for that matrix.
+
+Activation is opt-in: explicitly via :func:`configure`, ambiently via the
+``REPRO_CACHE_DIR`` environment variable.  With neither, every lookup is a
+no-op and the library behaves exactly as if this package did not exist.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from threading import Lock
+
+from repro import obs
+from repro.cache.keys import matrix_key
+
+#: Record schema version; readers ignore records from other versions.
+RECORD_VERSION = 1
+
+#: Result fields a record may carry (beyond v/engine/shape).
+RECORD_FIELDS = ("d", "leaves", "tree")
+
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def encode_record(record: dict) -> str:
+    """Canonical JSON of a record: sorted keys, compact separators.
+
+    Iterating ``sorted(record)`` (never raw dict/set order) keeps the bytes
+    deterministic across processes — the property the DET lint rules and the
+    byte-identity tests pin down.
+    """
+    clean = {}
+    for field in sorted(record):
+        clean[field] = record[field]
+    return json.dumps(clean, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_record(text: str) -> dict | None:
+    """Parse one record; None for malformed or foreign-version content."""
+    try:
+        record = json.loads(text)
+    except (ValueError, TypeError):
+        return None
+    if not isinstance(record, dict) or record.get("v") != RECORD_VERSION:
+        return None
+    return record
+
+
+def _valid_tree(serial) -> bool:
+    """Shape-check a serialized protocol tree (see exhaustive.py)."""
+    if not isinstance(serial, list) or not serial:
+        return False
+    if serial[0] == "L":
+        return len(serial) == 2 and serial[1] in (0, 1)
+    if serial[0] != "N" or len(serial) != 5:
+        return False
+    _tag, axis, right, left_subtree, right_subtree = serial
+    if axis not in (0, 1):
+        return False
+    if not isinstance(right, list) or not all(
+        isinstance(i, int) and i >= 0 for i in right
+    ):
+        return False
+    return _valid_tree(left_subtree) and _valid_tree(right_subtree)
+
+
+def record_problems(record: dict | None, text: str | None = None) -> list[str]:
+    """Schema violations of one parsed record (empty list when clean)."""
+    if record is None:
+        return ["unparseable or foreign-version record"]
+    problems = []
+    if not isinstance(record.get("engine"), str) or not record["engine"]:
+        problems.append("missing or empty engine tag")
+    shape = record.get("shape")
+    if (
+        not isinstance(shape, list)
+        or len(shape) != 2
+        or not all(isinstance(s, int) and s > 0 for s in shape)
+    ):
+        problems.append("shape is not a pair of positive ints")
+    for field in ("d", "leaves"):
+        if field in record and not (
+            isinstance(record[field], int) and record[field] >= 0
+        ):
+            problems.append(f"{field} is not a non-negative int")
+    if "tree" in record and not _valid_tree(record["tree"]):
+        problems.append("tree fails the serialized-protocol shape check")
+    unknown = [
+        field
+        for field in sorted(record)
+        if field not in ("v", "engine", "shape") + RECORD_FIELDS
+    ]
+    if unknown:
+        problems.append(f"unknown fields: {', '.join(unknown)}")
+    if text is not None and not problems and encode_record(record) != text:
+        problems.append("record bytes are not in canonical JSON form")
+    return problems
+
+
+class CacheStore:
+    """One cache directory: get / merge / stats / verify / clear."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.objects / f"{key}.json"
+
+    # -- lookups --------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The record at ``key``, or None (counts hits/misses in obs)."""
+        obs.counter("cache.lookups").inc()
+        try:
+            text = self._path(key).read_text()
+        except OSError:
+            obs.counter("cache.misses").inc()
+            return None
+        record = decode_record(text)
+        if record is None:
+            obs.counter("cache.misses").inc()
+            return None
+        obs.counter("cache.hits").inc()
+        return record
+
+    def get_matrix(self, engine_version: str, shape, data_bytes: bytes):
+        """Convenience: :func:`repro.cache.keys.matrix_key` then ``get``."""
+        return self.get(matrix_key(engine_version, shape, data_bytes))
+
+    # -- writes ---------------------------------------------------------
+    def merge(self, key: str, fields: dict, engine: str, shape) -> dict:
+        """Fold ``fields`` into the record at ``key`` (atomic replace).
+
+        Unknown fields are rejected loudly — the record schema is the
+        compatibility contract between processes.
+        """
+        for field in sorted(fields):
+            if field not in RECORD_FIELDS:
+                raise ValueError(f"unknown record field {field!r}")
+        path = self._path(key)
+        try:
+            existing = decode_record(path.read_text())
+        except OSError:
+            existing = None
+        record = {
+            "v": RECORD_VERSION,
+            "engine": str(engine),
+            "shape": [int(shape[0]), int(shape[1])],
+        }
+        if existing is not None and existing.get("engine") == record["engine"]:
+            for field in RECORD_FIELDS:
+                if field in existing:
+                    record[field] = existing[field]
+        record.update(fields)
+        # pid + thread id make the scratch name unique across processes AND
+        # threads; neither ever reaches the persisted bytes.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(encode_record(record))
+        os.replace(tmp, path)
+        obs.counter("cache.stores").inc()
+        return record
+
+    # -- maintenance ----------------------------------------------------
+    def _record_paths(self) -> list[Path]:
+        try:
+            return sorted(self.objects.glob("*.json"))
+        except OSError:
+            return []
+
+    def stats(self) -> dict:
+        """Entry count, byte total and per-field coverage, JSON-ready."""
+        entries = 0
+        total_bytes = 0
+        fields = {field: 0 for field in RECORD_FIELDS}
+        engines: dict[str, int] = {}
+        for path in self._record_paths():
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += len(text.encode())
+            record = decode_record(text)
+            if record is None:
+                continue
+            for field in RECORD_FIELDS:
+                if field in record:
+                    fields[field] += 1
+            engine = record.get("engine")
+            if isinstance(engine, str):
+                engines[engine] = engines.get(engine, 0) + 1
+        return {
+            "dir": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "fields": fields,
+            "engines": {name: engines[name] for name in sorted(engines)},
+        }
+
+    def verify(self) -> list[str]:
+        """Problems across every record (empty means the store is clean)."""
+        problems = []
+        for path in self._record_paths():
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                problems.append(f"{path.name}: unreadable ({exc})")
+                continue
+            for problem in record_problems(decode_record(text), text):
+                problems.append(f"{path.name}: {problem}")
+        return problems
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self._record_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Active-store resolution: explicit configure() beats the environment.
+# ---------------------------------------------------------------------------
+
+_LOCK = Lock()
+_CONFIGURED: CacheStore | None = None
+_CONFIGURED_SET = False
+_ENV_STORES: dict[str, CacheStore] = {}
+
+
+def configure(path) -> CacheStore | None:
+    """Pin the process-wide store to ``path`` (None disables the cache even
+    when ``REPRO_CACHE_DIR`` is set).  Returns the active store."""
+    global _CONFIGURED, _CONFIGURED_SET
+    store = CacheStore(path) if path is not None else None
+    with _LOCK:
+        _CONFIGURED = store
+        _CONFIGURED_SET = True
+    return store
+
+
+def unconfigure() -> None:
+    """Drop any explicit configuration; the environment rules again."""
+    global _CONFIGURED, _CONFIGURED_SET
+    with _LOCK:
+        _CONFIGURED = None
+        _CONFIGURED_SET = False
+
+
+def active_store() -> CacheStore | None:
+    """The store consulted by the exact-search entry points, or None.
+
+    Explicit :func:`configure` wins; otherwise a non-empty
+    ``REPRO_CACHE_DIR`` activates (and memoizes) a store at that path.
+    """
+    with _LOCK:
+        if _CONFIGURED_SET:
+            return _CONFIGURED
+    env = os.environ.get(ENV_VAR)
+    if env is None or not env.strip():
+        return None
+    path = env.strip()
+    with _LOCK:
+        store = _ENV_STORES.get(path)
+    if store is None:
+        store = CacheStore(path)
+        with _LOCK:
+            store = _ENV_STORES.setdefault(path, store)
+    return store
+
+
+@contextmanager
+def directory(path):
+    """Scoped :func:`configure`: activate ``path``, restore the previous
+    resolution state afterwards."""
+    with _LOCK:
+        saved = (_CONFIGURED, _CONFIGURED_SET)
+    configure(path)
+    try:
+        yield active_store()
+    finally:
+        _restore(saved)
+
+
+@contextmanager
+def disabled():
+    """Scoped off-switch: no persistent cache inside the block (used by the
+    bench harness so engine timings never read a warm user cache)."""
+    with _LOCK:
+        saved = (_CONFIGURED, _CONFIGURED_SET)
+    configure(None)
+    try:
+        yield
+    finally:
+        _restore(saved)
+
+
+def _restore(saved) -> None:
+    global _CONFIGURED, _CONFIGURED_SET
+    with _LOCK:
+        _CONFIGURED, _CONFIGURED_SET = saved

@@ -7,6 +7,7 @@
     python -m repro check
     python -m repro experiments
     python -m repro bench --quick
+    python -m repro cache stats --format json
     python -m repro chaos --quick --workers 4
     python -m repro lint --format json
     python -m repro lint --explain ISO301
@@ -226,11 +227,57 @@ def _cmd_bench(args) -> int:
     from repro.bench import render_summary, run_bench
 
     report = run_bench(
-        quick=args.quick, workers=args.workers or 4, out_path=args.out
+        quick=args.quick,
+        workers=args.workers or 4,
+        out_path=args.out,
+        no_cache=args.no_cache,
     )
     print(render_summary(report))
     print(f"wrote {args.out}")
     return 0 if report["ok"] else 1
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro import cache
+
+    store = cache.CacheStore(args.dir) if args.dir else cache.active_store()
+    if store is None:
+        print(
+            "no cache configured: pass --dir or set "
+            f"{cache.ENV_VAR}", file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        stats = store.stats()
+        if args.format == "json":
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"cache at {stats['dir']}:")
+            print(f"  entries : {stats['entries']}")
+            print(f"  bytes   : {stats['bytes']}")
+            for field, count in stats["fields"].items():
+                print(f"  {field:8s}: {count} record(s)")
+            for engine, count in stats["engines"].items():
+                print(f"  engine {engine}: {count} record(s)")
+        return 0
+    if args.action == "verify":
+        problems = store.verify()
+        if args.format == "json":
+            print(json.dumps({"problems": problems}, indent=2))
+        elif problems:
+            for problem in problems:
+                print(problem)
+        else:
+            print("cache verified: every record is canonical and well-formed")
+        return 1 if problems else 0
+    removed = store.clear()
+    if args.format == "json":
+        print(json.dumps({"removed": removed}))
+    else:
+        print(f"removed {removed} record(s) from {store.root}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -311,7 +358,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker count to compare against serial (default 4)",
     )
     p.add_argument("--out", default="BENCH_PERF.json", help="report path")
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent-cache round-trip and keep the store "
+        "disabled for the whole run",
+    )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect the persistent exact-search result cache "
+        "(stats / clear / verify)",
+    )
+    p.add_argument("action", choices=["stats", "clear", "verify"])
+    p.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: the active store from "
+        "REPRO_CACHE_DIR)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(fn=_cmd_cache)
 
     return parser
 

@@ -132,11 +132,13 @@ from repro.comm.measures import (
     yao_bound,
 )
 from repro.comm.exhaustive import (
+    clear_search_cache,
     communication_complexity,
     dedupe,
     deterministic_cc_of_function,
     optimal_protocol_tree,
     partition_number,
+    search_cache_stats,
 )
 from repro.comm.nondeterministic import (
     aho_ullman_yannakakis_gap,
@@ -262,11 +264,13 @@ __all__ = [
     "rectangle_partition_lower_bound_from_rank",
     "truth_matrix_rank",
     "yao_bound",
+    "clear_search_cache",
     "communication_complexity",
     "dedupe",
     "deterministic_cc_of_function",
     "optimal_protocol_tree",
     "partition_number",
+    "search_cache_stats",
     "aho_ullman_yannakakis_gap",
     "certificate_asymmetry_on_eq",
     "cover_number_exact",

@@ -10,27 +10,44 @@ communication complexity ``D(f)`` by dynamic programming over sub-rectangles:
 A bit spoken by agent 0 splits R's rows into the two preimage classes of the
 announced bit (any bipartition is achievable since the protocol may apply an
 arbitrary function of agent 0's input); symmetrically for agent 1 and the
-columns.  The recursion is exponential — it is meant for the toy functions of
-experiment E15 (EQ/GT/IP/DISJ on a few bits, tiny singularity instances),
-where it certifies Yao's bound against ground truth.
+columns.  Also computed: the exact *protocol partition number* ``d^P(f)``
+(leaves of a leaf-optimal protocol — the same recursion with ``+`` for
+``max``) and an optimal :class:`~repro.comm.protocol.ProtocolTree`.
 
-Also computes the exact *protocol partition number* ``d^P(f)`` (number of
-leaves of an optimal-leaf protocol) and exposes an optimal
-:class:`~repro.comm.protocol.ProtocolTree`.
+Two engines implement the recursion:
 
-One DP serves both queries: :func:`communication_complexity` and
-:func:`optimal_protocol_tree` share a memoized :class:`_ExactSearch` per
-deduplicated matrix (every solved subrectangle remembers its best split, so
-the tree is a free walk over the memo).  Asking for ``D(f)`` and then the
-tree therefore costs **one** search, not two — the
-``exhaustive.subproblems`` counter in :mod:`repro.obs` counts distinct
-subrectangles solved and is the test suite's proof of the sharing.
+* ``engine="bitset"`` (default) — subrectangles are ``(row_mask, col_mask)``
+  Python-int pairs over the deduplicated matrix; monochromaticity and
+  duplicate-row/column collapse are O(n) mask operations against precomputed
+  per-row/per-column one-masks.  The search is branch-and-bound: admissible
+  lower bounds (GF(2) rank pair via :mod:`repro.exact.gf2`, greedy fooling
+  sets via :mod:`repro.comm.rectangles` — see docs/performance.md for the
+  admissibility proofs) prune whole subtrees, and a symmetry normal form
+  (iterated row/column sort + transpose minimum) lets permutation-equivalent
+  subrectangles share one memo entry.  Default size limit: 16 rows/columns.
+* ``engine="legacy"`` — the original tuple-of-indices DP, kept as the
+  ground-truth oracle the cross-engine test suite compares against.
+  Default size limit: 12.
+
+One memo serves every query: ``D(f)``, the protocol tree and ``d^P(f)`` all
+run over the shared per-matrix search object (LRU-cached in
+``_SEARCH_CACHE``, lock-guarded so :func:`repro.util.parallel.parmap`
+drivers can query it from threads).  The ``exhaustive.subproblems`` counter
+in :mod:`repro.obs` counts distinct subrectangles solved and is the test
+suite's proof of the sharing.
+
+When a persistent cache is configured (see :mod:`repro.cache`;
+``REPRO_CACHE_DIR``), results additionally survive across processes: the
+deduplicated matrix bytes plus the engine version tag form a
+content-addressed key, and ``communication_complexity`` /
+``optimal_protocol_tree`` / ``partition_number`` consult the on-disk record
+before searching.
 """
 
 from __future__ import annotations
 
-import functools
 from collections import OrderedDict
+from threading import Lock
 
 import numpy as np
 
@@ -38,7 +55,27 @@ from repro import obs
 from repro.comm.protocol import Leaf, Node, ProtocolTree
 from repro.comm.truth_matrix import TruthMatrix
 
-_DEFAULT_LIMIT = 12
+#: Engine registry.  The version tags key the persistent cache: bump one
+#: whenever its engine could produce a different (even just differently
+#: serialized) result, and old records die with the tag.
+DEFAULT_ENGINE = "bitset"
+ENGINES = ("bitset", "legacy")
+ENGINE_VERSIONS = {"bitset": "bitset-1", "legacy": "tuple-1"}
+
+#: Per-engine default size limits (post-dedupe rows/columns).  The pruned
+#: bitset engine affords 16; the legacy enumerator keeps its historical 12.
+DEFAULT_LIMITS = {"bitset": 16, "legacy": 12}
+
+
+def _resolve_engine(engine: str | None) -> str:
+    engine = DEFAULT_ENGINE if engine is None else engine
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+def _resolve_limit(limit: int | None, engine: str) -> int:
+    return DEFAULT_LIMITS[engine] if limit is None else limit
 
 
 def _check_size(tm: TruthMatrix, limit: int) -> None:
@@ -90,6 +127,34 @@ def _bipartitions(members: tuple[int, ...]):
             yield tuple(left), tuple(right)
 
 
+def _bits(mask: int) -> list[int]:
+    """Set bit positions of ``mask``, ascending."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def _extract(value: int, mask: int) -> int:
+    """Software PEXT: compress ``value``'s bits at ``mask``'s set positions
+    into the low bits (ascending position order)."""
+    out = 0
+    bit = 1
+    while mask:
+        low = mask & -mask
+        if value & low:
+            out |= bit
+        mask ^= low
+        bit <<= 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The legacy tuple engine — kept verbatim as the cross-engine oracle.
+# ---------------------------------------------------------------------------
+
 #: A solved subrectangle: (cost, split).  ``split`` is None for a
 #: monochromatic leaf, else ``(axis, left, right)`` — axis 0 splits rows,
 #: axis 1 splits columns, left/right are the index tuples of the children.
@@ -97,16 +162,20 @@ _Solved = tuple[int, "tuple[int, tuple[int, ...], tuple[int, ...]] | None"]
 
 
 class _ExactSearch:
-    """The shared memoized D(f) DP over one deduplicated truth matrix.
+    """The shared memoized DP over one deduplicated truth matrix.
 
     Every solved subrectangle stores its cost **and** the bipartition that
-    achieves it, so any number of ``D(f)`` / protocol-tree queries after the
-    first traversal are pure memo walks.
+    achieves it, so any number of ``D(f)`` / protocol-tree / ``d^P(f)``
+    queries after the first traversal are pure memo walks.
     """
 
     def __init__(self, data: np.ndarray):
         self.data = data
+        self.hits = 0  # _SEARCH_CACHE per-entry hit count
         self.memo: dict[tuple[tuple[int, ...], tuple[int, ...]], _Solved] = {}
+        self.leaves_memo: dict[
+            tuple[tuple[int, ...], tuple[int, ...]], _Solved
+        ] = {}
 
     def solve(self, rows: tuple[int, ...], cols: tuple[int, ...]) -> _Solved:
         cached = self.memo.get((rows, cols))
@@ -151,65 +220,609 @@ class _ExactSearch:
         n_rows, n_cols = self.data.shape
         return self.solve(tuple(range(n_rows)), tuple(range(n_cols)))
 
-    def build_tree(
-        self,
-        rows: tuple[int, ...],
-        cols: tuple[int, ...],
-        row_index: dict,
-        col_index: dict,
-    ):
-        """Walk the memo into a protocol tree (solves on demand if asked for
-        a subrectangle the cost query never reached)."""
-        cost, split = self.solve(rows, cols)
+    def solve_leaves(
+        self, rows: tuple[int, ...], cols: tuple[int, ...]
+    ) -> int:
+        """Exact protocol partition number of the subrectangle (the D(f)
+        recursion with ``+`` in place of ``max``), on the same shared search
+        object — this is the memo unification the obs proof covers."""
+        cached = self.leaves_memo.get((rows, cols))
+        if cached is not None:
+            return cached[0]
+        obs.counter("exhaustive.subproblems").inc()
+        block = self.data[np.ix_(rows, cols)]
+        if (block == block[0, 0]).all():
+            self.leaves_memo[(rows, cols)] = (1, None)
+            return 1
+        best: int | None = None
+        best_split = None
+        if len(rows) > 1:
+            for left, right in _bipartitions(rows):
+                total = self.solve_leaves(left, cols) + self.solve_leaves(
+                    right, cols
+                )
+                if best is None or total < best:
+                    best = total
+                    best_split = (0, left, right)
+        if len(cols) > 1:
+            for left, right in _bipartitions(cols):
+                total = self.solve_leaves(rows, left) + self.solve_leaves(
+                    rows, right
+                )
+                if best is None or total < best:
+                    best = total
+                    best_split = (1, left, right)
+        assert best is not None
+        self.leaves_memo[(rows, cols)] = (best, best_split)
+        return best
+
+    def solve_leaves_root(self) -> int:
+        n_rows, n_cols = self.data.shape
+        return self.solve_leaves(
+            tuple(range(n_rows)), tuple(range(n_cols))
+        )
+
+    def serialized_tree(
+        self, rows: tuple[int, ...], cols: tuple[int, ...]
+    ) -> list:
+        """The optimal protocol tree in the engine-independent wire form
+        ``["L", value]`` / ``["N", axis, right_indices, left, right]``
+        (indices are deduped-matrix positions; see
+        :func:`_tree_from_serialized`)."""
+        _cost, split = self.solve(rows, cols)
         if split is None:
-            return Leaf(int(self.data[rows[0], cols[0]]))
+            return ["L", int(self.data[rows[0], cols[0]])]
         axis, left, right = split
         if axis == 0:
-            return Node(
-                0,
-                _row_predicate(row_index, frozenset(right)),
-                self.build_tree(left, cols, row_index, col_index),
-                self.build_tree(right, cols, row_index, col_index),
-            )
-        return Node(
-            1,
-            _col_predicate(col_index, frozenset(right)),
-            self.build_tree(rows, left, row_index, col_index),
-            self.build_tree(rows, right, row_index, col_index),
+            return [
+                "N", 0, sorted(right),
+                self.serialized_tree(left, cols),
+                self.serialized_tree(right, cols),
+            ]
+        return [
+            "N", 1, sorted(right),
+            self.serialized_tree(rows, left),
+            self.serialized_tree(rows, right),
+        ]
+
+    def serialized_root_tree(self) -> list:
+        n_rows, n_cols = self.data.shape
+        return self.serialized_tree(
+            tuple(range(n_rows)), tuple(range(n_cols))
         )
 
 
-#: LRU of shared searches keyed by the deduplicated matrix's bytes+shape, so
-#: a D(f) query followed by a tree query (the E15 pattern) reuses one DP.
-_SEARCH_CACHE: OrderedDict[tuple[bytes, tuple[int, int]], _ExactSearch] = (
-    OrderedDict()
-)
+# ---------------------------------------------------------------------------
+# The bitset branch-and-bound engine.
+# ---------------------------------------------------------------------------
+
+
+class _Canon:
+    """The canonical view of one ``(row_mask, col_mask)`` subrectangle.
+
+    ``key`` is a permutation/transpose normal form: equal keys imply the two
+    subrectangles are identical up to row/column permutation (and possibly a
+    transpose), so they may share one memo entry — ``key`` literally *is*
+    ``(n_rows, n_cols, row_patterns)`` of a reordered copy of the reduced
+    submatrix, so key equality means the reordered copies are the same
+    matrix.  ``classes[axis]`` maps each canonical axis position to the mask
+    of *actual* deduped-matrix indices it stands for (duplicate rows/columns
+    of the subrectangle ride along with their representative).
+    ``transposed`` records whether canonical axis 0 is actual columns.
+    """
+
+    __slots__ = ("row_mask", "col_mask", "key", "transposed", "classes")
+
+    def __init__(self, row_mask, col_mask, key, transposed, classes):
+        self.row_mask = row_mask
+        self.col_mask = col_mask
+        self.key = key
+        self.transposed = transposed
+        self.classes = classes
+
+
+class _Entry:
+    """The engine's memo record for one canonical subrectangle.
+
+    ``d_exact``/``lv_exact`` are exact values once known; ``d_low``/
+    ``lv_low`` are certified lower bounds that tighten as budgeted searches
+    fail; the splits are stored in canonical coordinates so every
+    permutation-equivalent subrectangle can replay them through its own
+    class maps.
+    """
+
+    __slots__ = (
+        "key", "mono",
+        "d_exact", "d_low", "d_split",
+        "lv_exact", "lv_low", "lv_split", "lb_leaves",
+    )
+
+    def __init__(self, key):
+        self.key = key
+        nr, nc, patterns = key
+        # Dedupe guarantees a monochromatic subrectangle reduces to 1x1.
+        self.mono = patterns[0] if nr == 1 and nc == 1 else None
+        self.d_exact = 0 if self.mono is not None else None
+        self.d_low = 0
+        self.d_split = None
+        self.lv_exact = 1 if self.mono is not None else None
+        self.lv_low = 1
+        self.lv_split = None
+        self.lb_leaves = None
+
+
+def _refined_orders(patterns: list[int], nr: int, nc: int):
+    """Iteratively sort columns then rows by pattern value (3 rounds).
+
+    Returns ``(final_row_patterns, row_order, col_order)``.  All patterns
+    are distinct (the matrix is deduplicated), so each sort is a total
+    deterministic order; the iteration just drives permutation-equivalent
+    matrices toward a common fixed point.  Convergence is *not* required
+    for soundness — any reordering yields a valid normal-form candidate.
+    """
+    row_order = list(range(nr))
+    col_order = list(range(nc))
+    for _ in range(3):
+        col_pats = []
+        for c in col_order:
+            v = 0
+            for t, r in enumerate(row_order):
+                if patterns[r] >> c & 1:
+                    v |= 1 << t
+            col_pats.append(v)
+        col_order = [c for _, c in sorted(zip(col_pats, col_order))]
+        row_pats = []
+        for r in row_order:
+            v = 0
+            for k, c in enumerate(col_order):
+                if patterns[r] >> c & 1:
+                    v |= 1 << k
+            row_pats.append(v)
+        pairs = sorted(zip(row_pats, row_order))
+        row_order = [r for _, r in pairs]
+    final = []
+    for r in row_order:
+        v = 0
+        for k, c in enumerate(col_order):
+            if patterns[r] >> c & 1:
+                v |= 1 << k
+        final.append(v)
+    return tuple(final), row_order, col_order
+
+
+class _BitsetSearch:
+    """Branch-and-bound D(f)/d^P(f) search over bitmask subrectangles.
+
+    One instance per deduplicated matrix; all queries (D, leaves, tree)
+    share ``self.memo``, keyed by the canonical normal form so symmetric
+    subrectangles are solved once.
+    """
+
+    def __init__(self, data: np.ndarray):
+        from repro.exact.gf2 import pack_numpy
+
+        self.data = data
+        self.hits = 0  # _SEARCH_CACHE per-entry hit count
+        n_rows, n_cols = data.shape
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.row_ones, _ = pack_numpy(data)
+        self.col_ones, _ = pack_numpy(data.T)
+        self.full_rows = (1 << n_rows) - 1
+        self.full_cols = (1 << n_cols) - 1
+        self.memo: dict[tuple, _Entry] = {}
+        self._canon_cache: dict[tuple[int, int], _Canon] = {}
+
+    # -- canonicalization ----------------------------------------------
+    def _reduce(self, row_mask: int, col_mask: int) -> tuple[int, int]:
+        """Collapse duplicate rows/columns of the subrectangle to their
+        lowest-index representative, iterating to a fixed point (collapsing
+        one axis can create duplicates on the other)."""
+        changed = True
+        while changed:
+            changed = False
+            seen: set[int] = set()
+            new_rows = 0
+            for i in _bits(row_mask):
+                pattern = self.row_ones[i] & col_mask
+                if pattern not in seen:
+                    seen.add(pattern)
+                    new_rows |= 1 << i
+            if new_rows != row_mask:
+                row_mask = new_rows
+                changed = True
+            seen = set()
+            new_cols = 0
+            for j in _bits(col_mask):
+                pattern = self.col_ones[j] & row_mask
+                if pattern not in seen:
+                    seen.add(pattern)
+                    new_cols |= 1 << j
+            if new_cols != col_mask:
+                col_mask = new_cols
+                changed = True
+        return row_mask, col_mask
+
+    def _canon(self, row_mask: int, col_mask: int) -> _Canon:
+        cached = self._canon_cache.get((row_mask, col_mask))
+        if cached is not None:
+            return cached
+        reduced_rows, reduced_cols = self._reduce(row_mask, col_mask)
+        rows = _bits(reduced_rows)
+        cols = _bits(reduced_cols)
+        nr, nc = len(rows), len(cols)
+        patterns = [
+            _extract(self.row_ones[i] & reduced_cols, reduced_cols)
+            for i in rows
+        ]
+        key_rows, row_order, col_order = _refined_orders(patterns, nr, nc)
+        key_straight = (nr, nc, key_rows)
+        col_patterns = [
+            _extract(self.col_ones[j] & reduced_rows, reduced_rows)
+            for j in cols
+        ]
+        key_cols, t_row_order, t_col_order = _refined_orders(
+            col_patterns, nc, nr
+        )
+        key_transposed = (nc, nr, key_cols)
+        transposed = key_transposed < key_straight
+        # Class masks: every actual row/column of the (unreduced)
+        # subrectangle grouped with the representative it matches.
+        row_groups: dict[int, int] = {}
+        for i in _bits(row_mask):
+            pattern = self.row_ones[i] & reduced_cols
+            row_groups[pattern] = row_groups.get(pattern, 0) | (1 << i)
+        col_groups: dict[int, int] = {}
+        for j in _bits(col_mask):
+            pattern = self.col_ones[j] & reduced_rows
+            col_groups[pattern] = col_groups.get(pattern, 0) | (1 << j)
+        if transposed:
+            key = key_transposed
+            axis0 = tuple(
+                col_groups[self.col_ones[cols[c]] & reduced_rows]
+                for c in t_row_order
+            )
+            axis1 = tuple(
+                row_groups[self.row_ones[rows[r]] & reduced_cols]
+                for r in t_col_order
+            )
+        else:
+            key = key_straight
+            axis0 = tuple(
+                row_groups[self.row_ones[rows[r]] & reduced_cols]
+                for r in row_order
+            )
+            axis1 = tuple(
+                col_groups[self.col_ones[cols[c]] & reduced_rows]
+                for c in col_order
+            )
+        canon = _Canon(row_mask, col_mask, key, transposed, (axis0, axis1))
+        self._canon_cache[(row_mask, col_mask)] = canon
+        return canon
+
+    def _entry(self, canon: _Canon) -> _Entry:
+        entry = self.memo.get(canon.key)
+        if entry is None:
+            entry = _Entry(canon.key)
+            self.memo[canon.key] = entry
+            obs.counter("exhaustive.subproblems").inc()
+        return entry
+
+    def _children(self, canon: _Canon, axis: int, left, right):
+        """Actual ``(row_mask, col_mask)`` pairs of a canonical split."""
+        classes = canon.classes[axis]
+        left_mask = 0
+        for position in left:
+            left_mask |= classes[position]
+        right_mask = 0
+        for position in right:
+            right_mask |= classes[position]
+        actual_axis = axis ^ canon.transposed
+        if actual_axis == 0:
+            return (
+                (left_mask, canon.col_mask),
+                (right_mask, canon.col_mask),
+                actual_axis,
+                right_mask,
+            )
+        return (
+            (canon.row_mask, left_mask),
+            (canon.row_mask, right_mask),
+            actual_axis,
+            right_mask,
+        )
+
+    # -- admissible lower bounds ---------------------------------------
+    def _leaves_lb(self, entry: _Entry) -> int:
+        """A certified lower bound on the subrectangle's leaf count.
+
+        ``max`` of: the GF(2) rank pair ``rk(M) + rk(J xor M)`` (each 1-leaf
+        is a rank-<=1 summand of M, each 0-leaf of its complement) and the
+        greedy fooling-set sizes ``s1 + s0`` (fooling-set members need
+        distinct leaves).  Both never exceed the true d^P — the
+        admissibility proofs live in docs/performance.md.
+        """
+        if entry.lb_leaves is not None:
+            return entry.lb_leaves
+        if entry.mono is not None:
+            entry.lb_leaves = 1
+            return 1
+        from repro.comm.rectangles import greedy_fooling_set_size_packed
+        from repro.exact.gf2 import gf2_rank_pair
+
+        nr, nc, patterns = entry.key
+        rank_one, rank_zero = gf2_rank_pair(patterns, nc)
+        fool_one = greedy_fooling_set_size_packed(patterns, nc, 1)
+        fool_zero = greedy_fooling_set_size_packed(patterns, nc, 0)
+        entry.lb_leaves = max(2, rank_one + rank_zero, fool_one + fool_zero)
+        return entry.lb_leaves
+
+    def _d_lb(self, entry: _Entry) -> int:
+        """Certified D lower bound: d^P <= 2^D, so D >= ceil(log2 lb)."""
+        if entry.mono is not None:
+            return 0
+        return max(1, (self._leaves_lb(entry) - 1).bit_length())
+
+    # -- exact D: iterative deepening with a transposition table --------
+    def solve_d(self, row_mask: int, col_mask: int, budget: int) -> int:
+        """Exact D of the subrectangle if <= ``budget``, else a certified
+        lower bound exceeding ``budget``."""
+        canon = self._canon(row_mask, col_mask)
+        entry = self._entry(canon)
+        if entry.d_exact is not None:
+            return entry.d_exact
+        lower = max(entry.d_low, self._d_lb(entry))
+        entry.d_low = lower
+        if lower > budget:
+            obs.counter("exhaustive.pruned").inc()
+            return lower
+        for depth in range(lower, budget + 1):
+            if self._feasible_d(canon, entry, depth):
+                entry.d_exact = depth
+                return depth
+            entry.d_low = depth + 1
+        return budget + 1
+
+    def _feasible_d(self, canon: _Canon, entry: _Entry, depth: int) -> bool:
+        """Is there a split whose children both solve within ``depth - 1``?
+        Records the witnessing canonical split on success."""
+        nr, nc, _patterns = entry.key
+        for axis in (0, 1):
+            size = nr if axis == 0 else nc
+            if size < 2:
+                continue
+            for left, right in _bipartitions(tuple(range(size))):
+                child_a, child_b = self._children(canon, axis, left, right)[:2]
+                if (
+                    self.solve_d(child_a[0], child_a[1], depth - 1)
+                    <= depth - 1
+                    and self.solve_d(child_b[0], child_b[1], depth - 1)
+                    <= depth - 1
+                ):
+                    entry.d_split = (axis, left, right)
+                    return True
+        return False
+
+    def solve_d_root(self) -> int:
+        return self._solve_d_node(self.full_rows, self.full_cols)
+
+    def _solve_d_node(self, row_mask: int, col_mask: int) -> int:
+        """Exact D with no budget: widen until the deepening succeeds."""
+        canon = self._canon(row_mask, col_mask)
+        entry = self._entry(canon)
+        if entry.d_exact is not None:
+            return entry.d_exact
+        budget = max(entry.d_low, self._d_lb(entry), 1)
+        while True:
+            result = self.solve_d(row_mask, col_mask, budget)
+            if result <= budget:
+                return result
+            budget = result
+
+    # -- exact leaves: depth-first branch-and-bound ---------------------
+    def _peek_leaves_lb(self, row_mask: int, col_mask: int) -> int:
+        canon = self._canon(row_mask, col_mask)
+        entry = self._entry(canon)
+        if entry.lv_exact is not None:
+            return entry.lv_exact
+        return max(entry.lv_low, self._leaves_lb(entry))
+
+    def solve_leaves(self, row_mask: int, col_mask: int, cap: int) -> int:
+        """Exact minimum leaves if <= ``cap``, else a certified lower bound
+        exceeding ``cap``."""
+        canon = self._canon(row_mask, col_mask)
+        entry = self._entry(canon)
+        if entry.lv_exact is not None:
+            return entry.lv_exact
+        lower = max(entry.lv_low, self._leaves_lb(entry))
+        entry.lv_low = lower
+        if lower > cap:
+            obs.counter("exhaustive.pruned").inc()
+            return lower
+        nr, nc, _patterns = entry.key
+        best: int | None = None
+        best_split = None
+        current = cap
+        for axis in (0, 1):
+            size = nr if axis == 0 else nc
+            if size < 2:
+                continue
+            for left, right in _bipartitions(tuple(range(size))):
+                child_a, child_b = self._children(canon, axis, left, right)[:2]
+                lb_b = self._peek_leaves_lb(*child_b)
+                leaves_a = self.solve_leaves(*child_a, current - lb_b)
+                if leaves_a + lb_b > current:
+                    continue
+                leaves_b = self.solve_leaves(*child_b, current - leaves_a)
+                total = leaves_a + leaves_b
+                if total <= current:
+                    best = total
+                    best_split = (axis, left, right)
+                    current = total - 1
+        if best is not None:
+            entry.lv_exact = best
+            entry.lv_split = best_split
+            return best
+        entry.lv_low = max(entry.lv_low, cap + 1)
+        return entry.lv_low
+
+    def solve_leaves_root(self) -> int:
+        # A protocol's leaves partition the matrix, so entries bound leaves:
+        # the search with this cap always terminates with the exact optimum.
+        cap = self.n_rows * self.n_cols
+        result = self.solve_leaves(self.full_rows, self.full_cols, cap)
+        assert result <= cap, "leaf partition cannot exceed the entry count"
+        return result
+
+    # -- tree extraction ------------------------------------------------
+    def serialized_root_tree(self) -> list:
+        return self._serialized_tree(self.full_rows, self.full_cols)
+
+    def _serialized_tree(self, row_mask: int, col_mask: int) -> list:
+        canon = self._canon(row_mask, col_mask)
+        entry = self._entry(canon)
+        if entry.mono is not None:
+            i = _bits(row_mask)[0]
+            j = _bits(col_mask)[0]
+            return ["L", int(self.data[i, j])]
+        if entry.d_exact is None or entry.d_split is None:
+            self._solve_d_node(row_mask, col_mask)
+        axis, left, right = entry.d_split
+        child_a, child_b, actual_axis, right_mask = self._children(
+            canon, axis, left, right
+        )
+        return [
+            "N", actual_axis, _bits(right_mask),
+            self._serialized_tree(*child_a),
+            self._serialized_tree(*child_b),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Shared in-process search cache (LRU, lock-guarded for parmap drivers).
+# ---------------------------------------------------------------------------
+
+#: LRU of shared searches keyed by (engine, deduplicated bytes, shape), so a
+#: D(f) query followed by a tree or d^P query (the E15 pattern) reuses one
+#: search object.  Guarded by ``_SEARCH_CACHE_LOCK``: :mod:`repro.util
+#: .parallel` pools fork *processes* (each worker gets its own cache), but
+#: driver-side threads may share this one — see docs/performance.md.
+_SEARCH_CACHE: OrderedDict[
+    tuple[str, bytes, tuple[int, int]], "_BitsetSearch | _ExactSearch"
+] = OrderedDict()
 _SEARCH_CACHE_LIMIT = 64
+_SEARCH_CACHE_LOCK = Lock()
 
 
-def _search_for(deduped: TruthMatrix) -> _ExactSearch:
+def _search_for(deduped: TruthMatrix, engine: str):
     data = np.ascontiguousarray(deduped.data)
-    key = (data.tobytes(), deduped.shape)
-    search = _SEARCH_CACHE.get(key)
-    if search is None:
-        search = _ExactSearch(data)
+    key = (engine, data.tobytes(), deduped.shape)
+    with _SEARCH_CACHE_LOCK:
+        search = _SEARCH_CACHE.get(key)
+        if search is not None:
+            _SEARCH_CACHE.move_to_end(key)
+            search.hits += 1
+            obs.counter("exhaustive.search_cache.hits").inc()
+            return search
+    # Construct outside the lock; a racing duplicate is harmless (one wins).
+    search = _BitsetSearch(data) if engine == "bitset" else _ExactSearch(data)
+    with _SEARCH_CACHE_LOCK:
+        existing = _SEARCH_CACHE.get(key)
+        if existing is not None:
+            _SEARCH_CACHE.move_to_end(key)
+            existing.hits += 1
+            obs.counter("exhaustive.search_cache.hits").inc()
+            return existing
+        obs.counter("exhaustive.search_cache.misses").inc()
         _SEARCH_CACHE[key] = search
-        if len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+        while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
             _SEARCH_CACHE.popitem(last=False)
-    else:
-        _SEARCH_CACHE.move_to_end(key)
     return search
 
 
-def communication_complexity(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
+def clear_search_cache() -> None:
+    """Drop every in-process search object (the persistent on-disk cache,
+    if configured, is unaffected — that is exactly what lets the bench
+    measure disk-cache warmth honestly)."""
+    with _SEARCH_CACHE_LOCK:
+        _SEARCH_CACHE.clear()
+
+
+def search_cache_stats() -> dict:
+    """Size/limit plus per-entry hit counts of the in-process LRU."""
+    with _SEARCH_CACHE_LOCK:
+        entries = [
+            {"engine": key[0], "shape": list(key[2]), "hits": search.hits}
+            for key, search in _SEARCH_CACHE.items()
+        ]
+    return {
+        "size": len(entries),
+        "limit": _SEARCH_CACHE_LIMIT,
+        "entries": entries,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache plumbing (opt-in; see repro.cache).
+# ---------------------------------------------------------------------------
+
+
+def _cache_record(deduped: TruthMatrix, engine: str):
+    """(store, key) when a persistent cache is active, else (None, None)."""
+    from repro import cache
+
+    store = cache.active_store()
+    if store is None:
+        return None, None
+    data = np.ascontiguousarray(deduped.data)
+    key = cache.matrix_key(
+        ENGINE_VERSIONS[engine], deduped.shape, data.tobytes()
+    )
+    return store, key
+
+
+def _cache_lookup(store, key: str, field: str):
+    if store is None:
+        return None
+    record = store.get(key)
+    if record is None:
+        return None
+    return record.get(field)
+
+
+def _cache_store(store, key: str, deduped: TruthMatrix, engine: str, fields):
+    if store is None:
+        return
+    store.merge(key, fields, ENGINE_VERSIONS[engine], deduped.shape)
+
+
+# ---------------------------------------------------------------------------
+# Public API.
+# ---------------------------------------------------------------------------
+
+
+def communication_complexity(
+    tm: TruthMatrix, limit: int | None = None, engine: str | None = None
+) -> int:
     """Exact D(f) of the (deduplicated) truth matrix."""
+    engine = _resolve_engine(engine)
     deduped = dedupe(tm)
-    _check_size(deduped, limit)
-    return _search_for(deduped).solve_root()[0]
+    _check_size(deduped, _resolve_limit(limit, engine))
+    store, key = _cache_record(deduped, engine)
+    cached = _cache_lookup(store, key, "d")
+    if isinstance(cached, int):
+        return cached
+    search = _search_for(deduped, engine)
+    if engine == "bitset":
+        cost = search.solve_d_root()
+    else:
+        cost = search.solve_root()[0]
+    _cache_store(store, key, deduped, engine, {"d": cost})
+    return cost
 
 
 def optimal_protocol_tree(
-    tm: TruthMatrix, limit: int = _DEFAULT_LIMIT
+    tm: TruthMatrix, limit: int | None = None, engine: str | None = None
 ) -> tuple[int, ProtocolTree]:
     """Exact D(f) together with a protocol tree achieving it.
 
@@ -217,8 +830,9 @@ def optimal_protocol_tree(
     column label for agent 1 nodes) and return the announced bit.  Labels of
     duplicate rows/columns are mapped onto their representative.
     """
+    engine = _resolve_engine(engine)
     deduped = dedupe(tm)
-    _check_size(deduped, limit)
+    _check_size(deduped, _resolve_limit(limit, engine))
 
     # Map original labels to deduped indices so returned predicates accept
     # any label of the original matrix.  dedupe() keeps first occurrences in
@@ -238,12 +852,51 @@ def optimal_protocol_tree(
             distinct_cols[col] = len(distinct_cols)
         col_index[tm.col_labels[i]] = distinct_cols[col]
 
-    search = _search_for(deduped)
-    all_rows = tuple(range(deduped.shape[0]))
-    all_cols = tuple(range(deduped.shape[1]))
-    cost, _ = search.solve(all_rows, all_cols)
-    root = search.build_tree(all_rows, all_cols, row_index, col_index)
+    store, key = _cache_record(deduped, engine)
+    cost = None
+    serial = None
+    if store is not None:
+        record = store.get(key) or {}
+        if isinstance(record.get("d"), int) and isinstance(
+            record.get("tree"), list
+        ):
+            cost = record["d"]
+            serial = record["tree"]
+    if serial is None:
+        search = _search_for(deduped, engine)
+        if engine == "bitset":
+            cost = search.solve_d_root()
+            serial = search.serialized_root_tree()
+        else:
+            cost = search.solve_root()[0]
+            serial = search.serialized_root_tree()
+        _cache_store(store, key, deduped, engine, {"d": cost, "tree": serial})
+    root = _tree_from_serialized(serial, row_index, col_index)
     return cost, ProtocolTree(root)
+
+
+def partition_number(
+    tm: TruthMatrix, limit: int | None = None, engine: str | None = None
+) -> int:
+    """The *protocol* partition number: minimum leaves over all protocols.
+
+    This upper-bounds (and for Yao's bound substitutes) the unrestricted
+    rectangle partition number d(f); ``log2`` of it sandwiches D(f) within a
+    factor-2/additive terms.  Same recursion as D(f) with ``+`` in place of
+    ``max``, running on the same shared search memo as
+    :func:`communication_complexity`.
+    """
+    engine = _resolve_engine(engine)
+    deduped = dedupe(tm)
+    _check_size(deduped, _resolve_limit(limit, engine))
+    store, key = _cache_record(deduped, engine)
+    cached = _cache_lookup(store, key, "leaves")
+    if isinstance(cached, int):
+        return cached
+    search = _search_for(deduped, engine)
+    leaves = search.solve_leaves_root()
+    _cache_store(store, key, deduped, engine, {"leaves": leaves})
+    return leaves
 
 
 def _row_predicate(row_index: dict, right_set: frozenset):
@@ -260,44 +913,33 @@ def _col_predicate(col_index: dict, right_set: frozenset):
     return predicate
 
 
-def partition_number(tm: TruthMatrix, limit: int = _DEFAULT_LIMIT) -> int:
-    """The *protocol* partition number: minimum leaves over all protocols.
-
-    This upper-bounds (and for Yao's bound substitutes) the unrestricted
-    rectangle partition number d(f); ``log2`` of it sandwiches D(f) within a
-    factor-2/additive terms.  Same recursion as D(f) with ``+`` in place of
-    ``max``.
-    """
-    tm = dedupe(tm)
-    _check_size(tm, limit)
-    data = tm.data
-
-    @functools.lru_cache(maxsize=None)
-    def solve(rows: tuple[int, ...], cols: tuple[int, ...]) -> int:
-        block = data[np.ix_(rows, cols)]
-        if (block == block[0, 0]).all():
-            return 1
-        best = None
-        if len(rows) > 1:
-            for left, right in _bipartitions(rows):
-                total = solve(left, cols) + solve(right, cols)
-                if best is None or total < best:
-                    best = total
-        if len(cols) > 1:
-            for left, right in _bipartitions(cols):
-                total = solve(rows, left) + solve(rows, right)
-                if best is None or total < best:
-                    best = total
-        assert best is not None
-        return best
-
-    return solve(tuple(range(tm.shape[0])), tuple(range(tm.shape[1])))
+def _tree_from_serialized(serial, row_index: dict, col_index: dict):
+    """Rebuild a protocol tree from the wire form (cacheable across
+    processes): ``["L", value]`` leaves, ``["N", axis, right_indices,
+    left_subtree, right_subtree]`` nodes with deduped-matrix indices."""
+    if serial[0] == "L":
+        return Leaf(int(serial[1]))
+    _tag, axis, right, left_subtree, right_subtree = serial
+    right_set = frozenset(int(i) for i in right)
+    predicate = (
+        _row_predicate(row_index, right_set)
+        if axis == 0
+        else _col_predicate(col_index, right_set)
+    )
+    return Node(
+        int(axis),
+        predicate,
+        _tree_from_serialized(left_subtree, row_index, col_index),
+        _tree_from_serialized(right_subtree, row_index, col_index),
+    )
 
 
 def deterministic_cc_of_function(
-    f, partition, limit: int = _DEFAULT_LIMIT
+    f, partition, limit: int | None = None, engine: str | None = None
 ) -> int:
     """Convenience: exact D(f) of a full-bit-string predicate under π."""
     from repro.comm.truth_matrix import truth_matrix_from_function
 
-    return communication_complexity(truth_matrix_from_function(f, partition), limit)
+    return communication_complexity(
+        truth_matrix_from_function(f, partition), limit, engine
+    )

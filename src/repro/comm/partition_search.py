@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.comm.exhaustive import communication_complexity
 from repro.comm.partition import Partition
 from repro.comm.truth_matrix import truth_matrix_from_function
+from repro.util.parallel import parmap
 
 
 def even_partitions(total_bits: int, dedupe_symmetry: bool = True):
@@ -74,16 +75,37 @@ class PartitionSearchResult:
         return out
 
 
+def _partition_cost_task(task) -> int:
+    """One sweep cell: build the truth matrix under π, run exact D(f).
+
+    Module-level so :func:`repro.util.parallel.parmap` can pickle it; with
+    ``workers > 1`` the predicate ``f`` must itself be picklable (a
+    module-level function or a small callable object — see
+    :class:`_SingularityPredicate`).  Worker processes inherit
+    ``REPRO_CACHE_DIR`` through the environment, so a configured persistent
+    cache (:mod:`repro.cache`) warms every worker, not just the driver.
+    """
+    f, partition, dp_limit, engine = task
+    tm = truth_matrix_from_function(f, partition)
+    return communication_complexity(tm, limit=dp_limit, engine=engine)
+
+
 def best_partition_cc(
     f: Callable[[Sequence[int]], bool],
     total_bits: int,
     max_partitions: int = 5000,
-    dp_limit: int = 12,
+    dp_limit: int | None = None,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> PartitionSearchResult:
     """Exact Comm(f) = min over even partitions of exact D(f, π).
 
-    Refuses absurd enumerations (``max_partitions``); ``dp_limit`` is
-    forwarded to the D(f) engine's size guard (post-dedupe rows/columns).
+    Refuses absurd enumerations (``max_partitions``); ``dp_limit`` and
+    ``engine`` are forwarded to the D(f) engine (size guard applies
+    post-dedupe).  The sweep fans out over :func:`repro.util.parallel
+    .parmap` — results are bit-identical at every worker count, and cells
+    that repeat a deduplicated matrix reuse the shared search memo (plus
+    the persistent :mod:`repro.cache` store when one is configured).
     """
     n_parts = count_even_partitions(total_bits)
     if n_parts > max_partitions:
@@ -91,13 +113,15 @@ def best_partition_cc(
             f"{n_parts} even partitions of {total_bits} bits; capped at "
             f"{max_partitions}"
         )
+    partitions = list(even_partitions(total_bits))
+    costs = parmap(
+        _partition_cost_task,
+        [(f, partition, dp_limit, engine) for partition in partitions],
+        workers=workers,
+    )
     best = None
     worst = None
-    costs = []
-    for partition in even_partitions(total_bits):
-        tm = truth_matrix_from_function(f, partition)
-        cost = communication_complexity(tm, limit=dp_limit)
-        costs.append(cost)
+    for cost, partition in zip(costs, partitions):
         if best is None or cost < best[0]:
             best = (cost, partition)
         if worst is None or cost > worst[0]:
@@ -128,7 +152,38 @@ def partition_sensitivity_example() -> tuple[PartitionSearchResult, PartitionSea
     return best_partition_cc(parity, 4), best_partition_cc(eq_pairs, 4)
 
 
-def min_partition_singularity(k: int) -> PartitionSearchResult:
+class _SingularityPredicate:
+    """Picklable ``bits -> is_singular(decode(bits))`` predicate.
+
+    A plain closure over the codec would not survive the trip into a
+    :func:`repro.util.parallel.parmap` worker; this tiny object carries
+    only ``k`` and rebuilds its codec lazily on each side of the fork.
+    """
+
+    def __init__(self, k: int):
+        self.k = k
+        self._codec = None
+
+    def __getstate__(self):
+        return {"k": self.k}
+
+    def __setstate__(self, state):
+        self.k = state["k"]
+        self._codec = None
+
+    def __call__(self, bits) -> bool:
+        from repro.exact.rank import is_singular
+
+        if self._codec is None:
+            from repro.comm.bits import MatrixBitCodec
+
+            self._codec = MatrixBitCodec(2, 2, self.k)
+        return is_singular(self._codec.decode(bits))
+
+
+def min_partition_singularity(
+    k: int, engine: str | None = None, workers: int | None = None
+) -> PartitionSearchResult:
     """Exact min-over-partitions CC of 2×2 singularity with k-bit entries.
 
     The executable form of "the bound holds under every partition" at the
@@ -136,11 +191,11 @@ def min_partition_singularity(k: int) -> PartitionSearchResult:
     partitions after symmetry dedupe).
     """
     from repro.comm.bits import MatrixBitCodec
-    from repro.exact.rank import is_singular
 
     codec = MatrixBitCodec(2, 2, k)
-
-    def f(bits):
-        return is_singular(codec.decode(bits))
-
-    return best_partition_cc(f, codec.total_bits)
+    return best_partition_cc(
+        _SingularityPredicate(k),
+        codec.total_bits,
+        engine=engine,
+        workers=workers,
+    )

@@ -56,6 +56,42 @@ def is_one_rectangle(tm: TruthMatrix, rows: Sequence[int], cols: Sequence[int]) 
     return bool(tm.data[np.ix_(rows, cols)].all())
 
 
+def greedy_fooling_set_size_packed(
+    rows: Sequence[int], n_cols: int, value: int = 1
+) -> int:
+    """Greedy fooling-set size on bitset-packed rows (bit j of ``rows[i]``
+    is column j).
+
+    A fooling set for ``value`` is a set of positions with
+    ``M[i, j] == value`` such that for any two, at least one crossed
+    position differs from ``value`` — then no two can share a
+    monochromatic rectangle, so any protocol needs one distinct
+    ``value``-leaf per member.  The greedy set is maximal, not maximum:
+    its size is a valid (merely not always tight) lower bound, which is
+    exactly what the exact-search pruning in :mod:`repro.comm.exhaustive`
+    needs — an *admissible* bound, never exceeding the true optimum.
+
+    Pure bitset arithmetic so the branch-and-bound can afford to call it
+    on every memoized subrectangle.
+    """
+    full = (1 << n_cols) - 1
+    chosen: list[tuple[int, int]] = []  # (value-mask of the row, column bit)
+    for row in rows:
+        vmask = row if value else (~row & full)
+        remaining = vmask
+        while remaining:
+            col_bit = remaining & -remaining
+            remaining ^= col_bit
+            ok = True
+            for other_vmask, other_bit in chosen:
+                if (vmask & other_bit) and (other_vmask & col_bit):
+                    ok = False
+                    break
+            if ok:
+                chosen.append((vmask, col_bit))
+    return len(chosen)
+
+
 def max_one_rectangle_exact(tm: TruthMatrix, max_rows: int = 20) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
     """The 1-rectangle of maximum area, exactly, by row-subset enumeration.
 

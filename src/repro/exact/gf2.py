@@ -79,6 +79,21 @@ def gf2_row_space_size_log2(packed: Sequence[int]) -> int:
     return gf2_rank(packed)
 
 
+def gf2_rank_pair(packed: Sequence[int], width: int) -> tuple[int, int]:
+    """``(rank(M), rank(J ⊕ M))`` of packed bitset rows, ``J`` = all-ones.
+
+    The pair feeds the branch-and-bound pruning of the exact D(f) search
+    (:mod:`repro.comm.exhaustive`): any protocol-tree leaf partition of a
+    0/1 matrix writes ``M`` as a disjoint sum of its 1-leaf rectangles and
+    ``J ⊕ M`` as a disjoint sum of its 0-leaf rectangles, each of GF(2)
+    rank ≤ 1 — so a non-constant matrix needs at least
+    ``rank(M) + rank(J ⊕ M)`` leaves, a certified lower bound on the
+    protocol partition number.
+    """
+    full = (1 << width) - 1
+    return gf2_rank(packed), gf2_rank([row ^ full for row in packed])
+
+
 def gf2_solve(packed: Sequence[int], width: int, rhs: Sequence[int]) -> int | None:
     """One solution x (as a bitset int over ``width`` variables) of the
     system ``rows · x = rhs`` over GF(2), or None if inconsistent.

@@ -7,9 +7,10 @@ The defaults encode this repository's invariant map:
   ``repro.exact.modnp`` is allowlisted: its uint64 mod-p kernels are the
   documented, tested exception (see docs/performance.md), and its results
   are cross-checked against the Fraction engine.
-* **DET** (determinism) guards everything that produces wire traffic or
-  sweep results — ``repro.protocols`` and ``repro.comm``.  Randomness must
-  come from :mod:`repro.util.rng`, never ambient state or the clock.
+* **DET** (determinism) guards everything that produces wire traffic,
+  sweep results or cache bytes — ``repro.protocols``, ``repro.comm`` and
+  ``repro.cache``.  Randomness must come from :mod:`repro.util.rng`, never
+  ambient state or the clock, and persisted records must be byte-stable.
 * **ISO** (two-party isolation) classifies agent programs in the same
   scope as Alice (agent 0) / Bob (agent 1) and rejects any reach across
   the partition that does not cross the channel.
@@ -115,6 +116,7 @@ class LintConfig:
     det_scope: tuple[str, ...] = (
         "repro.protocols", "repro.protocols.*",
         "repro.comm", "repro.comm.*",
+        "repro.cache", "repro.cache.*",
     )
     iso_scope: tuple[str, ...] = (
         "repro.protocols", "repro.protocols.*",

@@ -1,0 +1,58 @@
+"""Key determinism: same content, same address; any change, a new one."""
+
+import numpy as np
+import pytest
+
+from repro.cache import KEY_PREFIX, canonical_matrix_bytes, matrix_key
+
+
+class TestCanonicalBytes:
+    def test_contiguity_does_not_matter(self):
+        a = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert canonical_matrix_bytes(a.T.copy().T) == canonical_matrix_bytes(a)
+        assert canonical_matrix_bytes(a[:, ::1]) == canonical_matrix_bytes(a)
+
+    def test_dtype_is_normalized(self):
+        a = [[1, 0], [0, 1]]
+        assert canonical_matrix_bytes(a) == canonical_matrix_bytes(
+            np.array(a, dtype=np.int64)
+        )
+
+    def test_bytes_are_row_major(self):
+        assert canonical_matrix_bytes([[1, 0], [0, 1]]) == b"\x01\x00\x00\x01"
+
+
+class TestMatrixKey:
+    def test_deterministic(self):
+        k1 = matrix_key("bitset-1", (2, 2), b"\x01\x00\x00\x01")
+        k2 = matrix_key("bitset-1", (2, 2), b"\x01\x00\x00\x01")
+        assert k1 == k2
+        assert len(k1) == 40  # blake2b digest_size=20, hex
+
+    def test_engine_version_separates(self):
+        data = b"\x01\x00\x00\x01"
+        assert matrix_key("bitset-1", (2, 2), data) != matrix_key(
+            "tuple-1", (2, 2), data
+        )
+
+    def test_shape_separates_equal_bytes(self):
+        data = b"\x01\x00\x00\x01"
+        assert matrix_key("bitset-1", (2, 2), data) != matrix_key(
+            "bitset-1", (1, 4), data
+        )
+
+    def test_content_separates(self):
+        assert matrix_key("bitset-1", (2, 2), b"\x01\x00\x00\x01") != matrix_key(
+            "bitset-1", (2, 2), b"\x01\x00\x01\x01"
+        )
+
+    def test_bad_engine_tags_are_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_key("", (2, 2), b"")
+        with pytest.raises(ValueError):
+            matrix_key("bit\0set", (2, 2), b"")
+
+    def test_prefix_is_version_pinned(self):
+        # Bumping the prefix orphans every existing record by design; this
+        # pin makes that a deliberate, reviewed change.
+        assert KEY_PREFIX == b"repro-cache-v1"

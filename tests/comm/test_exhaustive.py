@@ -70,9 +70,17 @@ class TestCommunicationComplexity:
         ) == 2
 
     def test_size_guard(self):
-        big = tm_from(np.eye(13, dtype=np.uint8))
+        # The pruned bitset engine affords 16 rows/columns by default...
+        big = tm_from(np.eye(17, dtype=np.uint8))
         with pytest.raises(ValueError):
             communication_complexity(big)
+        # ...while the legacy enumerator keeps its historical limit of 12.
+        legacy_big = tm_from(np.eye(13, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            communication_complexity(legacy_big, engine="legacy")
+        # An explicit limit overrides either default.
+        with pytest.raises(ValueError):
+            communication_complexity(tm_from(np.eye(5, dtype=np.uint8)), limit=4)
 
 
 class TestDedupe:

@@ -74,3 +74,10 @@ class TestSingularityUnderAllPartitions:
     def test_minimum_positive(self):
         # Even minimized over partitions, singularity cannot be free.
         assert min_partition_singularity(1).best_cost >= 2
+
+    def test_sweep_is_worker_count_invariant(self):
+        serial = min_partition_singularity(1, workers=1)
+        parallel = min_partition_singularity(1, workers=2)
+        assert serial.costs == parallel.costs
+        assert serial.best_partition == parallel.best_partition
+        assert serial.worst_partition == parallel.worst_partition

@@ -1,0 +1,48 @@
+"""Deliberate DET violations in cache code — scanned, never imported.
+
+The persistent cache's contract is byte-stable records: no clocks, no
+ambient randomness, no dict/set iteration order reaching the encoder.
+These seeded cases prove the DET family watches ``repro.cache.*``.
+"""
+
+import random
+import time
+from time import monotonic  # import line is a DET203 finding
+
+
+def encode_record(record):
+    """Local stand-in so sink detection has something to find."""
+    return str(record)
+
+
+def jittered_retry_delay():
+    return random.random()  # DET201
+
+
+def timestamped_record(record):
+    return {"at": time.time(), **record}  # DET203
+
+
+def leaks_field_order(record):
+    out = []
+    for value in record.values():  # DET204: dict order reaches the encoder
+        out.append(encode_record(value))
+    return out
+
+
+def leaks_key_set(keys, records):
+    out = []
+    for key in set(keys):  # DET204
+        out.append(encode_record(records[key]))
+    return out
+
+
+def harmless_set_membership(keys):
+    return sorted(k for k in set(keys))  # control: no sink in here
+
+
+def canonical_encoding(record):
+    out = {}
+    for field in sorted(record):  # control: sorted() iteration in a sink fn
+        out[field] = record[field]
+    return encode_record(out)

@@ -9,6 +9,7 @@ from tests.lint.conftest import codes_at, findings_at
 
 EXA = "src/repro/exact/exa_cases.py"
 DET = "src/repro/protocols/det_cases.py"
+CACHE = "src/repro/cache/cache_cases.py"
 ISO = "src/repro/protocols/iso_cases.py"
 WIRE = "src/repro/protocols/wire.py"
 
@@ -79,6 +80,32 @@ class TestDetFamily:
 
     def test_sorted_iteration_in_sink_is_clean(self, fixture_report):
         assert codes_at(fixture_report, DET, "canonical_order") == set()
+
+
+class TestDetOnCache:
+    """The DET family watches repro.cache.* (byte-stable record contract)."""
+
+    def test_ambient_random(self, fixture_report):
+        assert codes_at(fixture_report, CACHE, "jittered_retry_delay") == {"DET201"}
+
+    def test_wall_clock(self, fixture_report):
+        assert codes_at(fixture_report, CACHE, "timestamped_record") == {"DET203"}
+
+    def test_from_time_import(self, fixture_report):
+        module_level = findings_at(fixture_report, CACHE, symbol="", code="DET203")
+        assert module_level, "from time import time must flag at module level"
+
+    def test_values_view_feeding_encoder(self, fixture_report):
+        assert codes_at(fixture_report, CACHE, "leaks_field_order") == {"DET204"}
+
+    def test_set_iteration_feeding_encoder(self, fixture_report):
+        assert codes_at(fixture_report, CACHE, "leaks_key_set") == {"DET204"}
+
+    def test_set_without_sink_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, CACHE, "harmless_set_membership") == set()
+
+    def test_sorted_encoding_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, CACHE, "canonical_encoding") == set()
 
 
 class TestIsoFamily:

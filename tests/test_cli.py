@@ -77,3 +77,73 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "equality" in out
+
+
+class TestCacheCommand:
+    def _warm(self, cache_dir):
+        import numpy as np
+
+        from repro import cache
+        from repro.comm.exhaustive import (
+            clear_search_cache,
+            communication_complexity,
+        )
+        from repro.comm.truth_matrix import TruthMatrix
+
+        tm = TruthMatrix(
+            np.eye(4, dtype=np.uint8), tuple(range(4)), tuple(range(4))
+        )
+        clear_search_cache()
+        with cache.directory(cache_dir):
+            communication_complexity(tm)
+        clear_search_cache()
+
+    def test_no_store_configured(self, monkeypatch, capsys):
+        from repro import cache
+
+        monkeypatch.delenv(cache.ENV_VAR, raising=False)
+        cache.unconfigure()
+        assert main(["cache", "stats"]) == 2
+        assert "no cache configured" in capsys.readouterr().err
+
+    def test_stats_text_and_json(self, tmp_path, capsys):
+        import json
+
+        self._warm(tmp_path)
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        assert "entries : 1" in capsys.readouterr().out
+        assert main([
+            "cache", "stats", "--dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["fields"]["d"] == 1
+
+    def test_stats_reads_env_store(self, tmp_path, monkeypatch, capsys):
+        from repro import cache
+
+        self._warm(tmp_path)
+        cache.unconfigure()
+        monkeypatch.setenv(cache.ENV_VAR, str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        assert "entries : 1" in capsys.readouterr().out
+
+    def test_verify_clean_then_corrupted(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+        assert "verified" in capsys.readouterr().out
+        victim = next((tmp_path / "objects").glob("*.json"))
+        victim.write_text("{broken")
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+        assert "unparseable" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 1 record(s)" in capsys.readouterr().out
+        assert main([
+            "cache", "stats", "--dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
