@@ -1,0 +1,111 @@
+"""Tracing tour: record a protocol run, summarize it, replay it bit for bit.
+
+Runs in a few seconds:
+
+    python examples/tracing_tour.py
+
+Walks the observability layer end to end (see docs/observability.md):
+
+1. capture a trace of a live protocol run — spans, wire events, the
+   run report;
+2. fold it into the summary (span tree, wall-time coverage, counters);
+3. replay the recorded wire transcript and verify the leaf bit for bit
+   against what the run itself reported — including a run tunneled
+   through the ARQ transport over a faulty channel;
+4. round-trip the trace through its canonical JSONL file format.
+"""
+
+import tempfile
+from pathlib import Path
+
+import repro.trace as trace
+from repro.comm import MatrixBitCodec, pi_zero
+from repro.comm.agents import run_protocol, run_supervised
+from repro.comm.faults import BitFlipFaults, FaultyChannel
+from repro.comm.transport import reliable_pair
+from repro.exact import Matrix
+from repro.protocols import TrivialProtocol
+from repro.util.rng import ReproducibleRNG
+
+
+def build_case():
+    """A small singularity protocol instance: protocol plus split views."""
+    rng = ReproducibleRNG(7)
+    codec = MatrixBitCodec(4, 4, 2)
+    partition = pi_zero(codec)
+    m = Matrix.random_kbit(rng, 4, 4, 2)
+    view0, view1 = partition.split_input(codec.encode(m))
+    return TrivialProtocol(codec, partition), view0, view1
+
+
+def record_clean_and_faulty(tracer):
+    """One clean run and one ARQ-protected faulty run, both traced."""
+    protocol, view0, view1 = build_case()
+
+    result = run_protocol(protocol.agent0, protocol.agent1, view0, view1)
+    print(f"clean run:  answer={result.agreed_output()!s:5} "
+          f"bits={result.bits_exchanged}")
+
+    inner0 = protocol.agent0(view0)
+    inner1 = protocol.agent1(view1)
+    wrapped0, wrapped1, e0, e1 = reliable_pair(inner0, inner1)
+    channel = FaultyChannel(BitFlipFaults(0.002, seed=11))
+    report = run_supervised(
+        lambda _: wrapped0, lambda _: wrapped1, None, None, channel=channel
+    )
+    stats = e0.stats.merged(e1.stats)
+    print(f"faulty run: outcome={report.outcome} "
+          f"bits={report.bits_exchanged} faults={report.faults_injected} "
+          f"retries={stats.retries}")
+    print(f"trace so far: {len(tracer)} events, {tracer.dropped} dropped")
+
+
+def summarize_and_replay(tracer):
+    """The two consumers: the span summary and the bit-for-bit replay."""
+    print()
+    print("=" * 70)
+    print("2. Summary: the span tree, folded")
+    print("=" * 70)
+    summary = trace.summarize(tracer.events(), tracer.dropped)
+    print(trace.render_summary(summary))
+
+    print()
+    print("=" * 70)
+    print("3. Replay: rebuild each transcript from wire.send events")
+    print("=" * 70)
+    results = trace.replay_all(tracer.events())
+    print(trace.render_replay(results))
+    for r in results:
+        assert r.verified, f"replay mismatch in run {r.run_id}: {r.problems}"
+        print(f"  run {r.run_id}: leaf {r.leaf!r} reproduced exactly")
+
+
+def round_trip_jsonl(tracer):
+    """Flush to canonical JSONL, load it back, verify nothing changed."""
+    print()
+    print("=" * 70)
+    print("4. The file format: canonical JSONL, atomic writes")
+    print("=" * 70)
+    with tempfile.TemporaryDirectory(prefix="repro-trace-tour-") as tmp:
+        path = tracer.flush(Path(tmp) / "tour.jsonl")
+        lines = path.read_text().splitlines()
+        print(f"flushed {len(lines)} lines to {path.name}")
+        print(f"first line: {lines[0][:72]}...")
+        loaded = trace.load_jsonl(path)
+        assert [e.as_dict() for e in loaded] == [
+            e.as_dict() for e in tracer.events()
+        ], "round trip must be lossless"
+        replayed = trace.replay_all(loaded)
+        assert all(r.verified for r in replayed)
+        print(f"loaded back: {len(loaded)} events, "
+              f"{len(replayed)} runs still verify from disk")
+
+
+if __name__ == "__main__":
+    print("=" * 70)
+    print("1. Record: a clean run and a faulty ARQ run, traced")
+    print("=" * 70)
+    with trace.capture() as tracer:
+        record_clean_and_faulty(tracer)
+        summarize_and_replay(tracer)
+        round_trip_jsonl(tracer)

@@ -21,6 +21,8 @@ This package makes every object in that proof executable:
 * :mod:`repro.baselines` — bound calculators for the prior work the paper
   compares against (Vuillemin, Lin–Wu, Savage, Ja'Ja'–Prasanna Kumar,
   Lovász–Saks, Chazelle–Monier).
+* :mod:`repro.trace` — structured tracing: span trees over
+  :mod:`repro.obs`, replayable wire transcripts, trace summaries.
 
 Quickstart::
 
@@ -39,5 +41,6 @@ __all__ = [
     "protocols",
     "vlsi",
     "baselines",
+    "trace",
     "util",
 ]

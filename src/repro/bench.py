@@ -32,6 +32,8 @@ from pathlib import Path
 from typing import Any
 
 from repro import obs
+from repro.trace import core as trace
+from repro.trace.summary import summarize as trace_summarize
 from repro.util.rng import ReproducibleRNG
 
 #: The acceptance bar for modnp vs fraction on the pinned workload.
@@ -327,16 +329,30 @@ def run_bench(
     engine speedups plus the 10x warm-cache bar.  ``no_cache`` skips the
     cache round-trip section and keeps the persistent store disabled for
     the whole run.
+
+    When tracing is active (``REPRO_TRACE_DIR`` or
+    :func:`repro.trace.configure`) each section runs under its own span
+    and the report gains a ``trace`` key holding the run's
+    :func:`repro.trace.summarize` digest.  Tracing is never enabled here —
+    the default (untraced) run must stay on the no-op fast path so the
+    pinned timings are undisturbed.
     """
     from repro import cache as repro_cache
 
     obs.reset()
     started = time.time()
     with repro_cache.disabled():
-        engines = bench_engines(quick)
-        parallel = bench_parallel(quick, workers)
-        exact = bench_exact_search(quick)
-    cache_section = None if no_cache else bench_cache_roundtrip(quick)
+        with trace.span("bench.engines", quick=quick):
+            engines = bench_engines(quick)
+        with trace.span("bench.parallel", quick=quick, workers=workers):
+            parallel = bench_parallel(quick, workers)
+        with trace.span("bench.exact_search", quick=quick):
+            exact = bench_exact_search(quick)
+    if no_cache:
+        cache_section = None
+    else:
+        with trace.span("bench.cache_roundtrip", quick=quick):
+            cache_section = bench_cache_roundtrip(quick)
     report: dict[str, Any] = {
         "bench": "repro pinned perf sweep",
         "quick": quick,
@@ -350,6 +366,9 @@ def run_bench(
         "cache": cache_section,
         "obs": obs.snapshot(),
     }
+    tracer = trace.active_tracer()
+    if tracer is not None:
+        report["trace"] = trace_summarize(tracer.events(), tracer.dropped)
     identical = (
         engines["byte_identical"]
         and parallel["truth_matrix"]["byte_identical"]

@@ -280,6 +280,106 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _trace_files(args) -> list:
+    """Resolve which trace files a ``repro trace`` action operates on."""
+    import os
+    from pathlib import Path
+
+    from repro import trace
+
+    if args.file:
+        return [Path(args.file)]
+    root = args.dir or os.environ.get(trace.ENV_VAR)
+    if root is None or not str(root).strip():
+        return []
+    return sorted(Path(root).glob("*.jsonl"))
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro import trace
+
+    files = _trace_files(args)
+    if not files:
+        print(
+            "no trace files: pass --file/--dir or set "
+            f"{trace.ENV_VAR}", file=sys.stderr,
+        )
+        return 2
+    fmt = args.format or ("json" if args.action == "export" else "text")
+    valid = ("json", "jsonl") if args.action == "export" else ("text", "json")
+    if fmt not in valid:
+        print(
+            f"--format {fmt} is not valid for {args.action} "
+            f"(choose from {', '.join(valid)})", file=sys.stderr,
+        )
+        return 2
+    args = argparse.Namespace(**{**vars(args), "format": fmt})
+    rc = 0
+    for path in files:
+        events = trace.load_jsonl(path)
+        if args.action == "summary":
+            summary = trace.summarize(events)
+            if args.format == "json":
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(f"== {path} ==")
+                print(trace.render_summary(summary))
+        elif args.action == "replay":
+            results = trace.replay_all(events)
+            if args.format == "json":
+                print(json.dumps(
+                    [
+                        {
+                            "run": res.run_id,
+                            "runner": res.runner,
+                            "outcome": res.report.get("outcome"),
+                            "bits": res.transcript.total_bits,
+                            "rounds": res.transcript.rounds,
+                            "leaf": res.leaf,
+                            "verified": res.verified,
+                            "problems": list(res.problems),
+                        }
+                        for res in results
+                    ],
+                    indent=2,
+                ))
+            else:
+                print(f"== {path} ==")
+                print(trace.render_replay(results))
+            if any(res.problems for res in results):
+                rc = 1
+        else:  # export
+            if args.format == "json":
+                text = json.dumps(
+                    {
+                        "schema": trace.SCHEMA_VERSION,
+                        "events": [ev.as_dict() for ev in events],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            else:  # jsonl — canonical passthrough
+                text = "".join(trace.encode_event(ev) for ev in events).rstrip(
+                    "\n"
+                )
+            if args.out:
+                if len(files) > 1:
+                    print(
+                        "--out needs exactly one input file; pass --file",
+                        file=sys.stderr,
+                    )
+                    return 2
+                from pathlib import Path
+
+                Path(args.out).write_text(text + "\n")
+                print(f"wrote {args.out}")
+            else:
+                print(text)
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -378,6 +478,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect recorded trace files: span summaries, transcript "
+        "replay with bit-for-bit verification, canonical export",
+    )
+    p.add_argument("action", choices=["summary", "replay", "export"])
+    p.add_argument(
+        "--file", default=None, help="one trace JSONL file to operate on"
+    )
+    p.add_argument(
+        "--dir", default=None,
+        help="directory of trace files (default: REPRO_TRACE_DIR)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json", "jsonl"], default=None,
+        help="output format (summary/replay: text|json, default text; "
+        "export: json|jsonl, default json)",
+    )
+    p.add_argument(
+        "--out", default=None, help="write export output to a file"
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 

@@ -46,6 +46,7 @@ from repro.comm.channel import (
     Transcript,
     TransportFailure,
 )
+from repro.trace import core as trace
 from repro.util.rng import ReproducibleRNG, derive_seed
 
 
@@ -405,22 +406,32 @@ def run_protocol(
     if channel is None:
         channel = BitChannel()
     gens = _instantiate(program0, program1, input0, input1, public_randomness)
-    try:
-        state = _execute(
-            gens,
-            channel,
-            max_steps=max_steps,
-            step_budget=step_budget,
-            bit_budget=bit_budget,
+    with trace.span("protocol.run", runner="run_protocol"):
+        try:
+            state = _execute(
+                gens,
+                channel,
+                max_steps=max_steps,
+                step_budget=step_budget,
+                bit_budget=bit_budget,
+            )
+        except _AgentCrash as crash:
+            raise crash.original
+        if not channel.drained():
+            raise ProtocolError(
+                "protocol finished with unread bits on the channel — "
+                "message framing is inconsistent between the agents"
+            )
+        channel.close()
+        transcript = channel.transcript
+        trace.event(
+            "run.report",
+            outcome="ok",
+            bits=transcript.total_bits,
+            rounds=transcript.rounds,
+            leaf=transcript.as_bit_string(),
+            unread=0,
         )
-    except _AgentCrash as crash:
-        raise crash.original
-    if not channel.drained():
-        raise ProtocolError(
-            "protocol finished with unread bits on the channel — "
-            "message framing is inconsistent between the agents"
-        )
-    channel.close()
     return RunResult((state.outputs[0], state.outputs[1]), channel.transcript)
 
 
@@ -459,33 +470,47 @@ def run_supervised(
     outcome = "ok"
     detail = ""
     state = _SchedulerState()
-    try:
-        state = _execute(
-            gens,
-            channel,
-            max_steps=max_steps,
-            step_budget=step_budget,
-            bit_budget=bit_budget,
+    with trace.span("protocol.run", runner="run_supervised"):
+        try:
+            state = _execute(
+                gens,
+                channel,
+                max_steps=max_steps,
+                step_budget=step_budget,
+                bit_budget=bit_budget,
+            )
+        except ProtocolDeadlock as exc:
+            outcome, detail = "deadlock", str(exc)
+        except BudgetExceeded as exc:
+            outcome, detail = "budget_exceeded", str(exc)
+        except (TransportFailure, ChannelClosed) as exc:
+            outcome, detail = "transport_failure", f"{type(exc).__name__}: {exc}"
+        except _AgentCrash as crash:
+            outcome, detail = "agent_error", str(crash)
+        except ProtocolError as exc:
+            outcome, detail = "agent_error", f"ProtocolError: {exc}"
+        unread = sum(
+            len(channel._pending[i]) for i in (0, 1)  # noqa: SLF001 — own module
         )
-    except ProtocolDeadlock as exc:
-        outcome, detail = "deadlock", str(exc)
-    except BudgetExceeded as exc:
-        outcome, detail = "budget_exceeded", str(exc)
-    except (TransportFailure, ChannelClosed) as exc:
-        outcome, detail = "transport_failure", f"{type(exc).__name__}: {exc}"
-    except _AgentCrash as crash:
-        outcome, detail = "agent_error", str(crash)
-    except ProtocolError as exc:
-        outcome, detail = "agent_error", f"ProtocolError: {exc}"
-    unread = sum(
-        len(channel._pending[i]) for i in (0, 1)  # noqa: SLF001 — own module
-    )
-    fault_events: tuple = ()
-    fault_log = getattr(channel, "fault_log", None)
-    if fault_log is not None:
-        fault_events = tuple(fault_log.events)
-    if not channel._closed:  # noqa: SLF001
-        channel.close()
+        fault_events: tuple = ()
+        fault_log = getattr(channel, "fault_log", None)
+        if fault_log is not None:
+            fault_events = tuple(fault_log.events)
+        if not channel._closed:  # noqa: SLF001
+            channel.close()
+        transcript = channel.transcript
+        fault_kinds = {} if fault_log is None else fault_log.kinds()
+        trace.event(
+            "run.report",
+            outcome=outcome,
+            bits=transcript.total_bits,
+            rounds=transcript.rounds,
+            leaf=transcript.as_bit_string(),
+            unread=unread,
+            ticks=state.now,
+            faults=len(fault_events),
+            fault_kinds={k: fault_kinds[k] for k in sorted(fault_kinds)},
+        )
     return RunReport(
         outcome=outcome,
         outputs=(state.outputs[0], state.outputs[1]),

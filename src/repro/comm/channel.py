@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.trace import core as trace
 
 
 @dataclass(frozen=True)
@@ -96,6 +97,10 @@ class BitChannel:
         self.transcript = Transcript()
         self._pending: list[list[int]] = [[], []]  # index = receiving agent
         self._closed = False
+        # O(1) round tracking so the trace layer can stamp each wire.send
+        # with its round number without rescanning the transcript.
+        self._rounds = 0
+        self._last_sender: int | None = None
 
     # ------------------------------------------------------------------
     # Agent-facing API
@@ -116,7 +121,21 @@ class BitChannel:
             raise ValueError("only bits may be sent")
         message = Message(sender, payload)
         self.transcript.messages.append(message)
+        if sender != self._last_sender:
+            self._rounds += 1
+            self._last_sender = sender
         obs.counter("channel.wire_bits").inc(len(payload))
+        tracer = trace.active_tracer()
+        if tracer is not None:
+            # The replayable wire transcript: sender, cost, round and the
+            # payload itself (as a bit string, so replay is bit-for-bit).
+            tracer.event(
+                "wire.send",
+                agent=sender,
+                bits=len(payload),
+                round=self._rounds,
+                payload="".join(str(b) for b in payload),
+            )
         self._deliver(1 - sender, payload)
 
     def _deliver(self, receiver: int, payload: tuple[int, ...]) -> None:

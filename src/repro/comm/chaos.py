@@ -40,6 +40,7 @@ from repro.comm.faults import (
 )
 from repro.comm.partition import pi_zero
 from repro.comm.transport import ArqConfig, TransportStats, reliable_pair
+from repro.trace import core as trace
 from repro.util.fmt import Table
 from repro.util.parallel import parmap
 from repro.util.rng import ReproducibleRNG, derive_seed
@@ -281,6 +282,9 @@ class SweepPoint:
             must stay 0 for the stack to be trustworthy.
         failures: structured non-``ok`` outcomes, by outcome name.
         faults_injected: total fault events over all runs.
+        faults_by_kind: fault events by taxonomy kind over all runs
+            (folded from each :class:`RunSummary`'s picklable histogram,
+            so the breakdown survives parmap worker boundaries).
         total_retries: transport recovery actions over all runs.
         total_payload_bits / total_wire_bits: transport accounting sums.
     """
@@ -293,6 +297,7 @@ class SweepPoint:
     silent_wrong: int = 0
     failures: dict[str, int] = field(default_factory=dict)
     faults_injected: int = 0
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
     total_retries: int = 0
     total_payload_bits: int = 0
     total_wire_bits: int = 0
@@ -331,9 +336,23 @@ class SweepPoint:
             name = summary.failure
             self.failures[name] = self.failures.get(name, 0) + 1
         self.faults_injected += summary.faults_injected
+        for fault_kind, count in summary.fault_kinds:
+            self.faults_by_kind[fault_kind] = (
+                self.faults_by_kind.get(fault_kind, 0) + count
+            )
         self.total_retries += summary.retries
         self.total_payload_bits += summary.payload_bits
         self.total_wire_bits += summary.wire_bits
+
+    @property
+    def retries_by_kind(self) -> dict[str, int]:
+        """Transport recovery actions attributed to fault kinds.
+
+        Every run in this cell injects faults of one configured kind, so
+        the cell's whole retry total is attributable to that kind exactly
+        (empty when nothing needed recovery).
+        """
+        return {self.kind: self.total_retries} if self.total_retries else {}
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready flat representation (for the CLI and benchmarks)."""
@@ -347,6 +366,10 @@ class SweepPoint:
             "failures": dict(self.failures),
             "recovery_rate": self.recovery_rate,
             "faults_injected": self.faults_injected,
+            "faults_by_kind": {
+                k: self.faults_by_kind[k] for k in sorted(self.faults_by_kind)
+            },
+            "retries_by_kind": self.retries_by_kind,
             "mean_retries": self.mean_retries,
             "mean_overhead_bits": self.mean_overhead_bits,
         }
@@ -365,9 +388,17 @@ class RunSummary:
     retries: int
     payload_bits: int
     wire_bits: int
+    #: Fault-kind histogram as a sorted tuple of (kind, count) pairs — a
+    #: tuple (not a dict) so the frozen dataclass stays hashable, and
+    #: carried here explicitly because :attr:`ChaosOutcome.report`'s
+    #: ``fault_events`` never cross the process boundary.
+    fault_kinds: tuple[tuple[str, int], ...] = ()
 
 
 def _summarize(outcome: ChaosOutcome) -> RunSummary:
+    kinds: dict[str, int] = {}
+    for event in outcome.report.fault_events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
     return RunSummary(
         recovered=outcome.recovered,
         silent_wrong=outcome.silent_wrong,
@@ -376,6 +407,7 @@ def _summarize(outcome: ChaosOutcome) -> RunSummary:
         retries=outcome.stats.retries,
         payload_bits=outcome.stats.payload_bits,
         wire_bits=outcome.stats.wire_bits,
+        fault_kinds=tuple(sorted(kinds.items())),
     )
 
 
@@ -428,15 +460,30 @@ def sweep(
         for name, kind, rate in cells
         for r in range(runs)
     ]
-    summaries = parmap(_sweep_task, tasks, workers=workers)
-    points: list[SweepPoint] = []
-    cursor = 0
-    for name, kind, rate in cells:
-        point = SweepPoint(protocol=name, kind=kind, rate=rate)
-        for summary in summaries[cursor : cursor + runs]:
-            point.observe_summary(summary)
-        cursor += runs
-        points.append(point)
+    with trace.span("chaos.sweep", cells=len(cells), runs=runs):
+        summaries = parmap(_sweep_task, tasks, workers=workers)
+        points: list[SweepPoint] = []
+        cursor = 0
+        for name, kind, rate in cells:
+            point = SweepPoint(protocol=name, kind=kind, rate=rate)
+            for summary in summaries[cursor : cursor + runs]:
+                point.observe_summary(summary)
+            cursor += runs
+            points.append(point)
+            trace.event(
+                "chaos.point",
+                protocol=name,
+                kind=kind,
+                rate=rate,
+                runs=point.runs,
+                recovered=point.recovered,
+                silent_wrong=point.silent_wrong,
+                faults_by_kind={
+                    k: point.faults_by_kind[k]
+                    for k in sorted(point.faults_by_kind)
+                },
+                retries_by_kind=point.retries_by_kind,
+            )
     return points
 
 

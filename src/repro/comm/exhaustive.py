@@ -54,6 +54,7 @@ import numpy as np
 from repro import obs
 from repro.comm.protocol import Leaf, Node, ProtocolTree
 from repro.comm.truth_matrix import TruthMatrix
+from repro.trace import core as trace
 
 #: Engine registry.  The version tags key the persistent cache: bump one
 #: whenever its engine could produce a different (even just differently
@@ -575,6 +576,7 @@ class _BitsetSearch:
         entry.d_low = lower
         if lower > budget:
             obs.counter("exhaustive.pruned").inc()
+            obs.counter("exhaustive.pruned.depth_bound").inc()
             return lower
         for depth in range(lower, budget + 1):
             if self._feasible_d(canon, entry, depth):
@@ -614,6 +616,7 @@ class _BitsetSearch:
             return entry.d_exact
         budget = max(entry.d_low, self._d_lb(entry), 1)
         while True:
+            trace.event("exhaustive.deepen", budget=budget)
             result = self.solve_d(row_mask, col_mask, budget)
             if result <= budget:
                 return result
@@ -638,6 +641,7 @@ class _BitsetSearch:
         entry.lv_low = lower
         if lower > cap:
             obs.counter("exhaustive.pruned").inc()
+            obs.counter("exhaustive.pruned.leaf_bound").inc()
             return lower
         nr, nc, _patterns = entry.key
         best: int | None = None
@@ -723,6 +727,7 @@ def _search_for(deduped: TruthMatrix, engine: str):
             _SEARCH_CACHE.move_to_end(key)
             search.hits += 1
             obs.counter("exhaustive.search_cache.hits").inc()
+            trace.event("exhaustive.search_memo", hit=True, engine=engine)
             return search
     # Construct outside the lock; a racing duplicate is harmless (one wins).
     search = _BitsetSearch(data) if engine == "bitset" else _ExactSearch(data)
@@ -734,6 +739,7 @@ def _search_for(deduped: TruthMatrix, engine: str):
             obs.counter("exhaustive.search_cache.hits").inc()
             return existing
         obs.counter("exhaustive.search_cache.misses").inc()
+        trace.event("exhaustive.search_memo", hit=False, engine=engine)
         _SEARCH_CACHE[key] = search
         while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
             _SEARCH_CACHE.popitem(last=False)
@@ -806,19 +812,32 @@ def communication_complexity(
 ) -> int:
     """Exact D(f) of the (deduplicated) truth matrix."""
     engine = _resolve_engine(engine)
-    deduped = dedupe(tm)
-    _check_size(deduped, _resolve_limit(limit, engine))
-    store, key = _cache_record(deduped, engine)
-    cached = _cache_lookup(store, key, "d")
-    if isinstance(cached, int):
-        return cached
-    search = _search_for(deduped, engine)
-    if engine == "bitset":
-        cost = search.solve_d_root()
-    else:
-        cost = search.solve_root()[0]
-    _cache_store(store, key, deduped, engine, {"d": cost})
-    return cost
+    # The span covers dedup + cache probing too, so traced wall time stays
+    # attributed even when the search itself is cheap.
+    with trace.span(
+        "exhaustive.communication_complexity",
+        engine=engine,
+        rows=int(tm.shape[0]),
+        cols=int(tm.shape[1]),
+    ) as sp:
+        deduped = dedupe(tm)
+        _check_size(deduped, _resolve_limit(limit, engine))
+        if sp is not None:
+            sp.annotate(
+                deduped_rows=int(deduped.shape[0]),
+                deduped_cols=int(deduped.shape[1]),
+            )
+        store, key = _cache_record(deduped, engine)
+        cached = _cache_lookup(store, key, "d")
+        if isinstance(cached, int):
+            return cached
+        search = _search_for(deduped, engine)
+        if engine == "bitset":
+            cost = search.solve_d_root()
+        else:
+            cost = search.solve_root()[0]
+        _cache_store(store, key, deduped, engine, {"d": cost})
+        return cost
 
 
 def optimal_protocol_tree(
@@ -831,48 +850,62 @@ def optimal_protocol_tree(
     duplicate rows/columns are mapped onto their representative.
     """
     engine = _resolve_engine(engine)
-    deduped = dedupe(tm)
-    _check_size(deduped, _resolve_limit(limit, engine))
+    with trace.span(
+        "exhaustive.optimal_protocol_tree",
+        engine=engine,
+        rows=int(tm.shape[0]),
+        cols=int(tm.shape[1]),
+    ) as sp:
+        deduped = dedupe(tm)
+        _check_size(deduped, _resolve_limit(limit, engine))
+        if sp is not None:
+            sp.annotate(
+                deduped_rows=int(deduped.shape[0]),
+                deduped_cols=int(deduped.shape[1]),
+            )
 
-    # Map original labels to deduped indices so returned predicates accept
-    # any label of the original matrix.  dedupe() keeps first occurrences in
-    # order, so position-among-distinct on the ORIGINAL matrix is the
-    # deduped index (comparing against deduped rows directly would fail:
-    # deduping rows changes the length of column tuples and vice versa).
-    row_index: dict = {}
-    distinct_rows: dict[tuple, int] = {}
-    for i, row in enumerate(map(tuple, tm.data.tolist())):
-        if row not in distinct_rows:
-            distinct_rows[row] = len(distinct_rows)
-        row_index[tm.row_labels[i]] = distinct_rows[row]
-    col_index: dict = {}
-    distinct_cols: dict[tuple, int] = {}
-    for i, col in enumerate(map(tuple, tm.data.T.tolist())):
-        if col not in distinct_cols:
-            distinct_cols[col] = len(distinct_cols)
-        col_index[tm.col_labels[i]] = distinct_cols[col]
+        # Map original labels to deduped indices so returned predicates
+        # accept any label of the original matrix.  dedupe() keeps first
+        # occurrences in order, so position-among-distinct on the ORIGINAL
+        # matrix is the deduped index (comparing against deduped rows
+        # directly would fail: deduping rows changes the length of column
+        # tuples and vice versa).
+        row_index: dict = {}
+        distinct_rows: dict[tuple, int] = {}
+        for i, row in enumerate(map(tuple, tm.data.tolist())):
+            if row not in distinct_rows:
+                distinct_rows[row] = len(distinct_rows)
+            row_index[tm.row_labels[i]] = distinct_rows[row]
+        col_index: dict = {}
+        distinct_cols: dict[tuple, int] = {}
+        for i, col in enumerate(map(tuple, tm.data.T.tolist())):
+            if col not in distinct_cols:
+                distinct_cols[col] = len(distinct_cols)
+            col_index[tm.col_labels[i]] = distinct_cols[col]
 
-    store, key = _cache_record(deduped, engine)
-    cost = None
-    serial = None
-    if store is not None:
-        record = store.get(key) or {}
-        if isinstance(record.get("d"), int) and isinstance(
-            record.get("tree"), list
-        ):
-            cost = record["d"]
-            serial = record["tree"]
-    if serial is None:
-        search = _search_for(deduped, engine)
-        if engine == "bitset":
-            cost = search.solve_d_root()
-            serial = search.serialized_root_tree()
-        else:
-            cost = search.solve_root()[0]
-            serial = search.serialized_root_tree()
-        _cache_store(store, key, deduped, engine, {"d": cost, "tree": serial})
-    root = _tree_from_serialized(serial, row_index, col_index)
-    return cost, ProtocolTree(root)
+        store, key = _cache_record(deduped, engine)
+        cost = None
+        serial = None
+        if store is not None:
+            record = store.get(key) or {}
+            if isinstance(record.get("d"), int) and isinstance(
+                record.get("tree"), list
+            ):
+                cost = record["d"]
+                serial = record["tree"]
+        if serial is None:
+            search = _search_for(deduped, engine)
+            if engine == "bitset":
+                cost = search.solve_d_root()
+                serial = search.serialized_root_tree()
+            else:
+                cost = search.solve_root()[0]
+                serial = search.serialized_root_tree()
+            _cache_store(
+                store, key, deduped, engine, {"d": cost, "tree": serial}
+            )
+        root = _tree_from_serialized(serial, row_index, col_index)
+        return cost, ProtocolTree(root)
 
 
 def partition_number(
@@ -887,16 +920,27 @@ def partition_number(
     :func:`communication_complexity`.
     """
     engine = _resolve_engine(engine)
-    deduped = dedupe(tm)
-    _check_size(deduped, _resolve_limit(limit, engine))
-    store, key = _cache_record(deduped, engine)
-    cached = _cache_lookup(store, key, "leaves")
-    if isinstance(cached, int):
-        return cached
-    search = _search_for(deduped, engine)
-    leaves = search.solve_leaves_root()
-    _cache_store(store, key, deduped, engine, {"leaves": leaves})
-    return leaves
+    with trace.span(
+        "exhaustive.partition_number",
+        engine=engine,
+        rows=int(tm.shape[0]),
+        cols=int(tm.shape[1]),
+    ) as sp:
+        deduped = dedupe(tm)
+        _check_size(deduped, _resolve_limit(limit, engine))
+        if sp is not None:
+            sp.annotate(
+                deduped_rows=int(deduped.shape[0]),
+                deduped_cols=int(deduped.shape[1]),
+            )
+        store, key = _cache_record(deduped, engine)
+        cached = _cache_lookup(store, key, "leaves")
+        if isinstance(cached, int):
+            return cached
+        search = _search_for(deduped, engine)
+        leaves = search.solve_leaves_root()
+        _cache_store(store, key, deduped, engine, {"leaves": leaves})
+        return leaves
 
 
 def _row_predicate(row_index: dict, right_set: frozenset):

@@ -38,6 +38,7 @@ from typing import Any
 from repro.comm.agents import AgentProgram, Drain, ProtocolError, Recv, Send
 from repro.comm.bits import bits_to_int, int_to_bits
 from repro.comm.channel import TransportFailure
+from repro.trace import core as trace
 
 #: Frame-type bits.
 DATA_FRAME = 0
@@ -191,12 +192,21 @@ class ArqEndpoint:
 
     config: ArqConfig = field(default_factory=ArqConfig)
     stats: TransportStats = field(default_factory=TransportStats)
+    #: Which agent owns this endpoint (0/1; -1 = unattributed).  Set by
+    #: :func:`reliable_pair` so trace events carry per-endpoint identity.
+    agent: int = -1
     _send_seq: int = 0
     _recv_expected: int = 0
     # A data frame accepted while we were waiting for an ACK (see
     # _handle_stray_data): the next recv() returns it without touching
     # the channel.
     _stash: tuple[int, ...] | None = None
+
+    def _trace(self, name: str, **fields) -> None:
+        """Emit one ARQ trace event tagged with this endpoint's agent id."""
+        tracer = trace.active_tracer()
+        if tracer is not None:
+            tracer.event(name, agent=self.agent, **fields)
 
     # ------------------------------------------------------------------
     # Frame building
@@ -251,6 +261,7 @@ class ArqEndpoint:
         for attempt in range(cfg.max_retries + 1):
             if attempt:
                 self.stats.retransmissions += 1
+                self._trace("arq.retransmit", seq=seq, attempt=attempt)
             self.stats.frames_sent += 1
             yield from self._put(frame)
             acked = yield from self._await_ack(seq, timeout)
@@ -272,6 +283,7 @@ class ArqEndpoint:
             first = yield Recv(1, timeout=timeout)
             if first is None:
                 self.stats.timeouts += 1
+                self._trace("arq.timeout", awaiting="ack", seq=seq)
                 return False
             if first[0] == DATA_FRAME:
                 verdict = yield from self._handle_stray_data(timeout)
@@ -283,10 +295,12 @@ class ArqEndpoint:
             rest = yield Recv(cfg.control_frame_bits - 1, timeout=timeout)
             if rest is None:
                 self.stats.timeouts += 1
+                self._trace("arq.timeout", awaiting="ack_body", seq=seq)
                 return False
             body = [CONTROL_FRAME] + list(rest[: 1 + cfg.seq_bits])
             if crc16(body) != list(rest[1 + cfg.seq_bits :]):
                 self.stats.crc_failures += 1
+                self._trace("arq.crc_failure", frame="control")
                 flushed = yield Drain()
                 self.stats.flushed_bits += len(flushed)
                 return False
@@ -337,6 +351,7 @@ class ArqEndpoint:
         if seq != self._recv_expected:
             self.stats.duplicates_dropped += 1
             self.stats.acks_sent += 1
+            self._trace("arq.ack", seq=seq, duplicate=True)
             yield from self._put(self._control_frame(ACK, seq))
             return "continue"
         if self._stash is not None:
@@ -345,6 +360,7 @@ class ArqEndpoint:
             self.stats.flushed_bits += len(flushed)
             return "retry"
         self.stats.acks_sent += 1
+        self._trace("arq.ack", seq=seq, duplicate=False)
         yield from self._put(self._control_frame(ACK, seq))
         self._recv_expected = (seq + 1) % (1 << cfg.seq_bits)
         self.stats.frames_delivered += 1
@@ -373,6 +389,7 @@ class ArqEndpoint:
             first = yield Recv(1, timeout=timeout)
             if first is None:
                 self.stats.timeouts += 1
+                self._trace("arq.timeout", awaiting="data")
                 failures += 1
                 yield from self._flush_and_nak()
                 timeout = min(timeout * 2, cfg.max_timeout)
@@ -387,6 +404,7 @@ class ArqEndpoint:
             head = yield Recv(cfg.seq_bits + cfg.len_bits, timeout=timeout)
             if head is None:
                 self.stats.timeouts += 1
+                self._trace("arq.timeout", awaiting="data")
                 failures += 1
                 yield from self._flush_and_nak()
                 timeout = min(timeout * 2, cfg.max_timeout)
@@ -396,6 +414,7 @@ class ArqEndpoint:
             body = yield Recv(length + CRC_BITS, timeout=timeout)
             if body is None:
                 self.stats.timeouts += 1
+                self._trace("arq.timeout", awaiting="data")
                 failures += 1
                 yield from self._flush_and_nak()
                 timeout = min(timeout * 2, cfg.max_timeout)
@@ -404,6 +423,7 @@ class ArqEndpoint:
             frame_body = [DATA_FRAME] + list(head) + payload
             if crc16(frame_body) != list(body[length:]):
                 self.stats.crc_failures += 1
+                self._trace("arq.crc_failure", frame="data")
                 failures += 1
                 yield from self._flush_and_nak()
                 timeout = min(timeout * 2, cfg.max_timeout)
@@ -413,9 +433,11 @@ class ArqEndpoint:
                 # its ACK must have been lost — re-ACK so the peer advances.
                 self.stats.duplicates_dropped += 1
                 self.stats.acks_sent += 1
+                self._trace("arq.ack", seq=seq, duplicate=True)
                 yield from self._put(self._control_frame(ACK, seq))
                 continue
             self.stats.acks_sent += 1
+            self._trace("arq.ack", seq=seq, duplicate=False)
             yield from self._put(self._control_frame(ACK, seq))
             self._recv_expected = (seq + 1) % (1 << cfg.seq_bits)
             self.stats.frames_delivered += 1
@@ -430,6 +452,7 @@ class ArqEndpoint:
         flushed = yield Drain()
         self.stats.flushed_bits += len(flushed)
         self.stats.naks_sent += 1
+        self._trace("arq.nak", seq=self._recv_expected, flushed=len(flushed))
         yield from self._put(self._control_frame(NAK, self._recv_expected))
 
     # ------------------------------------------------------------------
@@ -473,6 +496,7 @@ class ArqEndpoint:
                 # A retransmission whose ACK was lost — re-ACK it.
                 self.stats.acks_sent += 1
                 self.stats.duplicates_dropped += 1
+                self._trace("arq.ack", seq=seq, duplicate=True)
                 yield from self._put(self._control_frame(ACK, seq))
             else:
                 flushed = yield Drain()
@@ -525,6 +549,6 @@ def reliable_pair(
     endpoints to read :class:`TransportStats` after the run.
     """
     cfg = config or ArqConfig()
-    e0 = ArqEndpoint(cfg)
-    e1 = ArqEndpoint(cfg)
+    e0 = ArqEndpoint(cfg, agent=0)
+    e1 = ArqEndpoint(cfg, agent=1)
     return arq_adapt(program0, e0), arq_adapt(program1, e1), e0, e1

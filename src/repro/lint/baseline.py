@@ -39,9 +39,11 @@ class BaselineEntry:
     justification: str = ""
 
     def key(self) -> tuple[str, str, str]:
+        """Matching identity: ``(code, path, symbol)`` — line-number free."""
         return (self.code, self.path, self.symbol)
 
     def as_dict(self) -> dict:
+        """JSON-ready form, key order matching the file format above."""
         return {
             "code": self.code,
             "path": self.path,

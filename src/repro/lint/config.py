@@ -8,9 +8,11 @@ The defaults encode this repository's invariant map:
   documented, tested exception (see docs/performance.md), and its results
   are cross-checked against the Fraction engine.
 * **DET** (determinism) guards everything that produces wire traffic,
-  sweep results or cache bytes — ``repro.protocols``, ``repro.comm`` and
-  ``repro.cache``.  Randomness must come from :mod:`repro.util.rng`, never
-  ambient state or the clock, and persisted records must be byte-stable.
+  sweep results, cache bytes or trace records — ``repro.protocols``,
+  ``repro.comm``, ``repro.cache`` and ``repro.trace``.  Randomness must
+  come from :mod:`repro.util.rng`, never ambient state or the clock, and
+  persisted records must be byte-stable.  (:mod:`repro.trace`'s single
+  monotonic-tick read carries a documented inline pragma.)
 * **ISO** (two-party isolation) classifies agent programs in the same
   scope as Alice (agent 0) / Bob (agent 1) and rejects any reach across
   the partition that does not cross the channel.
@@ -117,6 +119,7 @@ class LintConfig:
         "repro.protocols", "repro.protocols.*",
         "repro.comm", "repro.comm.*",
         "repro.cache", "repro.cache.*",
+        "repro.trace", "repro.trace.*",
     )
     iso_scope: tuple[str, ...] = (
         "repro.protocols", "repro.protocols.*",
@@ -138,14 +141,17 @@ class LintConfig:
         return module_name(path, self.src_root)
 
     def in_exa_scope(self, module: str) -> bool:
+        """True when EXA rules apply to ``module`` (allowlist wins)."""
         return matches_any(module, self.exa_scope) and not matches_any(
             module, self.exa_allowed_modules
         )
 
     def in_det_scope(self, module: str) -> bool:
+        """True when DET rules apply to ``module``."""
         return matches_any(module, self.det_scope)
 
     def in_iso_scope(self, module: str) -> bool:
+        """True when ISO rules apply to ``module``."""
         return matches_any(module, self.iso_scope)
 
 

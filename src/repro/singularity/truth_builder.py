@@ -43,6 +43,7 @@ from repro.comm.truth_matrix import TruthMatrix, truth_matrix_from_family
 from repro.exact import modnp
 from repro.singularity.family import Block, RestrictedFamily
 from repro.singularity.lemma35 import complete
+from repro.trace import core as trace
 from repro.util.parallel import parmap
 from repro.util.rng import ReproducibleRNG, derive_seed
 
@@ -80,12 +81,19 @@ def _completion_task(task: tuple[RestrictedFamily, Block, int, int, int]) -> BCo
     Module-level so :func:`parmap` can ship it to worker processes.
     """
     family, c, root_seed, row_index, completion_index = task
-    rng = ReproducibleRNG(
-        derive_seed(root_seed, "completed_columns", row_index, completion_index)
-    )
-    e = family.random_e(rng)
-    completion = complete(family, c, e)
-    return (completion.d, e, completion.y)
+    with trace.span(
+        "truth_builder.completion_shard",
+        row=row_index,
+        completion=completion_index,
+    ):
+        rng = ReproducibleRNG(
+            derive_seed(
+                root_seed, "completed_columns", row_index, completion_index
+            )
+        )
+        e = family.random_e(rng)
+        completion = complete(family, c, e)
+        return (completion.d, e, completion.y)
 
 
 def completed_columns(
@@ -207,10 +215,16 @@ def restricted_truth_matrix(
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
-    with obs.time_block(f"truth_builder.{engine}"):
-        if engine == "fraction":
-            return _fraction_predicate_matrix(family, rows, columns)
-        return _modnp_matrix(family, rows, columns, prime)
+    with trace.span(
+        "truth_builder.build",
+        engine=engine,
+        rows=len(rows),
+        cols=len(columns),
+    ):
+        with obs.time_block(f"truth_builder.{engine}"):
+            if engine == "fraction":
+                return _fraction_predicate_matrix(family, rows, columns)
+            return _modnp_matrix(family, rows, columns, prime)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,66 @@
+"""Structured tracing: spans, replayable wire transcripts, summaries.
+
+The observability layer of the reproduction.  :mod:`repro.obs` counts;
+this package *attributes*: a :class:`Tracer` records a span tree with
+monotonic durations and per-span obs-counter deltas, the comm runtime
+emits a replayable wire transcript (every send with agent, round, bit
+cost and payload), and the search/parallel layers emit progress spans.
+:mod:`repro.trace.replay` rebuilds a run's transcript from the trace
+alone and cross-checks it bit-for-bit against the live ``RunReport``;
+:mod:`repro.trace.summary` folds a trace into per-span wall-time and
+counter attribution.
+
+Tracing is disabled by default and free when off.  Activate it with
+:func:`configure`, the ``REPRO_TRACE_DIR`` environment variable, or the
+scoped :func:`capture`/:func:`directory` context managers — the same
+opt-in shape as :mod:`repro.cache`.  See ``docs/observability.md``.
+"""
+
+from repro.trace.core import (
+    DEFAULT_CAPACITY,
+    ENV_VAR,
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    Span,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    capture,
+    configure,
+    decode_event,
+    directory,
+    disabled,
+    encode_event,
+    event,
+    load_jsonl,
+    span,
+    unconfigure,
+)
+from repro.trace.replay import ReplayResult, render_replay, replay_all
+from repro.trace.summary import render_summary, summarize
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "ENV_VAR",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "ReplayResult",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+    "capture",
+    "configure",
+    "decode_event",
+    "directory",
+    "disabled",
+    "encode_event",
+    "event",
+    "load_jsonl",
+    "render_replay",
+    "render_summary",
+    "replay_all",
+    "span",
+    "summarize",
+    "unconfigure",
+]

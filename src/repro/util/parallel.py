@@ -30,10 +30,39 @@ import os
 from collections.abc import Callable, Iterable, Sequence
 from typing import TypeVar
 
+from repro.trace import core as trace
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 _ENV_VAR = "REPRO_WORKERS"
+
+
+class _TracedShard:
+    """Picklable wrapper adding a ``parmap.shard`` span around one task.
+
+    Used only when tracing is active: workers inherit ``REPRO_TRACE_DIR``
+    through the environment, so a pool worker's shard spans land in its own
+    per-process trace file, flushed after every task because worker
+    processes never run atexit hooks (obs counters stay process-local, and
+    so do trace rings — the same contract).
+    """
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, indexed):
+        index, task = indexed
+        with trace.span("parmap.shard", index=index):
+            result = self.fn(task)
+        # Pool workers exit through os._exit, which skips atexit hooks —
+        # flush after every task so an env-activated worker tracer actually
+        # reaches its per-process file (atomic full rewrite, so repeating
+        # it per task just keeps the file current).
+        tracer = trace.active_tracer()
+        if tracer is not None and tracer.sink_dir is not None:
+            tracer.flush()
+        return result
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -73,8 +102,16 @@ def parmap(
     """
     task_list: Sequence[T] = list(tasks)
     n_workers = resolve_workers(workers)
+    tracing = trace.active_tracer() is not None
     if n_workers == 1 or len(task_list) <= 1:
-        return [fn(t) for t in task_list]
+        if not tracing:
+            return [fn(t) for t in task_list]
+        with trace.span("parmap", tasks=len(task_list), workers=1):
+            out: list[R] = []
+            for index, task in enumerate(task_list):
+                with trace.span("parmap.shard", index=index):
+                    out.append(fn(task))
+            return out
     # Import here so serial users never pay for the machinery.
     from concurrent.futures import ProcessPoolExecutor
 
@@ -83,5 +120,16 @@ def parmap(
         # Aim for ~4 chunks per worker: amortizes pickling without leaving
         # stragglers at the tail of uneven task costs.
         chunksize = max(1, len(task_list) // (4 * n_workers))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, task_list, chunksize=chunksize))
+    with trace.span("parmap", tasks=len(task_list), workers=n_workers):
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            if tracing:
+                # Shard spans record in each worker's own tracer (activated
+                # by the inherited REPRO_TRACE_DIR, if any); the wrapper
+                # changes nothing about what fn computes.
+                shard = _TracedShard(fn)
+                return list(
+                    pool.map(
+                        shard, list(enumerate(task_list)), chunksize=chunksize
+                    )
+                )
+            return list(pool.map(fn, task_list, chunksize=chunksize))

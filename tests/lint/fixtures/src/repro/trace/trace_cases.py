@@ -1,0 +1,48 @@
+"""Deliberate DET violations in trace code — scanned, never imported.
+
+Trace records are persisted JSONL with canonical encoding; the DET
+contract over ``repro.trace.*`` is the cache's: no ambient randomness,
+no undeclared clock reads, no dict/set iteration order reaching an
+encoder.  The one legitimate clock read (the monotonic span tick) must
+carry an explicit inline pragma, exactly like the real
+``repro.trace.core._now_ns``.
+"""
+
+import random
+import time
+
+
+def encode_event(event):
+    """Local stand-in so sink detection has something to find."""
+    return str(event)
+
+
+def jittered_flush_delay():
+    return random.random()  # DET201
+
+
+def wall_clock_stamp(event):
+    return {"at": time.time(), **event}  # DET203
+
+
+def bare_monotonic_tick():
+    return time.perf_counter_ns()  # DET203: clock read without a pragma
+
+
+def pragma_declared_tick():
+    # the real _now_ns pattern: declared, documented, suppressed inline
+    return time.perf_counter_ns()  # repro-lint: disable=DET203
+
+
+def leaks_field_order(event):
+    out = []
+    for value in event.values():  # DET204: dict order reaches the encoder
+        out.append(encode_event(value))
+    return out
+
+
+def canonical_event_encoding(event):
+    out = {}
+    for field in sorted(event):  # control: sorted() iteration in a sink fn
+        out[field] = event[field]
+    return encode_event(out)

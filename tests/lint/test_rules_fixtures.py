@@ -10,6 +10,7 @@ from tests.lint.conftest import codes_at, findings_at
 EXA = "src/repro/exact/exa_cases.py"
 DET = "src/repro/protocols/det_cases.py"
 CACHE = "src/repro/cache/cache_cases.py"
+TRACE = "src/repro/trace/trace_cases.py"
 ISO = "src/repro/protocols/iso_cases.py"
 WIRE = "src/repro/protocols/wire.py"
 
@@ -106,6 +107,31 @@ class TestDetOnCache:
 
     def test_sorted_encoding_is_clean(self, fixture_report):
         assert codes_at(fixture_report, CACHE, "canonical_encoding") == set()
+
+
+class TestDetOnTrace:
+    """The DET family watches repro.trace.* (byte-stable trace records)."""
+
+    def test_ambient_random(self, fixture_report):
+        assert codes_at(fixture_report, TRACE, "jittered_flush_delay") == {"DET201"}
+
+    def test_wall_clock(self, fixture_report):
+        assert codes_at(fixture_report, TRACE, "wall_clock_stamp") == {"DET203"}
+
+    def test_undeclared_monotonic_tick(self, fixture_report):
+        assert codes_at(fixture_report, TRACE, "bare_monotonic_tick") == {"DET203"}
+
+    def test_pragma_declared_tick_is_suppressed(self, fixture_report):
+        found = findings_at(
+            fixture_report, TRACE, "pragma_declared_tick", code="DET203"
+        )
+        assert found and all(f.suppressed == "pragma" for f in found)
+
+    def test_values_view_feeding_encoder(self, fixture_report):
+        assert codes_at(fixture_report, TRACE, "leaks_field_order") == {"DET204"}
+
+    def test_sorted_encoding_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, TRACE, "canonical_event_encoding") == set()
 
 
 class TestIsoFamily:

@@ -1,0 +1,64 @@
+"""Smoke test: every worked example runs clean, start to finish.
+
+The examples double as living documentation (the README points users at
+them before anything else), so a broken example is a broken doc.  Each
+one is executed in a fresh interpreter — examples are scripts, not
+importable modules, and a subprocess also catches missing-`PYTHONPATH`
+style breakage that an in-process exec would paper over.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """The glob really found the suite (guards against a moved directory)."""
+    assert "quickstart.py" in EXAMPLES
+    assert "tracing_tour.py" in EXAMPLES
+    assert len(EXAMPLES) >= 9
+
+
+def _run_example(name: str, extra_env: dict | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # Keep examples hermetic regardless of the invoking shell's setup.
+    env.pop("REPRO_CACHE_DIR", None)
+    env.pop("REPRO_TRACE_DIR", None)
+    env.pop("REPRO_WORKERS", None)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    proc = _run_example(name)
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert "Traceback" not in proc.stderr
+
+
+def test_tracing_tour_verifies_bit_for_bit():
+    """The tour's own assertions passed and it printed the verification."""
+    proc = _run_example("tracing_tour.py")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "2/2 runs verified bit-for-bit" in proc.stdout
+    assert "reproduced exactly" in proc.stdout

@@ -1,0 +1,1 @@
+"""Tests for the structured-tracing layer (:mod:`repro.trace`)."""
