@@ -217,6 +217,34 @@ class CacheStore:
             "engines": {name: engines[name] for name in sorted(engines)},
         }
 
+    def _tmp_paths(self) -> list[Path]:
+        try:
+            return sorted(self.objects.glob("*.tmp"))
+        except OSError:
+            return []
+
+    def orphaned_tmp(self) -> list[Path]:
+        """Scratch ``.tmp`` files left behind by writers killed mid-commit.
+
+        :meth:`merge` writes ``<record>.<pid>.<tid>.tmp`` then atomically
+        replaces; a crash between the two strands the scratch file forever
+        (nothing ever reads or reclaims that exact name again).  Any
+        ``.tmp`` present at inspection time is therefore an orphan — a
+        live writer holds one only for the instant before ``os.replace``.
+        """
+        return self._tmp_paths()
+
+    def sweep_tmp(self) -> int:
+        """Delete orphaned ``.tmp`` scratch files; returns how many."""
+        removed = 0
+        for path in self._tmp_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def verify(self) -> list[str]:
         """Problems across every record (empty means the store is clean)."""
         problems = []
@@ -228,10 +256,15 @@ class CacheStore:
                 continue
             for problem in record_problems(decode_record(text), text):
                 problems.append(f"{path.name}: {problem}")
+        for path in self.orphaned_tmp():
+            problems.append(
+                f"{path.name}: orphaned tmp scratch file (writer died "
+                "mid-commit; run `repro cache sweep-tmp` or `cache clear`)"
+            )
         return problems
 
     def clear(self) -> int:
-        """Delete every record; returns how many were removed."""
+        """Delete every record (and orphaned scratch); returns records removed."""
         removed = 0
         for path in self._record_paths():
             try:
@@ -239,6 +272,7 @@ class CacheStore:
                 removed += 1
             except OSError:
                 continue
+        self.sweep_tmp()
         return removed
 
 

@@ -272,12 +272,118 @@ def _cmd_cache(args) -> int:
         else:
             print("cache verified: every record is canonical and well-formed")
         return 1 if problems else 0
+    if args.action == "sweep-tmp":
+        swept = store.sweep_tmp()
+        if args.format == "json":
+            print(json.dumps({"swept_tmp": swept}))
+        else:
+            print(f"swept {swept} orphaned tmp file(s) from {store.root}")
+        return 0
     removed = store.clear()
     if args.format == "json":
         print(json.dumps({"removed": removed}))
     else:
         print(f"removed {removed} record(s) from {store.root}")
     return 0
+
+
+def _serve_config(args):
+    """Build a ServiceConfig from the shared serve CLI knobs."""
+    from repro.serve.service import ServiceConfig
+
+    return ServiceConfig(
+        max_queue=args.max_queue,
+        max_inflight_per_tenant=args.max_inflight,
+        workers=args.service_workers,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import serve_tcp
+
+    try:
+        asyncio.run(
+            serve_tcp(
+                host=args.host,
+                port=args.port,
+                config=_serve_config(args),
+                max_requests=args.max_requests,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro.serve: interrupted, shutting down")
+    return 0
+
+
+def _cmd_serve_load(args) -> int:
+    import json
+
+    from repro.serve.chaos import FRAME_FAULT_KINDS, chaos_sweep
+    from repro.serve.load import run_bench_serve, write_bench_serve
+
+    if args.chaos:
+        kinds = (
+            tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+            if args.kinds
+            else FRAME_FAULT_KINDS
+        )
+        points = chaos_sweep(
+            kinds=kinds,
+            rate=args.rate,
+            requests_per_kind=args.chaos_requests,
+            clients=args.clients,
+            seed=args.seed,
+            config=_serve_config(args),
+        )
+        bad = sum(p.silent_wrong + p.hung for p in points)
+        if args.json:
+            print(json.dumps([p.as_dict() for p in points], indent=2))
+        else:
+            print(
+                f"serve chaos sweep: {len(points)} fault kind(s) x "
+                f"{args.chaos_requests} request(s) at rate {args.rate}"
+            )
+            for p in points:
+                print(
+                    f"  {p.kind:9s} ok={p.ok:4d} errors={p.expected_errors:3d} "
+                    f"lost={p.lost} retries={p.retries:3d} "
+                    f"silent_wrong={p.silent_wrong} hung={p.hung}"
+                )
+            print(
+                "gate: no silent corruption, no hung connections"
+                if bad == 0
+                else f"gate VIOLATED: {bad} silent/hung outcome(s)"
+            )
+        return 1 if bad else 0
+    report = run_bench_serve(
+        seed=args.seed,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        fault_kind=args.kind,
+        rate=args.rate,
+        config=_serve_config(args),
+    )
+    path = write_bench_serve(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for phase_name, phase in report["phases"].items():
+            lat = phase["latency_ms"]
+            print(
+                f"{phase_name:7s}: {phase['requests']} requests, "
+                f"ok={phase['ok']} errors={phase['structured_errors']} "
+                f"lost={phase['lost']} shed_rate={phase['shed_rate']:.4f} "
+                f"p50={lat['p50']}ms p95={lat['p95']}ms p99={lat['p99']}ms"
+            )
+        print(
+            f"coalesced/memoized under clean channels: "
+            f"{report['gate']['coalesced_or_memoized']}"
+        )
+    print(f"wrote {path}")
+    lost = report["gate"]["clean_lost"] + report["gate"]["faulted_lost"]
+    return 1 if lost else 0
 
 
 def _trace_files(args) -> list:
@@ -468,9 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "cache",
         help="inspect the persistent exact-search result cache "
-        "(stats / clear / verify)",
+        "(stats / clear / verify / sweep-tmp)",
     )
-    p.add_argument("action", choices=["stats", "clear", "verify"])
+    p.add_argument(
+        "action", choices=["stats", "clear", "verify", "sweep-tmp"]
+    )
     p.add_argument(
         "--dir", default=None,
         help="cache directory (default: the active store from "
@@ -478,6 +586,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(fn=_cmd_cache)
+
+    def add_serve_config_arguments(p):
+        p.add_argument(
+            "--max-queue", type=int, default=64,
+            help="bounded work queue size (beyond it requests are shed)",
+        )
+        p.add_argument(
+            "--max-inflight", type=int, default=4,
+            help="per-tenant in-flight admission cap",
+        )
+        p.add_argument(
+            "--service-workers", type=int, default=4,
+            help="concurrent executor tasks inside the service",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant multi-tenant protocol service over TCP "
+        "(newline-delimited JSON frames, wire schema v1)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = ephemeral port")
+    p.add_argument(
+        "--max-requests", type=int, default=None,
+        help="serve this many requests then drain (bounded smoke runs)",
+    )
+    add_serve_config_arguments(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "serve-load",
+        help="load-generate against an in-process service: latency "
+        "percentiles + shed rates into BENCH_SERVE.json, or --chaos for "
+        "the service-layer fault gate",
+    )
+    p.add_argument("--clients", type=int, default=200, help="concurrent clients")
+    p.add_argument(
+        "--requests", type=int, default=5, help="requests per client"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--kind", default="flip",
+        help="fault kind for the faulted benchmark phase",
+    )
+    p.add_argument(
+        "--rate", type=float, default=0.02, help="per-frame fault probability"
+    )
+    p.add_argument("--out", default="BENCH_SERVE.json", help="report path")
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="run the robustness gate across fault kinds instead of the "
+        "benchmark",
+    )
+    p.add_argument(
+        "--kinds", default=None,
+        help="comma-separated fault kinds for --chaos (default: all six)",
+    )
+    p.add_argument(
+        "--chaos-requests", type=int, default=500,
+        help="seeded requests per fault kind for --chaos",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    add_serve_config_arguments(p)
+    p.set_defaults(fn=_cmd_serve_load)
 
     p = sub.add_parser(
         "trace",

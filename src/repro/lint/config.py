@@ -120,10 +120,12 @@ class LintConfig:
         "repro.comm", "repro.comm.*",
         "repro.cache", "repro.cache.*",
         "repro.trace", "repro.trace.*",
+        "repro.serve", "repro.serve.*",
     )
     iso_scope: tuple[str, ...] = (
         "repro.protocols", "repro.protocols.*",
         "repro.comm", "repro.comm.*",
+        "repro.serve", "repro.serve.*",
     )
     registry: AgentRegistry = field(default_factory=AgentRegistry)
     wire_module: Path | None = None

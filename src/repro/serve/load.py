@@ -1,0 +1,291 @@
+"""Load generation for the service: simulated clients, ``BENCH_SERVE.json``.
+
+The performance half of the serve deliverable: spin up hundreds of
+concurrent simulated clients against an in-process
+:class:`~repro.serve.service.Service`, drive the seeded deterministic
+workload mix of :func:`repro.serve.chaos.make_workload` (optionally
+through faulty :class:`~repro.serve.chaos.FramePipe`\\ s), and measure
+what graceful degradation actually costs: request latency percentiles
+(p50/p95/p99), shed rate, error mix, and how much work coalescing and the
+result memo absorbed.
+
+The *workload and outcomes* are deterministic per seed; only the latency
+numbers read the wall clock, in this module alone, behind documented lint
+pragmas — the service itself never does (the DET rules are scoped over
+``repro.serve`` to keep it that way).
+
+``python -m repro serve-load`` runs this and writes ``BENCH_SERVE.json``
+(:func:`write_bench_serve`): a clean mixed-workload phase plus one
+faulted phase, each reporting percentiles, shed/error rates and the
+``serve.*`` counter snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.serve import wire
+from repro.serve.chaos import (
+    MAX_ATTEMPTS,
+    FramePipe,
+    make_frame_fault_model,
+    make_workload,
+)
+from repro.serve.service import Service, ServiceConfig
+from repro.serve.wire import FrameError
+from repro.util.rng import derive_seed
+
+#: BENCH_SERVE.json schema version.
+BENCH_SERVE_SCHEMA = 1
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (nearest-rank) of a non-empty value list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    ordered = sorted(values)
+    rank = math.ceil(q / 100 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+@dataclass
+class LoadReport:
+    """What one load phase measured.
+
+    ``latencies_ms`` holds one end-to-end figure per request (including
+    client retries); ``shed`` counts retryable shed responses observed by
+    clients (``overloaded`` + ``client_limit``), the numerator of the
+    shed rate.
+    """
+
+    clients: int
+    requests: int
+    fault_kind: str | None = None
+    rate: float = 0.0
+    ok: int = 0
+    structured_errors: int = 0
+    lost: int = 0
+    shed: int = 0
+    retries: int = 0
+    duration_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    error_codes: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed responses per request — the degradation headline number."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    def latency_percentiles(self) -> dict:
+        """p50/p95/p99 of per-request end-to-end latency, in ms."""
+        if not self.latencies_ms:
+            return {"p50": None, "p95": None, "p99": None}
+        return {
+            "p50": round(percentile(self.latencies_ms, 50), 3),
+            "p95": round(percentile(self.latencies_ms, 95), 3),
+            "p99": round(percentile(self.latencies_ms, 99), 3),
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-stable phase summary for ``BENCH_SERVE.json``."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "fault_kind": self.fault_kind,
+            "rate": self.rate,
+            "ok": self.ok,
+            "structured_errors": self.structured_errors,
+            "lost": self.lost,
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 4),
+            "retries": self.retries,
+            "duration_s": round(self.duration_s, 3),
+            "latency_ms": self.latency_percentiles(),
+            "error_codes": dict(sorted(self.error_codes.items())),
+            "counters": self.counters,
+        }
+
+
+async def _load_client(
+    service: Service,
+    client: int,
+    jobs: list[tuple[int, dict]],
+    fault_kind: str | None,
+    rate: float,
+    seed: int,
+    report: LoadReport,
+) -> None:
+    """One simulated client: serial seeded requests, bounded retries."""
+    request_pipe = FramePipe(
+        make_frame_fault_model(fault_kind, rate, derive_seed(seed, "req", client))
+        if fault_kind
+        else None
+    )
+    response_pipe = FramePipe(
+        make_frame_fault_model(fault_kind, rate, derive_seed(seed, "resp", client))
+        if fault_kind
+        else None
+    )
+    tenant = f"load-{client}"
+    for job_index, job in jobs:
+        request_id = f"{tenant}-{job_index}"
+        frame = wire.request_frame(
+            request_id, job["method"], job["params"], tenant=tenant
+        )
+        # Wall read for measurement only, never for protocol decisions.
+        started = time.perf_counter()  # repro-lint: disable=DET203 -- latency probe
+        settled = False
+        for _attempt in range(MAX_ATTEMPTS):
+            responses: list[bytes] = []
+            for delivered in request_pipe.transfer(frame):
+                raw = await service.call(delivered, tenant=tenant)
+                responses.extend(response_pipe.transfer(raw))
+            backoff = 0
+            for raw in responses:
+                try:
+                    decoded = wire.validate_response(wire.decode_frame(raw))
+                except FrameError:
+                    continue
+                if decoded["id"] is not None and decoded["id"] != request_id:
+                    continue
+                if decoded["ok"]:
+                    report.ok += 1
+                    settled = True
+                    break
+                error = decoded["error"]
+                code = error["code"]
+                report.error_codes[code] = report.error_codes.get(code, 0) + 1
+                if error["retryable"]:
+                    if code in ("overloaded", "client_limit"):
+                        report.shed += 1
+                    backoff = max(backoff, error.get("backoff_ticks", 1))
+                    continue
+                report.structured_errors += 1
+                settled = True
+                break
+            if settled:
+                break
+            report.retries += 1
+            # Honour the server's backoff guidance by yielding the loop
+            # that many scheduling rounds — deterministic, no wall sleep.
+            for _ in range(max(1, backoff)):
+                await asyncio.sleep(0)
+        if not settled:
+            report.lost += 1
+        elapsed = time.perf_counter() - started  # repro-lint: disable=DET203 -- latency probe
+        report.latencies_ms.append(elapsed * 1000.0)
+
+
+def run_load(
+    clients: int = 100,
+    requests_per_client: int = 5,
+    seed: int = 0,
+    fault_kind: str | None = None,
+    rate: float = 0.0,
+    config: ServiceConfig | None = None,
+) -> LoadReport:
+    """Run one load phase and return its :class:`LoadReport`.
+
+    ``clients`` concurrent simulated clients each work a slice of the
+    seeded mixed workload serially; with ``fault_kind`` set their frames
+    cross faulty pipes at the given rate.  Outcome counts are
+    deterministic per seed; latencies are measured wall time.
+    """
+    config = config or ServiceConfig()
+    total = clients * requests_per_client
+    report = LoadReport(
+        clients=clients, requests=total, fault_kind=fault_kind, rate=rate
+    )
+    workload = make_workload(derive_seed(seed, "load"), total)
+    assignments: list[list[tuple[int, dict]]] = [[] for _ in range(clients)]
+    for index, job in enumerate(workload):
+        assignments[index % clients].append((index, job))
+
+    async def _run() -> None:
+        with obs.scoped():
+            async with Service(config) as service:
+                tasks = [
+                    asyncio.create_task(
+                        _load_client(
+                            service, client, jobs, fault_kind, rate, seed, report
+                        )
+                    )
+                    for client, jobs in enumerate(assignments)
+                ]
+                done, pending = await asyncio.wait(tasks, timeout=300)
+                for task in pending:
+                    task.cancel()
+                for task in done:
+                    task.result()
+                if pending:
+                    raise RuntimeError(
+                        f"{len(pending)} load client(s) hung — gate violated"
+                    )
+            snapshot = obs.snapshot()["counters"]
+            report.counters = {
+                name: value
+                for name, value in sorted(snapshot.items())
+                if name.startswith("serve.")
+            }
+
+    started = time.perf_counter()  # repro-lint: disable=DET203 -- phase duration
+    asyncio.run(_run())
+    report.duration_s = time.perf_counter() - started  # repro-lint: disable=DET203 -- phase duration
+    return report
+
+
+def run_bench_serve(
+    seed: int = 0,
+    clients: int = 200,
+    requests_per_client: int = 5,
+    fault_kind: str = "flip",
+    rate: float = 0.02,
+    config: ServiceConfig | None = None,
+) -> dict:
+    """The full serve benchmark: a clean phase plus one faulted phase.
+
+    Returns the ``BENCH_SERVE.json`` payload: per-phase latency
+    percentiles, shed/error rates, counter snapshots, and the workload's
+    coalescing yield under clean channels.
+    """
+    clean = run_load(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        seed=seed,
+        config=config,
+    )
+    faulted = run_load(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        seed=seed,
+        fault_kind=fault_kind,
+        rate=rate,
+        config=config,
+    )
+    return {
+        "schema": BENCH_SERVE_SCHEMA,
+        "seed": seed,
+        "phases": {"clean": clean.as_dict(), "faulted": faulted.as_dict()},
+        "gate": {
+            "clean_lost": clean.lost,
+            "faulted_lost": faulted.lost,
+            "coalesced_or_memoized": (
+                clean.counters.get("serve.memo_hits", 0)
+                + clean.counters.get("serve.coalesced", 0)
+            ),
+        },
+    }
+
+
+def write_bench_serve(report: dict, path: str | Path = "BENCH_SERVE.json") -> Path:
+    """Write the benchmark payload as stable, sorted JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,116 @@
+"""The TCP shell around :class:`repro.serve.service.Service`.
+
+Deliberately thin: one newline-delimited frame in, one frame out, all
+semantics (admission, deadlines, shedding, coalescing) live in the
+transport-agnostic :class:`~repro.serve.service.Service`.  Each
+connection's tenant defaults to its peer address, so unadorned clients
+still get per-tenant admission control; frames carrying an explicit
+``tenant`` field override it.
+
+A connection is never left hanging: every received line is answered
+(oversized or unparseable lines get structured ``bad_frame`` errors), and
+a client that closes its end cleanly unwinds the handler.  ``python -m
+repro serve`` runs this; ``--max-requests`` gives CI a bounded,
+self-terminating smoke target.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import obs
+from repro.serve import wire
+from repro.serve.service import Service, ServiceConfig
+
+
+async def _handle_connection(
+    service: Service,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    counted: "_RequestBudget",
+) -> None:
+    """Serve one client connection until EOF or the request budget ends."""
+    peer = writer.get_extra_info("peername")
+    tenant = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "local"
+    obs.counter("serve.connections").inc()
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.LimitOverrunError):
+                # Oversized line or a torn connection: answer what we can.
+                writer.write(
+                    wire.error_response(
+                        None, "bad_frame", "line exceeded the frame size limit"
+                    )
+                )
+                await writer.drain()
+                return
+            if not line:
+                return  # clean EOF
+            response = await service.call(line.rstrip(b"\n"), tenant=tenant)
+            writer.write(response)
+            await writer.drain()
+            if counted.spend():
+                return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class _RequestBudget:
+    """Counts served requests and trips the shutdown event at the cap."""
+
+    def __init__(self, max_requests: int | None, done: asyncio.Event):
+        self._remaining = max_requests
+        self._done = done
+
+    def spend(self) -> bool:
+        """Record one served request; True when the budget just ran out."""
+        if self._remaining is None:
+            return False
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._done.set()
+            return True
+        return False
+
+
+async def serve_tcp(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: ServiceConfig | None = None,
+    max_requests: int | None = None,
+    ready: "asyncio.Future | None" = None,
+) -> None:
+    """Run the service on a TCP listener until cancelled or drained.
+
+    ``port=0`` picks an ephemeral port; the chosen ``(host, port)`` is
+    delivered through ``ready`` (when given) and printed otherwise.
+    ``max_requests`` bounds the server's lifetime for smoke tests: after
+    serving that many requests the listener drains and returns.
+    """
+    done = asyncio.Event()
+    budget = _RequestBudget(max_requests, done)
+    async with Service(config) as service:
+        server = await asyncio.start_server(
+            lambda r, w: _handle_connection(service, r, w, budget),
+            host,
+            port,
+            limit=wire.MAX_FRAME_BYTES + 1024,
+        )
+        bound = server.sockets[0].getsockname()[:2]
+        if ready is not None and not ready.done():
+            ready.set_result(bound)
+        else:
+            print(f"repro.serve listening on {bound[0]}:{bound[1]}")
+        async with server:
+            if max_requests is None:
+                await done.wait()  # runs until cancelled
+            else:
+                await done.wait()
+                # Let in-flight writes settle before tearing the loop down.
+                await asyncio.sleep(0)

@@ -147,6 +147,45 @@ class TestVerifyStatsClear:
         assert store.stats()["entries"] == 0
 
 
+class TestOrphanedTmp:
+    def _crash_mid_merge(self, store, monkeypatch):
+        """Simulate a writer killed between tmp write and os.replace."""
+        import repro.cache.store as store_module
+
+        def killed(src, dst):
+            raise KeyboardInterrupt("writer killed mid-commit")
+
+        monkeypatch.setattr(store_module.os, "replace", killed)
+        with pytest.raises(KeyboardInterrupt):
+            store.merge(KEY, {"d": 2}, "bitset-1", (2, 2))
+        monkeypatch.undo()
+
+    def test_crash_leaves_an_orphan_verify_reports_it(self, store, monkeypatch):
+        self._crash_mid_merge(store, monkeypatch)
+        orphans = store.orphaned_tmp()
+        assert len(orphans) == 1
+        assert orphans[0].name.endswith(".tmp")
+        problems = store.verify()
+        assert any("orphaned tmp" in p for p in problems)
+        # The half-written scratch never became a record.
+        assert store.stats()["entries"] == 0
+
+    def test_sweep_tmp_removes_orphans_only(self, store, monkeypatch):
+        store.merge(KEY, {"d": 2}, "bitset-1", (2, 2))
+        self._crash_mid_merge(store, monkeypatch)
+        assert store.sweep_tmp() == 1
+        assert store.orphaned_tmp() == []
+        assert store.verify() == []
+        assert store.stats()["entries"] == 1  # real records untouched
+
+    def test_clear_also_sweeps_orphans(self, store, monkeypatch):
+        store.merge(KEY, {"d": 2}, "bitset-1", (2, 2))
+        self._crash_mid_merge(store, monkeypatch)
+        assert store.clear() == 1
+        assert store.orphaned_tmp() == []
+        assert list(store.objects.iterdir()) == []
+
+
 class TestActivation:
     def test_disabled_by_default(self, monkeypatch):
         monkeypatch.delenv(cache.ENV_VAR, raising=False)

@@ -266,6 +266,117 @@ class TestRunWithRetries:
         with pytest.raises(ValueError):
             run_with_retries(ping_pong0, ping_pong1, None, None, attempts=0)
 
+    def test_attempt_budget_zero_and_negative_raise_before_any_run(self):
+        ran = []
+
+        def tattler0(_):
+            ran.append(0)
+            yield Send([1])
+            return None
+
+        for attempts in (0, -1):
+            with pytest.raises(ValueError):
+                run_with_retries(
+                    tattler0, ping_pong1, None, None, attempts=attempts
+                )
+        assert ran == []  # the budget is validated before any execution
+
+    def test_attempt_budget_one_failing_run_is_not_retried(self):
+        runs = []
+
+        def crash0(_):
+            runs.append(1)
+            raise RuntimeError("boom")
+            yield  # pragma: no cover — makes this a generator
+
+        def wait1(_):
+            got = yield Recv(1)
+            return got
+
+        report = run_with_retries(
+            crash0, wait1, None, None, attempts=1, seed=None
+        )
+        assert report.outcome == "agent_error"
+        assert report.attempts == 1
+        assert runs == [1]  # exactly one execution, no retry
+
+    def test_attempt_budget_one_clean_run_reports_one_attempt(self):
+        report = run_with_retries(
+            ping_pong0, ping_pong1, None, None, attempts=1, seed=None
+        )
+        assert report.outcome == "ok"
+        assert report.attempts == 1
+
+
+class TestDeadlineEdges:
+    def test_recv_expiring_exactly_at_the_deadline_tick(self):
+        def patient0(_):
+            got = yield Recv(1, timeout=3)
+            return got
+
+        def silent1(_):
+            return "done"
+            yield  # pragma: no cover — makes this a generator
+
+        report = run_supervised(patient0, silent1, None, None)
+        assert report.outcome == "ok"
+        # The clock jumps to exactly the deadline — not one tick past it —
+        # and the Recv resolves to None (timed out) at that instant.
+        assert report.ticks == 3
+        assert report.outputs == (None, "done")
+
+    def test_tied_deadlines_fire_agent0_first_at_the_shared_tick(self):
+        order = []
+
+        def racer0(_):
+            got = yield Recv(1, timeout=5)
+            order.append(0)
+            return got
+
+        def racer1(_):
+            got = yield Recv(1, timeout=5)
+            order.append(1)
+            return got
+
+        report = run_supervised(racer0, racer1, None, None)
+        assert report.outcome == "ok"
+        assert report.ticks == 5  # one jump lands both deadlines
+        assert order == [0, 1]  # deterministic tie-break: lowest agent id
+        assert report.outputs == (None, None)
+
+
+class TestBudgetEdges:
+    def test_bit_budget_exhausted_mid_message(self):
+        def two_sends0(_):
+            yield Send([1, 1, 1])  # 3 bits: within budget
+            yield Send([1, 1, 1])  # crosses 5 mid-message at bit 2 of 3
+            return None
+
+        def sink1(_):
+            got = yield Recv(6)
+            return len(got)
+
+        report = run_supervised(two_sends0, sink1, None, None, bit_budget=5)
+        assert report.outcome == "budget_exceeded"
+        assert "bit budget of 5" in report.detail
+        # The offending message never reaches the channel: the transcript
+        # holds only the first, in-budget send.
+        assert report.transcript.total_bits == 3
+        assert report.unread_bits == 3
+
+    def test_bit_budget_exactly_met_is_not_exceeded(self):
+        def exact0(_):
+            yield Send([1] * 5)
+            return "sent"
+
+        def sink1(_):
+            got = yield Recv(5)
+            return len(got)
+
+        report = run_supervised(exact0, sink1, None, None, bit_budget=5)
+        assert report.outcome == "ok"  # budget is a cap, not a strict bound
+        assert report.transcript.total_bits == 5
+
 
 class TestChannelHardening:
     def test_bad_agent_ids_rejected(self):

@@ -1,0 +1,96 @@
+"""The load harness: percentiles, shed accounting, BENCH_SERVE.json."""
+
+import json
+
+import pytest
+
+from repro.serve.load import (
+    LoadReport,
+    percentile,
+    run_bench_serve,
+    run_load,
+    write_bench_serve,
+)
+from repro.serve.service import ServiceConfig
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestRunLoad:
+    def test_clean_outcomes_are_deterministic(self):
+        a = run_load(clients=8, requests_per_client=3, seed=2)
+        b = run_load(clients=8, requests_per_client=3, seed=2)
+        assert (a.ok, a.structured_errors, a.lost) == (
+            b.ok, b.structured_errors, b.lost,
+        )
+        assert a.error_codes == b.error_codes
+        assert a.lost == 0
+        assert a.ok + a.structured_errors == a.requests
+
+    def test_coalescing_pays_under_clean_channels(self):
+        report = run_load(clients=20, requests_per_client=4, seed=0)
+        saved = report.counters.get("serve.memo_hits", 0) + report.counters.get(
+            "serve.coalesced", 0
+        )
+        assert saved > 0
+        assert report.counters["serve.executed"] < report.requests
+
+    def test_faulted_load_still_terminates_everything(self):
+        report = run_load(
+            clients=10, requests_per_client=3, seed=1,
+            fault_kind="drop", rate=0.15,
+        )
+        assert report.lost == 0
+        assert report.ok + report.structured_errors == report.requests
+        assert report.retries > 0
+
+    def test_overload_sheds_and_reports_the_rate(self):
+        report = run_load(
+            clients=30, requests_per_client=2, seed=0,
+            config=ServiceConfig(max_queue=2, workers=1),
+        )
+        assert report.lost == 0
+        # With a starved queue the shed path must actually fire …
+        assert report.counters.get("serve.shed.overloaded", 0) > 0
+        assert report.shed > 0
+        # … and the headline rate reflects it.
+        assert report.shed_rate > 0
+
+    def test_latencies_cover_every_request(self):
+        report = run_load(clients=5, requests_per_client=2, seed=0)
+        assert len(report.latencies_ms) == report.requests
+        stats = report.latency_percentiles()
+        assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
+
+class TestBenchServe:
+    def test_report_shape_and_write(self, tmp_path):
+        report = run_bench_serve(
+            seed=0, clients=6, requests_per_client=2, rate=0.05
+        )
+        assert report["schema"] == 1
+        for phase in report["phases"].values():
+            assert set(phase["latency_ms"]) == {"p50", "p95", "p99"}
+            assert phase["lost"] == 0
+            assert "shed_rate" in phase
+        assert report["gate"]["coalesced_or_memoized"] >= 0
+        path = write_bench_serve(report, tmp_path / "BENCH_SERVE.json")
+        assert json.loads(path.read_text()) == report
+
+    def test_empty_report_percentiles(self):
+        empty = LoadReport(clients=0, requests=0)
+        assert empty.latency_percentiles() == {
+            "p50": None, "p95": None, "p99": None,
+        }
+        assert empty.shed_rate == 0.0

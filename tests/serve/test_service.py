@@ -1,0 +1,321 @@
+"""The Service: admission, deadlines, shedding, coalescing, budgets."""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.serve import wire
+from repro.serve.service import (
+    HandlerError,
+    Service,
+    ServiceConfig,
+    coalesce_key,
+    execute_method,
+    handle_exhaustive_cc,
+    handle_partition_search,
+    handle_protocol_run,
+)
+from repro.serve.wire import decode_frame, request_frame, validate_response
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def response_of(raw: bytes) -> dict:
+    return validate_response(decode_frame(raw.rstrip(b"\n")))
+
+
+async def one_call(data: bytes, config: ServiceConfig | None = None, tenant="t"):
+    async with Service(config) as service:
+        return response_of(await service.call(data, tenant=tenant))
+
+
+class TestHandlers:
+    def test_protocol_run_equality(self):
+        result = handle_protocol_run(
+            {"scenario": "equality", "seed": 1}, ServiceConfig()
+        )
+        assert result["answer"] in (True, False)
+        assert result["bits"] > 0
+
+    def test_protocol_run_budget_exceeded(self):
+        with pytest.raises(HandlerError) as err:
+            handle_protocol_run(
+                {"scenario": "equality", "seed": 0, "bit_budget": 1},
+                ServiceConfig(),
+            )
+        assert err.value.code == "budget_exceeded"
+
+    def test_protocol_run_rejects_unknown_scenario_and_params(self):
+        with pytest.raises(HandlerError):
+            handle_protocol_run({"scenario": "nope"}, ServiceConfig())
+        with pytest.raises(HandlerError):
+            handle_protocol_run(
+                {"scenario": "equality", "bogus": 1}, ServiceConfig()
+            )
+
+    def test_exhaustive_cc_identity_matrix(self):
+        result = handle_exhaustive_cc(
+            {"matrix": [[1, 0], [0, 1]]}, ServiceConfig()
+        )
+        assert result["d"] == 2
+        assert result["leaves"] == 4
+        assert len(result["key"]) == 40  # blake2b-20 hex
+
+    def test_exhaustive_cc_too_large(self):
+        with pytest.raises(HandlerError) as err:
+            handle_exhaustive_cc(
+                {"matrix": [[0] * 9 for _ in range(9)]},
+                ServiceConfig(exhaustive_limit=8),
+            )
+        assert err.value.code == "too_large"
+
+    def test_exhaustive_cc_schema_violations(self):
+        for bad in ([], [[]], [[2]], [[0], [0, 1]], "nope"):
+            with pytest.raises(HandlerError) as err:
+                handle_exhaustive_cc({"matrix": bad}, ServiceConfig())
+            assert err.value.code == "bad_request"
+
+    def test_partition_search_parity(self):
+        result = handle_partition_search(
+            {"problem": "parity", "total_bits": 4}, ServiceConfig()
+        )
+        assert result["best_d"] == result["worst_d"] == 2
+
+    def test_partition_search_limits(self):
+        with pytest.raises(HandlerError) as err:
+            handle_partition_search(
+                {"problem": "parity", "total_bits": 6},
+                ServiceConfig(partition_bits_limit=4),
+            )
+        assert err.value.code == "too_large"
+        with pytest.raises(HandlerError):
+            handle_partition_search(
+                {"problem": "parity", "total_bits": 3}, ServiceConfig()
+            )
+
+
+class TestCoalescing:
+    def test_identical_matrices_share_a_key(self):
+        params_a = {"matrix": [[1, 0], [0, 1]]}
+        params_b = {"matrix": [[1, 0], [0, 1]]}
+        assert coalesce_key("exhaustive.cc", params_a) == coalesce_key(
+            "exhaustive.cc", params_b
+        )
+        assert coalesce_key("exhaustive.cc", params_a) != coalesce_key(
+            "exhaustive.cc", {"matrix": [[1, 1], [0, 1]]}
+        )
+
+    def test_cache_stats_is_never_coalesced(self):
+        assert coalesce_key("cache.stats", {}) is None
+
+    def test_duplicate_requests_hit_the_memo(self):
+        async def scenario():
+            with obs.scoped():
+                async with Service() as service:
+                    frames = [
+                        request_frame(
+                            f"r{i}", "exhaustive.cc",
+                            {"matrix": [[1, 0], [0, 1]]}, tenant=f"t{i}",
+                        )
+                        for i in range(4)
+                    ]
+                    results = [
+                        response_of(await service.call(f)) for f in frames
+                    ]
+                counters = obs.snapshot()["counters"]
+            return results, counters
+
+        results, counters = run(scenario())
+        assert all(r["ok"] for r in results)
+        assert len({wire.canonical_json(r["result"]) for r in results}) == 1
+        assert counters["serve.executed"] == 1
+        assert counters["serve.memo_hits"] == 3
+
+    def test_concurrent_duplicates_coalesce_in_flight(self):
+        async def scenario():
+            with obs.scoped():
+                async with Service(ServiceConfig(workers=2)) as service:
+                    frames = [
+                        request_frame(
+                            f"c{i}", "protocol.run",
+                            {"scenario": "fingerprint", "seed": 7},
+                            tenant=f"t{i}",
+                        )
+                        for i in range(6)
+                    ]
+                    results = await asyncio.gather(
+                        *(service.call(f) for f in frames)
+                    )
+                counters = obs.snapshot()["counters"]
+            return [response_of(r) for r in results], counters
+
+        results, counters = run(scenario())
+        assert all(r["ok"] for r in results)
+        # One execution total; the rest either joined it in flight or hit
+        # the memo after it resolved.
+        assert counters["serve.executed"] == 1
+        assert (
+            counters.get("serve.coalesced", 0)
+            + counters.get("serve.memo_hits", 0)
+        ) == 5
+
+
+class TestAdmissionAndShedding:
+    def test_tenant_inflight_cap(self):
+        async def scenario():
+            config = ServiceConfig(max_inflight_per_tenant=1, workers=1)
+            async with Service(config) as service:
+                slow = service.call(
+                    request_frame(
+                        "a", "protocol.run",
+                        {"scenario": "matmul_verify", "seed": 0},
+                        tenant="same",
+                    ),
+                    tenant="same",
+                )
+                fast = service.call(
+                    request_frame("b", "cache.stats", tenant="same"),
+                    tenant="same",
+                )
+                first, second = await asyncio.gather(slow, fast)
+            return response_of(first), response_of(second)
+
+        first, second = run(scenario())
+        outcomes = {first["id"]: first, second["id"]: second}
+        assert outcomes["a"]["ok"] is True
+        rejected = outcomes["b"]
+        assert rejected["ok"] is False
+        assert rejected["error"]["code"] == "client_limit"
+        assert rejected["error"]["retryable"] is True
+        assert rejected["error"]["backoff_ticks"] >= 1
+
+    def test_queue_full_sheds_with_overloaded(self):
+        async def scenario():
+            config = ServiceConfig(max_queue=1, workers=1)
+            async with Service(config) as service:
+                calls = [
+                    service.call(
+                        request_frame(
+                            f"q{i}", "protocol.run",
+                            {"scenario": "equality", "seed": i},
+                            tenant=f"t{i}",
+                        ),
+                        tenant=f"t{i}",
+                    )
+                    for i in range(6)
+                ]
+                raws = await asyncio.gather(*calls)
+            return [response_of(r) for r in raws]
+
+        responses = run(scenario())
+        shed = [
+            r for r in responses
+            if not r["ok"] and r["error"]["code"] == "overloaded"
+        ]
+        served = [r for r in responses if r["ok"]]
+        assert shed and served  # some shed, some served — and none hung
+        for r in shed:
+            assert r["error"]["retryable"] is True
+            assert r["error"]["backoff_ticks"] >= 1
+
+    def test_unstarted_service_reports_shutting_down(self):
+        raw = run(
+            Service().call(request_frame("x", "cache.stats"), tenant="t")
+        )
+        frame = response_of(raw)
+        assert frame["error"]["code"] == "shutting_down"
+
+
+class TestDeadlines:
+    def test_deadline_expires_by_ticks_not_wall_clock(self):
+        async def scenario():
+            config = ServiceConfig(workers=1)
+            async with Service(config) as service:
+                calls = [
+                    service.call(
+                        request_frame(
+                            f"d{i}", "protocol.run",
+                            {"scenario": "equality", "seed": i},
+                            tenant=f"t{i}",
+                            deadline_ticks=1,
+                        ),
+                        tenant=f"t{i}",
+                    )
+                    for i in range(5)
+                ]
+                raws = await asyncio.gather(*calls)
+            return [response_of(r) for r in raws]
+
+        responses = run(scenario())
+        expired = [
+            r for r in responses
+            if not r["ok"] and r["error"]["code"] == "deadline_exceeded"
+        ]
+        assert expired  # later arrivals waited > 1 tick behind the queue
+        for r in expired:
+            assert r["error"]["retryable"] is True
+
+    def test_generous_deadline_never_expires(self):
+        frame = request_frame(
+            "ok-1", "exhaustive.cc", {"matrix": [[1]]}, deadline_ticks=1000
+        )
+        response = run(one_call(frame))
+        assert response["ok"] is True
+
+
+class TestServiceStats:
+    def test_cache_stats_reports_counters_and_memo(self):
+        async def scenario():
+            with obs.scoped():
+                async with Service() as service:
+                    await service.call(
+                        request_frame(
+                            "w", "exhaustive.cc", {"matrix": [[1, 0], [0, 1]]}
+                        ),
+                        tenant="t",
+                    )
+                    raw = await service.call(
+                        request_frame("s", "cache.stats"), tenant="t"
+                    )
+            return response_of(raw)
+
+        frame = run(scenario())
+        result = frame["result"]
+        assert result["memo_entries"] == 1
+        assert result["counters"]["serve.executed"] >= 1
+        assert result["ticks"] == 1
+
+    def test_internal_errors_are_contained(self, monkeypatch):
+        import repro.serve.service as service_module
+
+        def explode(params, config):
+            raise RuntimeError("engine on fire")
+
+        monkeypatch.setitem(
+            service_module.PURE_HANDLERS, "exhaustive.cc", explode
+        )
+        response = run(
+            one_call(request_frame("x", "exhaustive.cc", {"matrix": [[1]]}))
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "internal"
+        assert response["error"]["retryable"] is False
+
+
+class TestExecuteMethod:
+    def test_gold_matches_served_answer(self):
+        params = {"matrix": [[1, 0], [0, 1]]}
+        gold = execute_method("exhaustive.cc", params, ServiceConfig())
+        served = run(one_call(request_frame("g", "exhaustive.cc", params)))
+        assert served["result"] == gold
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(default_deadline_ticks=0)

@@ -79,6 +79,68 @@ class TestCommands:
         assert "equality" in out
 
 
+class TestServeCommands:
+    def test_serve_load_bench(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_SERVE.json"
+        assert main([
+            "serve-load", "--clients", "6", "--requests", "2",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "clean" in text and "p50=" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["schema"] == 1
+        for phase in report["phases"].values():
+            assert set(phase["latency_ms"]) == {"p50", "p95", "p99"}
+            assert "shed_rate" in phase
+
+    def test_serve_load_chaos_gate(self, capsys):
+        assert main([
+            "serve-load", "--chaos", "--kinds", "erase,duplicate",
+            "--chaos-requests", "20", "--clients", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no silent corruption" in out
+
+    def test_serve_load_chaos_json(self, capsys):
+        import json
+
+        assert main([
+            "serve-load", "--chaos", "--kinds", "flip",
+            "--chaos-requests", "15", "--clients", "3", "--json",
+        ]) == 0
+        points = json.loads(capsys.readouterr().out)
+        assert points[0]["silent_wrong"] == 0
+        assert points[0]["hung"] == 0
+
+    def test_serve_bounded_run(self, capsys):
+        import asyncio
+
+        from repro.serve import decode_frame, request_frame, validate_response
+        from repro.serve.server import serve_tcp
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            ready = loop.create_future()
+            server = asyncio.ensure_future(
+                serve_tcp(port=0, max_requests=1, ready=ready)
+            )
+            host, port = await ready
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(request_frame("t-0", "cache.stats"))
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await asyncio.wait_for(server, 10)
+            return validate_response(decode_frame(line.rstrip(b"\n")))
+
+        frame = asyncio.run(drive())
+        assert frame["ok"] is True
+        assert frame["result"]["ticks"] == 0  # stats never consumes a tick
+
+
 class TestCacheCommand:
     def _warm(self, cache_dir):
         import numpy as np
@@ -136,6 +198,16 @@ class TestCacheCommand:
         victim.write_text("{broken")
         assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
         assert "unparseable" in capsys.readouterr().out
+
+    def test_sweep_tmp(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        orphan = tmp_path / "objects" / "deadbeef.json.123.456.tmp"
+        orphan.write_text("{half-written")
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+        assert "orphaned tmp" in capsys.readouterr().out
+        assert main(["cache", "sweep-tmp", "--dir", str(tmp_path)]) == 0
+        assert "swept 1 orphaned tmp file(s)" in capsys.readouterr().out
+        assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
 
     def test_clear(self, tmp_path, capsys):
         self._warm(tmp_path)

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.cache",
     "repro.lint",
     "repro.trace",
+    "repro.serve",
 ]
 
 
