@@ -12,6 +12,9 @@ Runs fixed, seeded workloads several ways and writes ``BENCH_PERF.json``:
 * the E15 exact D(f) suite on the ``legacy`` tuple engine and the pruned
   ``bitset`` engine — values must be identical and the full-mode bar is 5x
   (measured far higher; see docs/performance.md);
+* the exact cost-calculus sweep (:mod:`repro.costs`) — every protocol's
+  symbolic formula against the live channel and ARQ stats, by integer
+  equality; a single MISMATCH cell fails the bench outright;
 * a cold-vs-warm partition sweep against a throwaway persistent cache
   (:mod:`repro.cache`), with the in-process LRU cleared in between so the
   warm run measures the *disk* store — results must be identical and the
@@ -316,6 +319,32 @@ def bench_cache_roundtrip(quick: bool) -> dict[str, Any]:
     }
 
 
+def bench_costs(quick: bool) -> dict[str, Any]:
+    """The standing measured-vs-predicted regression gate.
+
+    Runs the exact cost sweep of :mod:`repro.costs` and times it; any
+    ``MISMATCH`` cell fails the bench (it means a formula and the live
+    wire disagree — an accounting bug, never timing noise), so the gate
+    participates in ``identical`` rather than in the timing targets.
+    """
+    from repro.costs import run_sweep
+
+    t0 = time.perf_counter()
+    cells = run_sweep(quick=quick)
+    elapsed = time.perf_counter() - t0
+    mismatched = [c for c in cells if c.verdict != "MATCH"]
+    return {
+        "cells": len(cells),
+        "mismatches": len(mismatched),
+        "mismatch_detail": [
+            {"protocol": c.protocol, "params": c.params, "detail": c.mismatches}
+            for c in mismatched
+        ],
+        "seconds": elapsed,
+        "all_match": not mismatched,
+    }
+
+
 def run_bench(
     quick: bool = False,
     workers: int = 4,
@@ -348,6 +377,8 @@ def run_bench(
             parallel = bench_parallel(quick, workers)
         with trace.span("bench.exact_search", quick=quick):
             exact = bench_exact_search(quick)
+        with trace.span("bench.costs", quick=quick):
+            costs = bench_costs(quick)
     if no_cache:
         cache_section = None
     else:
@@ -363,6 +394,7 @@ def run_bench(
         "engines": engines,
         "parallel": parallel,
         "exact_search": exact,
+        "costs": costs,
         "cache": cache_section,
         "obs": obs.snapshot(),
     }
@@ -374,6 +406,7 @@ def run_bench(
         and parallel["truth_matrix"]["byte_identical"]
         and parallel["chaos"]["verdicts_identical"]
         and exact["values_identical"]
+        and costs["all_match"]
         and (cache_section is None or cache_section["results_identical"])
     )
     meets_targets = (
@@ -417,6 +450,14 @@ def render_summary(report: dict[str, Any]) -> str:
             f"  speedup         : {x['speedup']:9.1f}x (target >= "
             f"{x['speedup_target']:g}x, values identical: "
             f"{x['values_identical']})",
+        ]
+    k = report.get("costs")
+    if k is not None:
+        lines += [
+            f"cost calculus ({k['cells']} cells):",
+            f"  sweep           : {k['seconds'] * 1e3:9.1f} ms",
+            f"  verdicts        : {k['cells'] - k['mismatches']} MATCH, "
+            f"{k['mismatches']} MISMATCH (all_match: {k['all_match']})",
         ]
     c = report.get("cache")
     if c is not None:

@@ -217,6 +217,32 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_costs(args) -> int:
+    import json
+
+    from repro.costs import render_table, run_sweep, sweep_report
+
+    cells = run_sweep(quick=args.quick, seed=args.seed)
+    report = sweep_report(cells, quick=args.quick, seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_table(cells).render())
+    if not report["ok"]:
+        print(
+            f"MISMATCH: {report['mismatches']} cell(s) disagree with the "
+            "symbolic formulas — a real accounting bug, not noise"
+        )
+        return 1
+    if not args.json:
+        print("all cells MATCH: every formula equals the wire, bit for bit")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import main_lint
 
@@ -542,6 +568,23 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical at every value",
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "costs",
+        help="validate the symbolic cost formulas against live channels "
+        "(exact integer equality; any MISMATCH is a bug)",
+    )
+    p.add_argument("--quick", action="store_true", help="CI gate size")
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the schema-v1 JSON report instead of the table",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="also write the JSON report to this path (the CI artifact)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="sweep root seed")
+    p.set_defaults(fn=_cmd_costs)
 
     p = sub.add_parser(
         "lint",

@@ -50,10 +50,18 @@ class Transcript:
 
     @property
     def rounds(self) -> int:
-        """Number of maximal same-sender runs (the round complexity)."""
+        """Number of maximal same-sender runs (the round complexity).
+
+        Zero-length messages move no information, so they neither start nor
+        break a round — exactly the protocol-tree notion where a round is a
+        maximal block of bits spoken by one agent
+        (:class:`repro.comm.protocol.TreeProtocol` walks owner blocks).
+        """
         count = 0
         last_sender = None
         for m in self.messages:
+            if len(m) == 0:
+                continue
             if m.sender != last_sender:
                 count += 1
                 last_sender = m.sender
@@ -121,7 +129,9 @@ class BitChannel:
             raise ValueError("only bits may be sent")
         message = Message(sender, payload)
         self.transcript.messages.append(message)
-        if sender != self._last_sender:
+        # Mirror Transcript.rounds: empty payloads do not open or break a
+        # round (no bit crossed the channel).
+        if payload and sender != self._last_sender:
             self._rounds += 1
             self._last_sender = sender
         obs.counter("channel.wire_bits").inc(len(payload))

@@ -257,6 +257,28 @@ def run_case(
         channel=channel,
         max_steps=max_steps,
     )
+    # Standing reconciliation of the transport accounting (the costs gate's
+    # invariants, checked on every chaos run, faulty or not):
+    #  * the four bit buckets partition each endpoint's wire bits exactly;
+    #  * on completed runs, every bit an endpoint claims it sent is a bit
+    #    the channel transcript actually recorded (a failed run may die
+    #    between an endpoint's accounting and a closed channel's refusal,
+    #    so the cross-check is only exact when the run finished).
+    for agent, endpoint in ((0, e0), (1, e1)):
+        if endpoint.stats.wire_bits != endpoint.stats.accounted_bits:
+            raise AssertionError(
+                f"endpoint {agent} buckets leak: wire "
+                f"{endpoint.stats.wire_bits} != accounted "
+                f"{endpoint.stats.accounted_bits}"
+            )
+        if report.ok and (
+            channel.transcript.bits_from(agent) != endpoint.stats.wire_bits
+        ):
+            raise AssertionError(
+                f"endpoint {agent} wire accounting drifted: channel saw "
+                f"{channel.transcript.bits_from(agent)} bits, endpoint "
+                f"claims {endpoint.stats.wire_bits}"
+            )
     stats = e0.stats.merged(e1.stats)
     report = replace(
         report,

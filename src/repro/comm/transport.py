@@ -135,10 +135,23 @@ class ArqConfig:
 class TransportStats:
     """Per-endpoint accounting: payload vs overhead, and every recovery act.
 
+    The four bit buckets partition the wire exactly: every bit this
+    endpoint puts on the channel lands in precisely one of ``payload_bits``
+    (first transmission of inner-protocol bits), ``framing_bits`` (header +
+    CRC of first data-frame transmissions), ``control_bits`` (ACK/NAK
+    frames) or ``retransmit_bits`` (entire retransmitted data frames), so
+    ``wire_bits == accounted_bits`` is an invariant — on clean and faulty
+    channels alike — and the symbolic calculus in :mod:`repro.costs` can be
+    checked bucket by bucket.
+
     Attributes:
-        payload_bits: bits the inner protocol asked this endpoint to send.
+        payload_bits: inner-protocol bits on their *first* transmission
+            (a chunk that never reached the wire is never counted).
         wire_bits: bits this endpoint actually put on the channel
             (frames + control traffic + retransmissions).
+        framing_bits: data-frame header + CRC bits of first transmissions.
+        control_bits: bits spent on ACK/NAK control frames.
+        retransmit_bits: full data-frame bits spent on retransmissions.
         frames_sent: data frames transmitted (including retransmissions).
         frames_delivered: data frames this endpoint accepted and passed up.
         retransmissions: data frames sent again after a failed attempt.
@@ -151,6 +164,9 @@ class TransportStats:
 
     payload_bits: int = 0
     wire_bits: int = 0
+    framing_bits: int = 0
+    control_bits: int = 0
+    retransmit_bits: int = 0
     frames_sent: int = 0
     frames_delivered: int = 0
     retransmissions: int = 0
@@ -165,6 +181,16 @@ class TransportStats:
     def overhead_bits(self) -> int:
         """Wire bits beyond the inner payload — the price of reliability."""
         return self.wire_bits - self.payload_bits
+
+    @property
+    def accounted_bits(self) -> int:
+        """Sum of the four bit buckets; must always equal ``wire_bits``."""
+        return (
+            self.payload_bits
+            + self.framing_bits
+            + self.control_bits
+            + self.retransmit_bits
+        )
 
     @property
     def retries(self) -> int:
@@ -232,6 +258,12 @@ class ArqEndpoint:
         self.stats.wire_bits += len(frame)
         yield Send(frame)
 
+    def _put_control(self, flag: int, seq: int):
+        """Build, bucket-account and transmit one ACK/NAK control frame."""
+        frame = self._control_frame(flag, seq)
+        self.stats.control_bits += len(frame)
+        yield from self._put(frame)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -244,7 +276,6 @@ class ArqEndpoint:
         """
         payload = [int(b) for b in payload]
         cfg = self.config
-        self.stats.payload_bits += len(payload)
         chunks = [
             payload[i : i + cfg.max_payload]
             for i in range(0, len(payload), cfg.max_payload)
@@ -261,7 +292,15 @@ class ArqEndpoint:
         for attempt in range(cfg.max_retries + 1):
             if attempt:
                 self.stats.retransmissions += 1
+                self.stats.retransmit_bits += len(frame)
                 self._trace("arq.retransmit", seq=seq, attempt=attempt)
+            else:
+                # Bucket the first transmission: the chunk's payload bits
+                # count only once they actually reach the wire (an aborted
+                # multi-chunk send must not inflate payload_bits), and the
+                # header + CRC land in the framing bucket.
+                self.stats.payload_bits += len(chunk)
+                self.stats.framing_bits += cfg.data_header_bits + CRC_BITS
             self.stats.frames_sent += 1
             yield from self._put(frame)
             acked = yield from self._await_ack(seq, timeout)
@@ -352,7 +391,7 @@ class ArqEndpoint:
             self.stats.duplicates_dropped += 1
             self.stats.acks_sent += 1
             self._trace("arq.ack", seq=seq, duplicate=True)
-            yield from self._put(self._control_frame(ACK, seq))
+            yield from self._put_control(ACK, seq)
             return "continue"
         if self._stash is not None:
             # Can't hold two frames — treat as damage and resynchronize.
@@ -361,7 +400,7 @@ class ArqEndpoint:
             return "retry"
         self.stats.acks_sent += 1
         self._trace("arq.ack", seq=seq, duplicate=False)
-        yield from self._put(self._control_frame(ACK, seq))
+        yield from self._put_control(ACK, seq)
         self._recv_expected = (seq + 1) % (1 << cfg.seq_bits)
         self.stats.frames_delivered += 1
         self._stash = tuple(payload)
@@ -434,11 +473,11 @@ class ArqEndpoint:
                 self.stats.duplicates_dropped += 1
                 self.stats.acks_sent += 1
                 self._trace("arq.ack", seq=seq, duplicate=True)
-                yield from self._put(self._control_frame(ACK, seq))
+                yield from self._put_control(ACK, seq)
                 continue
             self.stats.acks_sent += 1
             self._trace("arq.ack", seq=seq, duplicate=False)
-            yield from self._put(self._control_frame(ACK, seq))
+            yield from self._put_control(ACK, seq)
             self._recv_expected = (seq + 1) % (1 << cfg.seq_bits)
             self.stats.frames_delivered += 1
             return tuple(payload)
@@ -453,7 +492,7 @@ class ArqEndpoint:
         self.stats.flushed_bits += len(flushed)
         self.stats.naks_sent += 1
         self._trace("arq.nak", seq=self._recv_expected, flushed=len(flushed))
-        yield from self._put(self._control_frame(NAK, self._recv_expected))
+        yield from self._put_control(NAK, self._recv_expected)
 
     # ------------------------------------------------------------------
     # Teardown
@@ -497,7 +536,7 @@ class ArqEndpoint:
                 self.stats.acks_sent += 1
                 self.stats.duplicates_dropped += 1
                 self._trace("arq.ack", seq=seq, duplicate=True)
-                yield from self._put(self._control_frame(ACK, seq))
+                yield from self._put_control(ACK, seq)
             else:
                 flushed = yield Drain()
                 self.stats.flushed_bits += len(flushed)

@@ -113,6 +113,7 @@ class LintConfig:
         "repro.exact", "repro.exact.*",
         "repro.singularity", "repro.singularity.*",
         "repro.comm.truth_matrix",
+        "repro.costs", "repro.costs.*",
     )
     exa_allowed_modules: tuple[str, ...] = ("repro.exact.modnp",)
     det_scope: tuple[str, ...] = (

@@ -31,11 +31,15 @@ hangs.  The control path, in request order:
    admission is answered ``deadline_exceeded`` without being executed,
    mirroring the deterministic tick-based ``Recv`` timeouts of
    :mod:`repro.comm.agents`.
-6. **Budgets**: ``protocol.run`` executions run under
-   :func:`repro.comm.agents.run_supervised` with per-request step/bit
-   budgets clamped to the service's caps; a blown budget surfaces as a
-   structured ``budget_exceeded`` error, exactly the supervision
-   taxonomy's outcome.
+6. **Budgets**: ``protocol.run`` requests are *priced before execution*
+   with the exact symbolic calculus of :mod:`repro.costs` — a request
+   whose predicted per-agent bit cost exceeds its bit budget is rejected
+   ``budget_exceeded`` without touching an executor (clients can ask the
+   same question themselves via the ``cost.estimate`` method).  Admitted
+   executions run under :func:`repro.comm.agents.run_supervised` with
+   per-request step/bit budgets clamped to the service's caps; a blown
+   budget there still surfaces as a structured ``budget_exceeded`` error,
+   exactly the supervision taxonomy's outcome.
 
 Every stage increments ``serve.*`` counters in :mod:`repro.obs` and emits
 :mod:`repro.trace` spans/events (``serve.admit`` → ``serve.coalesce`` →
@@ -61,7 +65,12 @@ _KEY_PREFIX = b"repro-serve-v1"
 
 #: Methods whose results are pure functions of their params — these (and
 #: only these) are coalesced and memoized.
-DETERMINISTIC_METHODS = ("protocol.run", "exhaustive.cc", "partition.search")
+DETERMINISTIC_METHODS = (
+    "protocol.run",
+    "exhaustive.cc",
+    "partition.search",
+    "cost.estimate",
+)
 
 
 class HandlerError(Exception):
@@ -153,19 +162,9 @@ def _clamped_budget(params: dict, key: str, cap: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-def handle_protocol_run(params: dict, config: ServiceConfig) -> dict:
-    """``protocol.run``: execute one registered scenario under supervision.
-
-    Params: ``scenario`` (a :data:`repro.comm.chaos.SCENARIOS` name),
-    ``seed`` (instance seed, default 0), optional ``step_budget`` /
-    ``bit_budget`` (clamped to the service caps).  The run happens on a
-    clean in-process channel under :func:`repro.comm.agents.run_supervised`
-    — a blown budget is a structured ``budget_exceeded`` error, any other
-    non-ok outcome ``execution_failed``.
-    """
-    from repro.comm.agents import run_supervised
+def _validated_scenario(params: dict) -> tuple[str, int]:
+    """Shared ``scenario``/``seed`` validation for the protocol methods."""
     from repro.comm.chaos import SCENARIOS
-    from repro.util.rng import ReproducibleRNG, derive_seed
 
     scenario = params.get("scenario")
     if scenario not in SCENARIOS:
@@ -176,6 +175,29 @@ def handle_protocol_run(params: dict, config: ServiceConfig) -> dict:
     seed = params.get("seed", 0)
     if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
         raise HandlerError("bad_request", "seed must be an int >= 0")
+    return scenario, seed
+
+
+def handle_protocol_run(params: dict, config: ServiceConfig) -> dict:
+    """``protocol.run``: execute one registered scenario under supervision.
+
+    Params: ``scenario`` (a :data:`repro.comm.chaos.SCENARIOS` name),
+    ``seed`` (instance seed, default 0), optional ``step_budget`` /
+    ``bit_budget`` (clamped to the service caps).  The request is *priced
+    before it runs*: the symbolic model in :mod:`repro.costs` predicts the
+    per-agent bit cost exactly, and a request whose predicted cost exceeds
+    its bit budget is rejected ``budget_exceeded`` without burning any
+    executor work.  Admitted runs happen on a clean in-process channel
+    under :func:`repro.comm.agents.run_supervised` — a blown budget there
+    is still a structured ``budget_exceeded`` error (the belt to the
+    pricer's suspenders), any other non-ok outcome ``execution_failed``.
+    """
+    from repro.comm.agents import run_supervised
+    from repro.comm.chaos import SCENARIOS
+    from repro.costs import scenario_shape
+    from repro.util.rng import ReproducibleRNG, derive_seed
+
+    scenario, seed = _validated_scenario(params)
     step_budget = _clamped_budget(params, "step_budget", config.step_budget)
     bit_budget = _clamped_budget(params, "bit_budget", config.bit_budget)
     unknown = sorted(
@@ -184,6 +206,15 @@ def handle_protocol_run(params: dict, config: ServiceConfig) -> dict:
     )
     if unknown:
         raise HandlerError("bad_request", f"unknown params: {', '.join(unknown)}")
+    shape = scenario_shape(scenario, seed)
+    priced = max(shape.bits_from(0), shape.bits_from(1))
+    if priced > bit_budget:
+        obs.counter("serve.priced_out").inc()
+        raise HandlerError(
+            "budget_exceeded",
+            f"predicted cost {priced} bits from one agent exceeds the bit "
+            f"budget {bit_budget}; rejected before execution",
+        )
     case = SCENARIOS[scenario](seed)
     coins = (
         ReproducibleRNG(derive_seed(seed, "serve", scenario))
@@ -212,6 +243,40 @@ def handle_protocol_run(params: dict, config: ServiceConfig) -> dict:
         "bits": report.bits_exchanged,
         "rounds": report.transcript.rounds,
         "ticks": report.ticks,
+    }
+
+
+def handle_cost_estimate(params: dict, config: ServiceConfig) -> dict:
+    """``cost.estimate``: price a ``protocol.run`` request without running it.
+
+    Params: ``scenario``/``seed`` exactly as ``protocol.run``, plus an
+    optional ``bit_budget`` (clamped to the service cap) to price against.
+    The response carries the exact predicted bit counts from the symbolic
+    calculus (:mod:`repro.costs`) — total, per agent, round count and the
+    clean-channel ARQ wire total — and ``admitted``: whether a
+    ``protocol.run`` with this budget would pass admission pricing.
+    """
+    from repro.costs import scenario_shape
+
+    scenario, seed = _validated_scenario(params)
+    bit_budget = _clamped_budget(params, "bit_budget", config.bit_budget)
+    unknown = sorted(
+        k for k in params if k not in ("scenario", "seed", "bit_budget")
+    )
+    if unknown:
+        raise HandlerError("bad_request", f"unknown params: {', '.join(unknown)}")
+    shape = scenario_shape(scenario, seed)
+    bits0, bits1 = shape.bits_from(0), shape.bits_from(1)
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "bits": shape.total_bits,
+        "bits_agent0": bits0,
+        "bits_agent1": bits1,
+        "rounds": shape.rounds,
+        "arq_wire_bits": shape.arq_wire_bits(),
+        "bit_budget": bit_budget,
+        "admitted": max(bits0, bits1) <= bit_budget,
     }
 
 
@@ -352,6 +417,7 @@ PURE_HANDLERS: dict[str, Callable[[dict, ServiceConfig], dict]] = {
     "protocol.run": handle_protocol_run,
     "exhaustive.cc": handle_exhaustive_cc,
     "partition.search": handle_partition_search,
+    "cost.estimate": handle_cost_estimate,
 }
 
 

@@ -54,14 +54,23 @@ ERROR_CODES: dict[str, tuple[bool, str]] = {
     "client_limit": (True, "per-tenant in-flight cap reached (admission)"),
     "overloaded": (True, "work queue full; request shed (429 analogue)"),
     "deadline_exceeded": (True, "deadline_ticks elapsed before execution"),
-    "budget_exceeded": (False, "step/bit budget exhausted during execution"),
+    "budget_exceeded": (
+        False,
+        "step/bit budget exceeded — predicted at admission or spent live",
+    ),
     "execution_failed": (False, "engine reported a non-ok structured outcome"),
     "internal": (False, "handler crashed; failure contained and reported"),
     "shutting_down": (True, "service is draining; retry elsewhere/later"),
 }
 
 #: Methods the service understands (the versioned API surface).
-METHODS = ("protocol.run", "exhaustive.cc", "partition.search", "cache.stats")
+METHODS = (
+    "protocol.run",
+    "exhaustive.cc",
+    "partition.search",
+    "cost.estimate",
+    "cache.stats",
+)
 
 #: Maximum accepted frame size in bytes (admission guard, pre-parse).
 MAX_FRAME_BYTES = 1 << 20

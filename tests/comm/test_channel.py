@@ -91,3 +91,77 @@ class TestBitChannel:
         ch = BitChannel()
         ch.send(0, [1])
         assert not ch.drained()
+
+
+class TestRoundSemantics:
+    """Pin the round convention: maximal same-sender runs, with
+    zero-length messages fully transparent (they move no information, so
+    they neither open nor break a round).  The protocol-tree walk and the
+    symbolic cost calculus both build on exactly this convention."""
+
+    def test_empty_messages_neither_open_nor_break_a_round(self):
+        t = Transcript(
+            [
+                Message(1, ()),  # noise before anyone speaks
+                Message(0, (1,)),
+                Message(1, ()),  # empty interjection...
+                Message(0, (1,)),  # ...does not split agent 0's run
+                Message(1, (0,)),
+            ]
+        )
+        assert t.rounds == 2
+
+    def test_all_empty_transcript_has_zero_rounds(self):
+        t = Transcript([Message(0, ()), Message(1, ())])
+        assert t.rounds == 0
+        assert t.total_bits == 0
+
+    def test_channel_mirror_agrees_with_transcript(self):
+        # BitChannel keeps an O(1) running round counter for the tracer;
+        # it must agree with the authoritative recount at every step.
+        ch = BitChannel()
+        script = [(0, [1]), (1, []), (0, [1]), (1, [0]), (1, []), (0, [1, 1])]
+        for sender, bits in script:
+            ch.send(sender, bits)
+            assert ch._rounds == ch.transcript.rounds
+        assert ch.transcript.rounds == 3
+
+    def test_tree_owner_blocks_define_rounds(self):
+        # A realized tree path with owners 0, 0, 1 costs 3 bits but only
+        # 2 rounds: consecutive same-owner announcements are one block.
+        from repro.comm.protocol import Leaf, Node, ProtocolTree
+
+        tree = ProtocolTree(
+            Node(
+                0,
+                lambda x: 1,
+                Leaf("dead"),
+                Node(
+                    0,
+                    lambda x: 0,
+                    Node(1, lambda y: 1, Leaf("dead"), Leaf("ok")),
+                    Leaf("dead"),
+                ),
+            )
+        )
+        result = tree.compile().run("in0", "in1")
+        assert result.agreed_output() == "ok"
+        assert result.transcript.total_bits == 3
+        assert result.transcript.rounds == 2
+
+    def test_message_shape_shares_the_convention(self):
+        # The cost calculus predicts rounds with the same skip-empty rule,
+        # so a shape and a transcript with matching senders always agree.
+        from repro.costs import MessageShape
+
+        shape = MessageShape("pin", ((0, 1), (1, 0), (0, 2), (1, 1)))
+        t = Transcript(
+            [
+                Message(0, (1,)),
+                Message(1, ()),
+                Message(0, (1, 1)),
+                Message(1, (0,)),
+            ]
+        )
+        assert shape.rounds == t.rounds == 2
+        assert shape.total_bits == t.total_bits == 4

@@ -275,3 +275,65 @@ class TestStats:
         endpoint = ArqEndpoint()
         assert endpoint.config.max_retries == 8
         assert endpoint.stats.wire_bits == 0
+
+
+class TestBucketAccounting:
+    """``wire_bits`` must decompose exactly into payload + framing +
+    control + retransmit on every endpoint — clean, faulted, or aborted
+    mid-send.  The symbolic cost calculus (:mod:`repro.costs`) predicts
+    these buckets, so any leak here would surface as a sweep MISMATCH."""
+
+    @staticmethod
+    def run_endpoints(payload, channel, config=None):
+        agent0, agent1 = echo_pair(payload)
+        w0, w1, e0, e1 = reliable_pair(agent0(None), agent1(None), config)
+        report = run_supervised(
+            lambda _: w0, lambda _: w1, None, None, channel=channel
+        )
+        return report, e0, e1
+
+    def test_clean_run_buckets_sum_to_wire(self):
+        report, e0, e1 = self.run_endpoints(
+            (1,) * 20, BitChannel(), ArqConfig(frame_payload=4)
+        )
+        assert report.ok
+        for endpoint in (e0, e1):
+            stats = endpoint.stats
+            assert stats.wire_bits == (
+                stats.payload_bits
+                + stats.framing_bits
+                + stats.control_bits
+                + stats.retransmit_bits
+            )
+            assert stats.wire_bits == stats.accounted_bits
+            assert stats.retransmit_bits == 0
+        # Both directions carried the 20 payload bits exactly once.
+        assert e0.stats.payload_bits == 20
+        assert e1.stats.payload_bits == 20
+
+    def test_retransmissions_land_in_their_own_bucket(self):
+        channel = FaultyChannel(CorruptNth(0))
+        report, e0, e1 = self.run_endpoints((1,) * 12, channel)
+        assert report.ok
+        merged = e0.stats.merged(e1.stats)
+        assert merged.retransmissions >= 1
+        assert merged.retransmit_bits > 0
+        # A retry repeats framing+payload but inflates neither first-copy
+        # bucket: the identity still holds per endpoint.
+        for endpoint in (e0, e1):
+            assert endpoint.stats.wire_bits == endpoint.stats.accounted_bits
+        assert merged.payload_bits == 24  # 12 bits each way, counted once
+
+    def test_aborted_multichunk_send_counts_only_transmitted_chunks(self):
+        # The channel dies after the very first frame of a 10-chunk send.
+        # Payload is accounted per chunk at first transmission, so the
+        # nine never-sent chunks must not appear in payload_bits — if
+        # send() counted eagerly, wire_bits != accounted_bits here.
+        channel = FaultyChannel(ChannelDropFaults(after_messages=1))
+        report, e0, e1 = self.run_endpoints(
+            (1,) * 20, channel, ArqConfig(frame_payload=2)
+        )
+        assert report.outcome == "transport_failure"
+        for endpoint in (e0, e1):
+            assert endpoint.stats.wire_bits == endpoint.stats.accounted_bits
+        assert e0.stats.payload_bits < 20

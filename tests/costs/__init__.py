@@ -1,0 +1,1 @@
+"""Tests for the exact symbolic cost calculus (:mod:`repro.costs`)."""

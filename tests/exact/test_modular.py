@@ -1,5 +1,7 @@
 """Tests for mod-p arithmetic (the randomized protocol's substrate)."""
 
+import warnings
+
 import pytest
 
 from repro.exact.determinant import bareiss_determinant
@@ -87,6 +89,25 @@ class TestModularLinearAlgebra:
     def test_det_mod_raw_rows_deprecated_but_working(self):
         with pytest.warns(DeprecationWarning, match="det_mod_rows"):
             assert det_mod([[0, 1], [1, 0]], 7) == (-1) % 7
+
+    def test_det_mod_deprecation_blames_the_caller(self):
+        # stacklevel=2 must attribute the warning to the calling file, not
+        # to modular.py — otherwise downstream users cannot find their own
+        # raw-rows call sites from the warning output.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            det_mod([[0, 1], [1, 0]], 7)
+        (record,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert record.filename == __file__
+
+    def test_det_mod_matrix_path_warns_nothing(self):
+        # The supported Matrix path must stay silent — the shim fires only
+        # for raw row sequences.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert det_mod(Matrix([[0, 1], [1, 0]]), 7) == (-1) % 7
 
     def test_det_mod_requires_prime(self):
         with pytest.raises(ValueError):

@@ -319,3 +319,91 @@ class TestExecuteMethod:
             ServiceConfig(workers=0)
         with pytest.raises(ValueError):
             ServiceConfig(default_deadline_ticks=0)
+
+
+class TestCostEstimate:
+    """``cost.estimate`` and the pre-execution pricing it shares with
+    ``protocol.run``: predictions are the exact symbolic costs, and an
+    over-budget run is rejected before any executor work happens."""
+
+    def test_estimate_matches_the_symbolic_calculus(self):
+        from repro.costs import scenario_shape
+        from repro.serve.service import handle_cost_estimate
+
+        result = handle_cost_estimate(
+            {"scenario": "fingerprint", "seed": 3}, ServiceConfig()
+        )
+        shape = scenario_shape("fingerprint", 3)
+        assert result["bits"] == shape.total_bits
+        assert result["bits_agent0"] == shape.bits_from(0)
+        assert result["bits_agent1"] == shape.bits_from(1)
+        assert result["rounds"] == shape.rounds
+        assert result["arq_wire_bits"] == shape.arq_wire_bits()
+        assert result["arq_wire_bits"] > result["bits"]  # framing isn't free
+
+    def test_estimate_prices_admission_correctly(self):
+        from repro.serve.service import handle_cost_estimate
+
+        priced = handle_cost_estimate(
+            {"scenario": "equality", "seed": 0}, ServiceConfig()
+        )
+        need = max(priced["bits_agent0"], priced["bits_agent1"])
+        exact = handle_cost_estimate(
+            {"scenario": "equality", "seed": 0, "bit_budget": need},
+            ServiceConfig(),
+        )
+        assert exact["admitted"] is True
+        starved = handle_cost_estimate(
+            {"scenario": "equality", "seed": 0, "bit_budget": need - 1},
+            ServiceConfig(),
+        )
+        assert starved["admitted"] is False
+        # The estimate's verdict is the run's reality, both ways.
+        assert (
+            handle_protocol_run(
+                {"scenario": "equality", "seed": 0, "bit_budget": need},
+                ServiceConfig(),
+            )["bits"]
+            > 0
+        )
+        with pytest.raises(HandlerError) as err:
+            handle_protocol_run(
+                {"scenario": "equality", "seed": 0, "bit_budget": need - 1},
+                ServiceConfig(),
+            )
+        assert err.value.code == "budget_exceeded"
+
+    def test_estimate_validates_like_protocol_run(self):
+        from repro.serve.service import handle_cost_estimate
+
+        with pytest.raises(HandlerError) as err:
+            handle_cost_estimate({"scenario": "nope"}, ServiceConfig())
+        assert err.value.code == "bad_request"
+        with pytest.raises(HandlerError) as err:
+            handle_cost_estimate(
+                {"scenario": "equality", "bogus": 1}, ServiceConfig()
+            )
+        assert err.value.code == "bad_request"
+
+    def test_over_budget_run_rejected_before_execution(self):
+        # The pricer fires before the executor: the rejection increments
+        # serve.priced_out and the message says so explicitly.
+        with obs.scoped():
+            with pytest.raises(HandlerError) as err:
+                handle_protocol_run(
+                    {"scenario": "equality", "seed": 0, "bit_budget": 2},
+                    ServiceConfig(),
+                )
+            counters = obs.snapshot()["counters"]
+        assert err.value.code == "budget_exceeded"
+        assert "rejected before execution" in str(err.value)
+        assert counters.get("serve.priced_out") == 1
+
+    def test_estimate_served_over_the_wire(self):
+        frame = request_frame("r1", "cost.estimate", {"scenario": "trivial"})
+        response = run(one_call(frame))
+        assert response["ok"], response
+        assert response["result"]["admitted"] is True
+        assert response["result"]["bits"] == response["result"][
+            "bits_agent0"
+        ] + response["result"]["bits_agent1"]

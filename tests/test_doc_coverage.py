@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.lint",
     "repro.trace",
     "repro.serve",
+    "repro.costs",
 ]
 
 
