@@ -19,6 +19,13 @@ The layers:
   ARQ framing/ACK overhead all derive; :func:`~repro.costs.models.shape_of`
   maps every protocol instance to its shape; the paper's lower/upper
   bound formulas evaluated on the same axes.
+* :mod:`repro.costs.plan` — the declared per-protocol message plans
+  (``PROTOCOL_PLANS``): pure-literal ``(sender, width, repeat)`` terms in
+  the width algebra of :mod:`repro.lint.flow`.  The COST lint rules
+  compare this table against skeletons derived statically from the agent
+  source, and :func:`~repro.costs.plan.expand_plan` evaluates it
+  numerically for comparison with ``shape_of`` — the three-way
+  code↔plan↔formula gate (docs/static_analysis.md).
 * :mod:`repro.costs.validate` — the measured-vs-predicted sweep behind
   ``python -m repro costs``, the bench gate and CI's ``costs-gate``:
   every cell runs the protocol live (clean channel and clean-channel
@@ -43,6 +50,7 @@ from repro.costs.models import (
     trivial_upper_bound_bits,
     varint_bits,
 )
+from repro.costs.plan import PROTOCOL_PLANS, evaluate_width, expand_plan
 from repro.costs.validate import (
     COSTS_SCHEMA_VERSION,
     SweepCell,
@@ -53,6 +61,9 @@ from repro.costs.validate import (
 
 __all__ = [
     "MessageShape",
+    "PROTOCOL_PLANS",
+    "evaluate_width",
+    "expand_plan",
     "arq_retry_ceiling_bits",
     "fraction_matrix_bits",
     "leighton_upper_bound_bits",

@@ -10,7 +10,15 @@ meta-invariants every measured bound in Chu & Schnitger rests on.
 * **ISO** — two-party information-flow isolation (Alice never reads
   Bob's view except across the metered channel);
 * **WIRE** — every wire encoder has a decoder and both survive the
-  corruption suite.
+  corruption suite;
+* **SES** — session duality: agent0's statically-extracted protocol
+  skeleton (:mod:`repro.lint.flow`) is the dual of agent1's — a static
+  deadlock-freedom and turn-order proof;
+* **COST** — the skeleton-derived message plan matches the declared
+  ``repro.costs.plan.PROTOCOL_PLANS`` table term-for-term, closing the
+  code↔plan↔formula consistency triangle;
+* **ASY** — asyncio hazards in the service layer (blocking calls in
+  coroutines, dropped coroutine objects, stale writes across ``await``).
 
 Entry points::
 

@@ -25,8 +25,9 @@ def add_lint_arguments(parser) -> None:
         help="files/directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format (default: text; 'github' emits workflow "
+        "::error annotations)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -80,6 +81,34 @@ def _render_text(report: LintReport, stale) -> str:
     return "\n".join(lines)
 
 
+def _render_github(report: LintReport, stale) -> str:
+    """GitHub Actions workflow annotations: findings appear inline on PRs.
+
+    One ``::error`` command per active finding, ``::warning`` per stale
+    baseline entry; a plain summary line last (the runner ignores
+    non-command lines).
+    """
+    lines = []
+    for f in sorted(report.findings, key=lambda f: (f.path, f.line, f.col, f.code)):
+        if f.active:
+            message = f"{f.message} [{f.symbol}]".replace("\n", " ")
+            lines.append(
+                f"::error file={f.path},line={f.line},col={f.col + 1},"
+                f"title={f.code}::{message}"
+            )
+    for entry in stale:
+        lines.append(
+            f"::warning file={entry['path']},title=stale-baseline::"
+            f"stale baseline entry {entry['code']} [{entry['symbol']}] — "
+            "the finding no longer occurs; delete the entry"
+        )
+    lines.append(
+        f"{report.files_scanned} file(s) scanned, "
+        f"{len(report.active_findings)} finding(s)"
+    )
+    return "\n".join(lines)
+
+
 def main_lint(args) -> int:
     """Entry point used by ``repro.cli``."""
     if args.explain:
@@ -97,6 +126,7 @@ def main_lint(args) -> int:
             paths=tuple(Path(p) for p in args.paths),
             wire_module=config.wire_module,
             wire_test_paths=config.wire_test_paths,
+            plan_module=config.plan_module,
             baseline_path=config.baseline_path,
         )
     if args.baseline:
@@ -132,6 +162,8 @@ def main_lint(args) -> int:
 
     if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2))
+    elif args.format == "github":
+        print(_render_github(report, report.stale_baseline))
     else:
         print(_render_text(report, report.stale_baseline))
     return 0 if report.ok else 1

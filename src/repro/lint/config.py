@@ -18,6 +18,14 @@ The defaults encode this repository's invariant map:
   the partition that does not cross the channel.
 * **WIRE** pairs every ``encode_*`` in ``protocols/wire.py`` with a
   ``decode_*`` and demands both be exercised by the corruption tests.
+* **SES** (session duality) proves agent0's protocol skeleton dual to
+  agent1's for every class in the flow scope (``repro.protocols`` and
+  ``repro.comm``) — a static deadlock-freedom check.
+* **COST** compares the statically-derived message plan against the
+  declared ``PROTOCOL_PLANS`` table in ``repro.costs.plan`` for the cost
+  scope (``repro.protocols``).
+* **ASY** watches ``repro.serve`` coroutines for blocking calls,
+  dropped coroutine objects, and stale read–await–write-back races.
 
 Scopes and allowlists are fnmatch patterns over *dotted module names*
 derived from file paths (``src/repro/exact/rank.py`` → ``repro.exact.rank``),
@@ -128,9 +136,20 @@ class LintConfig:
         "repro.comm", "repro.comm.*",
         "repro.serve", "repro.serve.*",
     )
+    flow_scope: tuple[str, ...] = (
+        "repro.protocols", "repro.protocols.*",
+        "repro.comm", "repro.comm.*",
+    )
+    cost_scope: tuple[str, ...] = (
+        "repro.protocols", "repro.protocols.*",
+    )
+    asy_scope: tuple[str, ...] = (
+        "repro.serve", "repro.serve.*",
+    )
     registry: AgentRegistry = field(default_factory=AgentRegistry)
     wire_module: Path | None = None
     wire_test_paths: tuple[Path, ...] = ()
+    plan_module: Path | None = None
     baseline_path: Path | None = None
 
     def __post_init__(self):
@@ -138,6 +157,8 @@ class LintConfig:
         if not self.paths:
             self.paths = (self.src_root,)
         self.paths = tuple(Path(p) for p in self.paths)
+        if self.plan_module is not None:
+            self.plan_module = Path(self.plan_module)
 
     def module_of(self, path: Path) -> str:
         """Dotted module name for a scanned file."""
@@ -156,6 +177,18 @@ class LintConfig:
     def in_iso_scope(self, module: str) -> bool:
         """True when ISO rules apply to ``module``."""
         return matches_any(module, self.iso_scope)
+
+    def in_flow_scope(self, module: str) -> bool:
+        """True when the SES protocol-flow rules apply to ``module``."""
+        return matches_any(module, self.flow_scope)
+
+    def in_cost_scope(self, module: str) -> bool:
+        """True when COST plan accounting applies to ``module``."""
+        return matches_any(module, self.cost_scope)
+
+    def in_asy_scope(self, module: str) -> bool:
+        """True when ASY asyncio-hazard rules apply to ``module``."""
+        return matches_any(module, self.asy_scope)
 
 
 def default_config(repo_root: Path | None = None) -> LintConfig:
@@ -176,11 +209,13 @@ def default_config(repo_root: Path | None = None) -> LintConfig:
     repo_root = Path(repo_root)
     src_root = repo_root / "src"
     wire = src_root / "repro" / "protocols" / "wire.py"
+    plan = src_root / "repro" / "costs" / "plan.py"
     tests = repo_root / "tests" / "protocols"
     return LintConfig(
         src_root=src_root,
         paths=(src_root / "repro",),
         wire_module=wire if wire.exists() else None,
+        plan_module=plan if plan.exists() else None,
         wire_test_paths=tuple(
             p for p in (
                 tests / "test_wire_corruption.py",

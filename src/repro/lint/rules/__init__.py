@@ -1,4 +1,4 @@
-"""Rule registry: the four families and their explanations.
+"""Rule registry: the seven families and their explanations.
 
 Importing this package registers every rule code; the engine iterates
 :data:`MODULE_RULES` / :data:`PROJECT_RULES`, and the CLI serves
@@ -7,14 +7,14 @@ Importing this package registers every rule code; the engine iterates
 
 from __future__ import annotations
 
-from repro.lint.rules import det, exa, iso, wire
+from repro.lint.rules import asy, cost, det, exa, iso, ses, wire
 from repro.lint.rules.base import EXPLANATIONS, Explanation, all_codes
 
 #: Per-module rule families: check(ModuleContext) -> Iterable[Finding].
-MODULE_RULES = (exa.check, det.check, iso.check)
+MODULE_RULES = (exa.check, det.check, iso.check, ses.check, asy.check)
 
 #: Project-level rule families: check(ProjectContext) -> Iterable[Finding].
-PROJECT_RULES = (wire.check,)
+PROJECT_RULES = (wire.check, cost.check)
 
 #: Every rule code, grouped by family prefix.
 FAMILY_CODES = {
@@ -22,6 +22,9 @@ FAMILY_CODES = {
     "DET": det.CODES,
     "ISO": iso.CODES,
     "WIRE": wire.CODES,
+    "SES": ses.CODES,
+    "COST": cost.CODES,
+    "ASY": asy.CODES,
 }
 
 

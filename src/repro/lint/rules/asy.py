@@ -1,0 +1,249 @@
+"""ASY — asyncio hazards in the service layer.
+
+:mod:`repro.serve` runs a single cooperative event loop; its liveness
+guarantees ("never hangs, never sheds silently") rest on three
+disciplines this family checks statically:
+
+* coroutines must never block the loop (``time.sleep`` freezes every
+  tenant at once, not just the caller);
+* every coroutine call must be awaited or scheduled (a bare call builds
+  the coroutine object and drops it — the work silently never runs);
+* shared service state must not be read into a local, held across an
+  ``await`` (where any other task may run), and then written back — the
+  classic lost-update race.  Mutations go through the worker queue or
+  re-read after the await, as :class:`repro.serve.service.Service` does.
+
+Codes:
+
+* ASY701 — blocking call inside an ``async def``.
+* ASY702 — same-module coroutine called as a bare statement (never
+  awaited, never scheduled).
+* ASY703 — ``self`` state read into a local, an ``await`` crossed, then
+  the state written from that stale local.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    ModuleContext,
+    QualnameVisitor,
+    dotted_name,
+    register_code,
+)
+
+ASY701 = register_code(
+    "ASY701",
+    "blocking call inside a coroutine",
+    """The service runs one event loop for every tenant; a synchronous
+sleep or subprocess call inside a coroutine stalls all of them, turning
+per-request latency into service-wide latency.  Use the asyncio
+equivalent (asyncio.sleep, loop.run_in_executor) or move the work into
+the bounded worker pool.""",
+    "async def handler(self, request):\n    time.sleep(0.1)  # stalls the loop",
+    "async def handler(self, request):\n    await asyncio.sleep(0.1)",
+)
+
+ASY702 = register_code(
+    "ASY702",
+    "coroutine called but never awaited or scheduled",
+    """Calling an async def returns a coroutine object; as a bare
+statement it is discarded and the body never executes — Python only
+warns at garbage-collection time, long after the request was dropped.
+Await it, or hand it to asyncio.create_task if it must run
+concurrently.""",
+    "async def _flush(self): ...\nasync def stop(self):\n    self._flush()",
+    "async def stop(self):\n    await self._flush()",
+)
+
+ASY703 = register_code(
+    "ASY703",
+    "service state read, held across an await, then written back stale",
+    """Between an await's suspension and resumption any other task may
+run and update the same attribute; writing back a value derived from the
+pre-await read silently discards their update (the lost-update race —
+admission counters drift, memo entries resurrect evicted keys).  Re-read
+the attribute after the await, mutate it before awaiting, or route the
+mutation through the worker queue.""",
+    "held = self._inflight.get(tenant, 0)\n"
+    "await self._dispatch(request)\n"
+    "self._inflight[tenant] = held - 1  # stale: others ran meanwhile",
+    "await self._dispatch(request)\n"
+    "held = self._inflight.get(tenant, 1)\n"
+    "self._inflight[tenant] = held - 1",
+)
+
+#: Dotted call names that block the event loop.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "requests.get",
+    "requests.post",
+}
+#: Bare builtins that block on I/O.
+_BLOCKING_NAMES = {"input"}
+
+
+def _self_state_attr(node: ast.expr) -> str | None:
+    """The top-level attribute of a ``self.X...`` read chain, else None.
+
+    ``self.X`` → ``X``; ``self.X[i]`` → ``X``; ``self.X.get(k)`` → ``X``.
+    A direct method call ``self._m(...)`` is *not* a state read.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Call):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        node = func.value  # self.X.get(...) reads self.X; self._m() does not
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return parts[-1]
+    return None
+
+
+def _store_target_attr(target: ast.expr) -> str | None:
+    """The ``self.X`` attribute a store targets (``self.X = ``/``self.X[k] = ``)."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _check_stale_writeback(
+    ctx: ModuleContext, func: ast.AsyncFunctionDef, symbol: str
+) -> Iterable[Finding]:
+    # local name -> list of (state attr, read line)
+    reads: dict[str, list[tuple[str, int]]] = {}
+    await_lines: list[int] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Await):
+            await_lines.append(node.lineno)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                attr = _self_state_attr(node.value)
+                if attr is not None:
+                    reads.setdefault(target.id, []).append((attr, node.lineno))
+    if not await_lines or not reads:
+        return
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = _store_target_attr(target)
+            if attr is None:
+                continue
+            value_names = {
+                n.id for n in ast.walk(node.value)
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            }
+            for local in value_names:
+                for read_attr, read_line in reads.get(local, ()):
+                    if read_attr != attr:
+                        continue
+                    crossed = [
+                        a for a in await_lines if read_line < a < node.lineno
+                    ]
+                    if crossed:
+                        yield ctx.finding(
+                            ASY703,
+                            node,
+                            symbol,
+                            f"self.{attr} was read into {local!r} on line "
+                            f"{read_line}, an await on line {crossed[0]} let "
+                            "other tasks run, and this write stores the "
+                            "stale value back",
+                        )
+
+
+class _AsyVisitor(QualnameVisitor):
+    def __init__(self, ctx: ModuleContext):
+        super().__init__()
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.async_defs = {
+            n.name for n in ast.walk(ctx.tree)
+            if isinstance(n, ast.AsyncFunctionDef)
+        }
+        self._async_stack: list[bool] = []
+
+    def enter_function(self, node) -> None:
+        self._async_stack.append(isinstance(node, ast.AsyncFunctionDef))
+        if isinstance(node, ast.AsyncFunctionDef):
+            self.findings.extend(
+                _check_stale_writeback(self.ctx, node, self.symbol)
+            )
+
+    def leave_function(self, node) -> None:
+        self._async_stack.pop()
+
+    def _in_coroutine(self) -> bool:
+        return bool(self._async_stack) and self._async_stack[-1]
+
+    def visit_Call(self, node: ast.Call):
+        if self._in_coroutine():
+            name = dotted_name(node.func)
+            if name in _BLOCKING_CALLS or name in _BLOCKING_NAMES:
+                self.findings.append(self.ctx.finding(
+                    ASY701,
+                    node,
+                    self.symbol,
+                    f"blocking call {name}() stalls the event loop for "
+                    "every tenant; use the asyncio equivalent",
+                ))
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr):
+        call = node.value
+        if isinstance(call, ast.Call):
+            func = call.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                name = func.attr
+            if name in self.async_defs:
+                self.findings.append(self.ctx.finding(
+                    ASY702,
+                    node,
+                    self.symbol,
+                    f"coroutine {name}() is called but neither awaited nor "
+                    "scheduled; its body will never run",
+                ))
+        self.generic_visit(node)
+
+
+def check(ctx: ModuleContext) -> Iterable[Finding]:
+    """Run the ASY family on one module (no-op outside the asyncio scope)."""
+    if not ctx.config.in_asy_scope(ctx.module):
+        return []
+    visitor = _AsyVisitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.findings
+
+
+CODES = (ASY701, ASY702, ASY703)

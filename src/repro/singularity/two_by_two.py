@@ -72,9 +72,8 @@ def exact_singular_count_2x2(k: int) -> int:
 def measured_rank_bound_sweep(k_values) -> list[dict]:
     """For each k: build the 2×2 truth matrix, measure ones and the GF(2)
     log-rank lower bound, report against k·n² (n = 1 block → k·4)."""
-    import math
-
     from repro.exact.gf2 import gf2_rank_of_truth_matrix
+    from repro.util.fmt import log2_or_zero
 
     rows = []
     for k in k_values:
@@ -88,7 +87,7 @@ def measured_rank_bound_sweep(k_values) -> list[dict]:
                 "side": tm.shape[0],
                 "ones": ones,
                 "gf2_rank": rank2,
-                "log2_rank": math.log2(rank2) if rank2 else 0.0,
+                "log2_rank": log2_or_zero(rank2),
                 "kn2": 4 * k,
             }
         )

@@ -63,6 +63,17 @@ def log2_big(value: int) -> float:
     return _log(value, 2)
 
 
+def log2_or_zero(value: int) -> float:
+    """``log2_big`` extended with ``log2_or_zero(0) == 0.0``.
+
+    The display-layer convention for log-rank columns: a rank-0 matrix
+    contributes a 0.0 bound row instead of a domain error.  Exact
+    integer quantities (the rank itself) stay in the row next to this
+    float — it exists for human-readable tables, never for arithmetic.
+    """
+    return log2_big(value) if value else 0.0
+
+
 class Table:
     """Accumulate rows, render aligned plain text.
 

@@ -10,13 +10,19 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 
 def fixture_config() -> LintConfig:
-    """A config pointed at the fixture tree (default scopes apply)."""
+    """A config pointed at the fixture tree (default scopes apply).
+
+    The cost scope is narrowed to the ``cost_cases`` module so the
+    SES/ISO/DET fixture protocols are not dragged into plan accounting.
+    """
     src_root = FIXTURES / "src"
     return LintConfig(
         src_root=src_root,
         paths=(src_root / "repro",),
+        cost_scope=("repro.protocols.cost_cases",),
         wire_module=src_root / "repro" / "protocols" / "wire.py",
         wire_test_paths=(FIXTURES / "wire_exercise.py",),
+        plan_module=src_root / "repro" / "costs" / "plan.py",
         baseline_path=None,
     )
 

@@ -1,0 +1,24 @@
+"""Fixture plan table for the COST rules — a pure literal, never imported.
+
+``GhostProtocol`` deliberately names no class in the fixture cost scope
+(COST603); ``DriftedProtocol``/``SilencedDrift`` declare ``n_bits`` while
+their code ships ``2*n_bits`` (COST601).
+"""
+
+PROTOCOL_PLANS = {
+    "AccountedProtocol": (
+        {"sender": 0, "width": "n_bits", "repeat": "1"},
+        {"sender": 1, "width": "1", "repeat": "1"},
+    ),
+    "DriftedProtocol": (
+        {"sender": 0, "width": "n_bits", "repeat": "1"},
+        {"sender": 1, "width": "1", "repeat": "1"},
+    ),
+    "SilencedDrift": (
+        {"sender": 0, "width": "n_bits", "repeat": "1"},
+        {"sender": 1, "width": "1", "repeat": "1"},
+    ),
+    "GhostProtocol": (
+        {"sender": 0, "width": "n", "repeat": "1"},
+    ),
+}

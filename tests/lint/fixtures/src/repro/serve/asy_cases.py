@@ -1,0 +1,50 @@
+"""Deliberate ASY asyncio hazards — scanned by the lint tests, never run."""
+
+import asyncio
+import time
+
+
+class BlockingHandler:
+    async def handle(self, request):
+        time.sleep(0.5)  # ASY701: stalls the whole event loop
+        return request
+
+    async def polite(self, request):
+        await asyncio.sleep(0)  # control: yields to the loop
+        return request
+
+
+class DroppedCoroutine:
+    async def _flush(self):
+        await asyncio.sleep(0)
+
+    async def stop(self):
+        self._flush()  # ASY702: coroutine object built and discarded
+
+    async def stop_properly(self):
+        await self._flush()  # control: awaited
+
+    async def stop_scheduled(self):
+        task = asyncio.create_task(self._flush())  # control: scheduled
+        await task
+
+
+class StaleCounter:
+    def __init__(self):
+        self._inflight = {}
+
+    async def release(self, tenant):
+        held = self._inflight.get(tenant, 0)
+        await asyncio.sleep(0)  # other tasks may update _inflight here
+        self._inflight[tenant] = held - 1  # ASY703: stale write-back
+
+    async def release_fresh(self, tenant):
+        await asyncio.sleep(0)
+        held = self._inflight.get(tenant, 0)  # control: re-read after await
+        self._inflight[tenant] = held - 1
+
+
+class SilencedBlocking:  # repro-lint: disable=ASY701 -- seeded pragma case
+    async def handle(self, request):
+        time.sleep(0.5)
+        return request

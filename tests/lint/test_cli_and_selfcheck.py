@@ -80,6 +80,26 @@ class TestCli:
             assert code in out
 
 
+class TestGithubFormat:
+    """``--format github`` — workflow-command annotations for CI."""
+
+    def test_clean_run_emits_summary_but_no_errors(self, capsys):
+        assert main(["lint", "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+        assert "finding(s)" in out
+
+    def test_active_findings_become_error_commands(self, capsys):
+        assert main(["lint", "--format", "github", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("::error")]
+        assert lines, "expected at least the baselined EXA102 to surface"
+        for line in lines:
+            assert line.startswith("::error file=")
+            assert ",line=" in line and ",col=" in line and ",title=" in line
+        assert any("title=EXA102" in line for line in lines)
+
+
 class TestExplainCoverage:
     def test_every_rule_code_has_a_full_explanation(self):
         assert all_codes(), "no rules registered?"

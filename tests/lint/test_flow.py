@@ -1,0 +1,166 @@
+"""The flow engine: skeleton extraction, width algebra, plan derivation.
+
+Fixture-level edge cases (dispatch, UNBOUNDED, branch unification) plus
+the acceptance gate for the real tree: every protocol's agent pair
+yields a skeleton and a merged plan identical to the declared table.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.costs.plan import PROTOCOL_PLANS
+from repro.lint import flow
+from repro.lint.config import AgentRegistry, default_config
+
+from tests.lint.conftest import FIXTURES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REGISTRY = AgentRegistry()
+
+
+def _pairs_of(path: Path) -> dict[str, flow.AgentPair]:
+    tree = ast.parse(path.read_text())
+    return {p.name: p for p in flow.extract_pairs(tree, REGISTRY)}
+
+
+def _fixture_pairs(name: str) -> dict[str, flow.AgentPair]:
+    return _pairs_of(FIXTURES / "src" / "repro" / "protocols" / name)
+
+
+class TestWidthAlgebra:
+    def test_parse_render_round_trip(self):
+        for expr in (
+            "0", "1", "48", "n_bits", "2*k*n*n", "16 + ?*k*n_rows",
+            "codec.cols*codec.rows*prime_bits", "len(_agent0_positions)",
+            "48 + ?", "rounds", "n*width",
+        ):
+            assert flow.render_poly(flow.parse_width(expr)) == expr
+
+    def test_parse_normalizes_term_and_factor_order(self):
+        assert flow.parse_width("n_rows*k*? + 16") == flow.parse_width(
+            "16 + ?*k*n_rows"
+        )
+
+    def test_bare_unknown_never_carries_a_coefficient(self):
+        # "? + ?" is still just "something unknown", not "twice it".
+        poly = flow.parse_width("?")
+        doubled = flow._poly_add(poly, poly)
+        assert flow.render_poly(doubled) == "?"
+
+    def test_malformed_width_raises(self):
+        for bad in ("", "n -", "n_bits + ", "f(x, y)", "2**n"):
+            try:
+                flow.parse_width(bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"parse_width accepted {bad!r}")
+
+
+class TestFixtureExtraction:
+    def test_helper_dispatch_is_followed(self):
+        pair = _fixture_pairs("ses_cases.py")["DispatchedProtocol"]
+        assert pair.skeleton0.ok and pair.skeleton0.dispatch == "_talk"
+        assert pair.skeleton1.ok and pair.skeleton1.dispatch == "_listen"
+        assert not pair.shared_program  # distinct helpers: really compared
+        (send, recv) = pair.skeleton0.ops
+        assert (send.kind, send.width.expr) == ("send", "n_bits")
+        assert (recv.kind, recv.width.expr) == ("recv", "1")
+
+    def test_data_dependent_while_degrades_to_unbounded(self):
+        pair = _fixture_pairs("ses_cases.py")["StreamingRecv"]
+        assert pair.skeleton0.ok and pair.skeleton1.ok  # no crash
+        loop = pair.skeleton0.ops[0]
+        assert isinstance(loop, flow.LoopOp)
+        assert loop.bound.expr == flow.UNBOUNDED_ATOM
+        assert loop.bound.kind == "unbounded"
+        # Duality still holds structurally; the bounds are not compared.
+        items0 = flow.normalize(pair.skeleton0.ops)
+        items1 = flow.dualize(flow.normalize(pair.skeleton1.ops))
+        assert flow.compare_dual(items0, items1) == []
+
+    def test_width_mismatch_is_resolved_on_both_sides(self):
+        pair = _fixture_pairs("ses_cases.py")["WidthMismatch"]
+        items0 = flow.normalize(pair.skeleton0.ops)
+        items1 = flow.dualize(flow.normalize(pair.skeleton1.ops))
+        problems = flow.compare_dual(items0, items1)
+        assert [p.kind for p in problems] == ["width"]
+
+    def test_merged_plan_prefers_the_resolved_side(self):
+        pair = _fixture_pairs("cost_cases.py")["AccountedProtocol"]
+        items0 = flow.normalize(pair.skeleton0.ops)
+        items1 = flow.dualize(flow.normalize(pair.skeleton1.ops))
+        plan = flow.merged_plan(items0, items1)
+        # agent0 sends a payload the extractor only knows as ?-wide; the
+        # receiver's Recv(self.n_bits) pins it.
+        assert [(t.sender, t.width.expr, t.repeat.expr) for t in plan] == [
+            (0, "n_bits", "1"),
+            (1, "1", "1"),
+        ]
+
+
+class TestRealTreeExtraction:
+    """The acceptance gate: all 10 protocols, skeletons and plans."""
+
+    def _real_pairs(self) -> dict[str, flow.AgentPair]:
+        pairs: dict[str, flow.AgentPair] = {}
+        for sub in ("protocols", "comm"):
+            for path in sorted((REPO_ROOT / "src" / "repro" / sub).glob("*.py")):
+                pairs.update(_pairs_of(path))
+        return pairs
+
+    def test_every_declared_protocol_extracts_a_skeleton(self):
+        pairs = self._real_pairs()
+        for name in PROTOCOL_PLANS:
+            assert name in pairs, f"no agent pair found for {name}"
+            pair = pairs[name]
+            assert pair.skeleton0.ok, (name, pair.skeleton0.reason)
+            assert pair.skeleton1.ok, (name, pair.skeleton1.reason)
+            assert pair.has_ops
+
+    def test_every_declared_protocol_is_dual(self):
+        pairs = self._real_pairs()
+        for name in PROTOCOL_PLANS:
+            pair = pairs[name]
+            items0 = flow.normalize(pair.skeleton0.ops)
+            items1 = flow.dualize(flow.normalize(pair.skeleton1.ops))
+            assert flow.compare_dual(items0, items1) == [], name
+
+    def test_merged_plans_match_the_declared_table(self):
+        pairs = self._real_pairs()
+        for name, declared in PROTOCOL_PLANS.items():
+            pair = pairs[name]
+            items0 = flow.normalize(pair.skeleton0.ops)
+            items1 = flow.dualize(flow.normalize(pair.skeleton1.ops))
+            derived = flow.merged_plan(items0, items1)
+            assert len(derived) == len(declared), name
+            for term, decl in zip(derived, declared):
+                assert term.sender == decl["sender"], (name, decl)
+                assert flow.parse_width(term.width.expr) == flow.parse_width(
+                    decl["width"]
+                ), (name, term.width.expr, decl["width"])
+                assert flow.parse_width(term.repeat.expr) == flow.parse_width(
+                    decl["repeat"]
+                ), (name, term.repeat.expr, decl["repeat"])
+
+    def test_tree_protocol_is_shared_program(self):
+        pairs = self._real_pairs()
+        pair = pairs["TreeProtocol"]
+        assert pair.shared_program == "_program"
+
+    def test_abstract_bases_have_no_ops(self):
+        pairs = self._real_pairs()
+        for name in ("TwoPartyProtocol", "RandomizedProtocol"):
+            pair = pairs[name]
+            assert pair.skeleton0.ok and not pair.has_ops
+
+
+class TestDefaultConfigWiring:
+    def test_plan_module_is_configured(self):
+        config = default_config(REPO_ROOT)
+        assert config.plan_module is not None
+        assert config.plan_module.name == "plan.py"
+        assert config.in_cost_scope("repro.protocols.equality")
+        assert not config.in_cost_scope("repro.comm.protocol")
+        assert config.in_flow_scope("repro.comm.protocol")
+        assert config.in_asy_scope("repro.serve.service")
+        assert not config.in_asy_scope("repro.protocols.equality")

@@ -8,6 +8,10 @@ that seeds it, plus a control that must stay clean.
 from tests.lint.conftest import codes_at, findings_at
 
 EXA = "src/repro/exact/exa_cases.py"
+SES = "src/repro/protocols/ses_cases.py"
+COST = "src/repro/protocols/cost_cases.py"
+PLAN = "src/repro/costs/plan.py"
+ASY = "src/repro/serve/asy_cases.py"
 DET = "src/repro/protocols/det_cases.py"
 CACHE = "src/repro/cache/cache_cases.py"
 TRACE = "src/repro/trace/trace_cases.py"
@@ -216,6 +220,13 @@ class TestServeCases:
     def test_tick_deadline_control_is_clean(self, fixture_report):
         assert codes_at(fixture_report, SERVE, "tick_deadline") == set()
 
+    def test_asy_fixture_codes_do_not_leak_into_serve_cases(self, fixture_report):
+        """serve_cases.py has no coroutines: the ASY family stays silent."""
+        assert not any(
+            f.code.startswith("ASY")
+            for f in findings_at(fixture_report, SERVE)
+        )
+
     def test_real_serve_modules_are_clean(self):
         from pathlib import Path
 
@@ -232,3 +243,113 @@ class TestServeCases:
         assert serve_findings
         assert all(f.suppressed == "pragma" for f in serve_findings)
         assert {f.code for f in serve_findings} == {"DET203"}
+
+
+class TestSesFamily:
+    """Session duality over the seeded fixture protocols."""
+
+    def test_turn_order_mismatch(self, fixture_report):
+        assert codes_at(fixture_report, SES, "MismatchedTurnOrder") == {"SES501"}
+
+    def test_unmatched_recv(self, fixture_report):
+        found = findings_at(fixture_report, SES, "UnmatchedRecv", code="SES501")
+        assert found and "unmatched" in found[0].message
+
+    def test_width_mismatch(self, fixture_report):
+        found = findings_at(fixture_report, SES, "WidthMismatch", code="SES502")
+        assert len(found) == 1
+        assert "width" in found[0].message
+        assert codes_at(fixture_report, SES, "WidthMismatch") == {"SES502"}
+
+    def test_loop_bound_mismatch(self, fixture_report):
+        found = findings_at(
+            fixture_report, SES, "LoopBoundMismatch", code="SES503"
+        )
+        assert found and "rounds" in found[0].message
+        assert codes_at(fixture_report, SES, "LoopBoundMismatch") == {"SES503"}
+
+    def test_well_paired_control_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, SES, "WellPaired") == set()
+
+    def test_helper_dispatch_control_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, SES, "DispatchedProtocol") == set()
+
+    def test_unbounded_streaming_control_is_clean(self, fixture_report):
+        """Data-dependent while loops degrade to UNBOUNDED, not findings."""
+        assert codes_at(fixture_report, SES, "StreamingRecv") == set()
+
+    def test_pragma_suppresses_ses(self, fixture_report):
+        found = findings_at(
+            fixture_report, SES, "SilencedMismatch", code="SES501"
+        )
+        assert found and all(f.suppressed == "pragma" for f in found)
+
+
+class TestCostFamily:
+    """Plan accounting between cost_cases.py and the fixture plan table."""
+
+    def test_drifted_width(self, fixture_report):
+        found = findings_at(fixture_report, COST, "DriftedProtocol", code="COST601")
+        assert len(found) == 1
+        assert "2*n_bits" in found[0].message and "n_bits" in found[0].message
+
+    def test_undeclared_protocol(self, fixture_report):
+        assert codes_at(fixture_report, COST, "UndeclaredProtocol") == {"COST602"}
+
+    def test_orphan_plan_entry(self, fixture_report):
+        found = findings_at(
+            fixture_report, PLAN, "PROTOCOL_PLANS", code="COST603"
+        )
+        assert len(found) == 1
+        assert "GhostProtocol" in found[0].message
+
+    def test_accounted_control_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, COST, "AccountedProtocol") == set()
+
+    def test_pragma_suppresses_cost(self, fixture_report):
+        found = findings_at(fixture_report, COST, "SilencedDrift", code="COST601")
+        assert found and all(f.suppressed == "pragma" for f in found)
+
+
+class TestAsyFamily:
+    """asyncio hazards in the seeded serve fixture."""
+
+    def test_blocking_call_in_coroutine(self, fixture_report):
+        assert codes_at(
+            fixture_report, ASY, "BlockingHandler.handle"
+        ) == {"ASY701"}
+
+    def test_awaited_sleep_control_is_clean(self, fixture_report):
+        assert codes_at(fixture_report, ASY, "BlockingHandler.polite") == set()
+
+    def test_dropped_coroutine(self, fixture_report):
+        found = findings_at(
+            fixture_report, ASY, "DroppedCoroutine.stop", code="ASY702"
+        )
+        assert found and "_flush" in found[0].message
+
+    def test_awaited_and_scheduled_controls_are_clean(self, fixture_report):
+        assert codes_at(
+            fixture_report, ASY, "DroppedCoroutine.stop_properly"
+        ) == set()
+        assert codes_at(
+            fixture_report, ASY, "DroppedCoroutine.stop_scheduled"
+        ) == set()
+
+    def test_stale_writeback_across_await(self, fixture_report):
+        found = findings_at(
+            fixture_report, ASY, "StaleCounter.release", code="ASY703"
+        )
+        assert len(found) == 1
+        assert "_inflight" in found[0].message
+
+    def test_reread_after_await_control_is_clean(self, fixture_report):
+        assert codes_at(
+            fixture_report, ASY, "StaleCounter.release_fresh"
+        ) == set()
+
+    def test_pragma_suppresses_asy(self, fixture_report):
+        found = findings_at(
+            fixture_report, ASY, "SilencedBlocking.handle", code="ASY701"
+        )
+        assert found and all(f.suppressed == "pragma" for f in found)
