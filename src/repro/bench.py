@@ -12,6 +12,14 @@ Runs fixed, seeded workloads several ways and writes ``BENCH_PERF.json``:
 * the E15 exact D(f) suite on the ``legacy`` tuple engine and the pruned
   ``bitset`` engine — values must be identical and the full-mode bar is 5x
   (measured far higher; see docs/performance.md);
+* the parallel shared-bound exact search (d^P of a pinned hard 12x14
+  instance) against the sequential bitset engine — identical values, 3x at
+  4 workers (the win is algorithmic: seeded witnessed bound + budgeted
+  pruning, so it holds even on a 1-core box);
+* the sharded truth-matrix streamer: cold single-pass build vs worker
+  fan-out vs resume-from-shards, all byte-identical, with the
+  core-independent resume gated at 3x and the store's shard stats embedded
+  for the CI artifact;
 * the exact cost-calculus sweep (:mod:`repro.costs`) — every protocol's
   symbolic formula against the live channel and ARQ stats, by integer
   equality; a single MISMATCH cell fails the bench outright;
@@ -47,6 +55,14 @@ EXACT_SPEEDUP_TARGET = 5.0
 
 #: The acceptance bar for a warm persistent cache vs a cold sweep.
 CACHE_SPEEDUP_TARGET = 10.0
+
+#: The acceptance bar for resuming a truth-matrix build from a complete
+#: shard store vs rebuilding cold (core-independent: resume is pure IO).
+SHARDED_SPEEDUP_TARGET = 3.0
+
+#: The acceptance bar for the parallel shared-bound exact search at 4
+#: workers vs the sequential bitset engine on the pinned hard instance.
+PARALLEL_SEARCH_SPEEDUP_TARGET = 3.0
 
 
 def _pinned_workload(quick: bool):
@@ -238,6 +254,176 @@ def bench_exact_search(quick: bool) -> dict[str, Any]:
     }
 
 
+def _usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def bench_sharded_truth(quick: bool, workers: int) -> dict[str, Any]:
+    """The streamed shard tier: cold build vs fan-out vs resume-from-shards.
+
+    Three builds of one pinned fraction-engine workload, all of which must
+    be byte-identical:
+
+    * **cold** — the single-pass sequential engine;
+    * **streamed** — :func:`repro.singularity.truth_builder
+      .sharded_truth_matrix` at ``workers`` workers, spilling shards into a
+      throwaway store (speedup over cold is gated only when the machine
+      really has ``workers`` usable cores — a 1-core CI box serializes the
+      pool and would fail any fan-out bar no matter the code);
+    * **resumed** — the same call again, now resuming from the complete
+      shard store: pure reads + reassembly.  Its speedup over cold is the
+      core-independent full-mode gate (>= 3x).
+
+    Also rehearses the kill/resume path (``interrupt_after``) and snapshots
+    the store's shard stats — the JSON artifact the CI smoke job uploads.
+    """
+    import shutil
+    import tempfile
+
+    from repro import cache
+    from repro.singularity import truth_builder as tb
+    from repro.singularity.family import RestrictedFamily
+
+    fam = RestrictedFamily(5, 3)
+    rng = ReproducibleRNG(1989)
+    if quick:
+        rows = tb.sample_distinct_rows(fam, rng, 10)
+        columns = tb.completed_columns(fam, rows[:5], rng, 1)
+        columns += tb.random_columns(fam, rng, 30)
+        block = 8
+    else:
+        rows = tb.sample_distinct_rows(fam, rng, 40)
+        columns = tb.completed_columns(fam, rows[:12], rng, 1)
+        columns += tb.random_columns(fam, rng, 440)
+        block = 16
+    t0 = time.perf_counter()
+    cold_tm = tb.restricted_truth_matrix(fam, rows, columns, engine="fraction")
+    cold_s = time.perf_counter() - t0
+    tmp = tempfile.mkdtemp(prefix="repro-bench-shards-")
+    try:
+        with cache.directory(tmp) as store:
+            # Kill/resume rehearsal on its own block grid (its own content
+            # address), so the streamed timing below starts truly cold.
+            interrupted = False
+            try:
+                tb.sharded_truth_matrix(
+                    fam, rows, columns, engine="fraction",
+                    block_size=block + 1, interrupt_after=2,
+                )
+            except tb.TruthBuildInterrupted:
+                interrupted = True
+            t0 = time.perf_counter()
+            streamed_tm = tb.sharded_truth_matrix(
+                fam, rows, columns, engine="fraction",
+                block_size=block, workers=workers,
+            )
+            streamed_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            resumed_tm = tb.sharded_truth_matrix(
+                fam, rows, columns, engine="fraction", block_size=block,
+            )
+            resumed_s = time.perf_counter() - t0
+            shard_stats = store.shard_stats()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    identical = bool(
+        (cold_tm.data == streamed_tm.data).all()
+        and (cold_tm.data == resumed_tm.data).all()
+    )
+    resume_speedup = cold_s / resumed_s if resumed_s > 0 else float("inf")
+    fanout_speedup = cold_s / streamed_s if streamed_s > 0 else float("inf")
+    cores = _usable_cores()
+    fanout_gated = cores >= workers
+    return {
+        "workload": {
+            "family": repr(fam),
+            "shape": list(cold_tm.shape),
+            "block_columns": block,
+            "blocks": len(cache.block_ranges(len(columns), block)),
+        },
+        "workers": workers,
+        "usable_cores": cores,
+        "cold_seconds": cold_s,
+        "streamed_seconds": streamed_s,
+        "resumed_seconds": resumed_s,
+        "resume_speedup": resume_speedup,
+        "fanout_speedup": fanout_speedup,
+        "fanout_gated": fanout_gated,
+        "speedup_target": SHARDED_SPEEDUP_TARGET,
+        "meets_target": bool(
+            resume_speedup >= SHARDED_SPEEDUP_TARGET
+            and (not fanout_gated or fanout_speedup >= SHARDED_SPEEDUP_TARGET)
+        ),
+        "interrupt_resumed": interrupted,
+        "byte_identical": identical,
+        "shard_stats": shard_stats,
+    }
+
+
+def _parallel_search_suite(quick: bool):
+    """The pinned DFBnB instance(s) for the parallel-search section.
+
+    Full mode uses a 12x14 random matrix whose sequential d^P search takes
+    tens of seconds — large enough that the shared-bound fan-out's pruning
+    (seeded witnessed bound + thin-first split order) dominates overheads.
+    Quick mode is identity-only at a smoke size.
+    """
+    import numpy as np
+
+    from repro.comm.truth_matrix import TruthMatrix
+
+    n_rows, n_cols = (6, 6) if quick else (12, 14)
+    rng = ReproducibleRNG(3)
+    data = np.array(
+        [rng.bit_vector(n_cols) for _ in range(n_rows)], dtype=np.uint8
+    )
+    return TruthMatrix(
+        data, tuple(range(n_rows)), tuple(range(n_cols))
+    )
+
+
+def bench_parallel_search(quick: bool, workers: int) -> dict[str, Any]:
+    """Sequential bitset DFBnB vs the shared-bound parallel fan-out.
+
+    Both compute the exact protocol partition number d^P of the pinned
+    instance; the values must be equal (that is the exactness contract the
+    Hypothesis suite pins at small sizes) and the full-mode speedup bar is
+    3x at 4 workers.  The in-process search LRU is cleared before each run
+    and the persistent cache is disabled by ``run_bench``, so both timings
+    are pure search.
+    """
+    from repro.comm.exhaustive import clear_search_cache, partition_number
+
+    tm = _parallel_search_suite(quick)
+    clear_search_cache()
+    t0 = time.perf_counter()
+    sequential = partition_number(tm, workers=1)
+    sequential_s = time.perf_counter() - t0
+    clear_search_cache()
+    t0 = time.perf_counter()
+    parallel = partition_number(tm, workers=workers)
+    parallel_s = time.perf_counter() - t0
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    return {
+        "shape": list(tm.shape),
+        "workers": workers,
+        "usable_cores": _usable_cores(),
+        "d_p": parallel,
+        "sequential_seconds": sequential_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "speedup_target": PARALLEL_SEARCH_SPEEDUP_TARGET,
+        "meets_target": speedup >= PARALLEL_SEARCH_SPEEDUP_TARGET,
+        "values_identical": sequential == parallel,
+    }
+
+
 def _eq_pairs_4(bits) -> bool:
     """Quick-mode sweep predicate: left pair equals right pair."""
     return bits[0] == bits[2] and bits[1] == bits[3]
@@ -377,11 +563,16 @@ def run_bench(
             parallel = bench_parallel(quick, workers)
         with trace.span("bench.exact_search", quick=quick):
             exact = bench_exact_search(quick)
+        with trace.span("bench.parallel_search", quick=quick, workers=workers):
+            parallel_search = bench_parallel_search(quick, workers)
         with trace.span("bench.costs", quick=quick):
             costs = bench_costs(quick)
     if no_cache:
         cache_section = None
+        sharded = None
     else:
+        with trace.span("bench.sharded_truth", quick=quick, workers=workers):
+            sharded = bench_sharded_truth(quick, workers)
         with trace.span("bench.cache_roundtrip", quick=quick):
             cache_section = bench_cache_roundtrip(quick)
     report: dict[str, Any] = {
@@ -394,6 +585,8 @@ def run_bench(
         "engines": engines,
         "parallel": parallel,
         "exact_search": exact,
+        "parallel_search": parallel_search,
+        "sharded_truth": sharded,
         "costs": costs,
         "cache": cache_section,
         "obs": obs.snapshot(),
@@ -406,12 +599,16 @@ def run_bench(
         and parallel["truth_matrix"]["byte_identical"]
         and parallel["chaos"]["verdicts_identical"]
         and exact["values_identical"]
+        and parallel_search["values_identical"]
         and costs["all_match"]
+        and (sharded is None or sharded["byte_identical"])
         and (cache_section is None or cache_section["results_identical"])
     )
     meets_targets = (
         engines["meets_target"]
         and exact["meets_target"]
+        and parallel_search["meets_target"]
+        and (sharded is None or sharded["meets_target"])
         and (cache_section is None or cache_section["meets_target"])
     )
     report["ok"] = bool(identical and (quick or meets_targets))
@@ -450,6 +647,39 @@ def render_summary(report: dict[str, Any]) -> str:
             f"  speedup         : {x['speedup']:9.1f}x (target >= "
             f"{x['speedup_target']:g}x, values identical: "
             f"{x['values_identical']})",
+        ]
+    ps = report.get("parallel_search")
+    if ps is not None:
+        lines += [
+            f"parallel exact search ({ps['shape'][0]}x{ps['shape'][1]}, "
+            f"d^P = {ps['d_p']}):",
+            f"  sequential      : {ps['sequential_seconds'] * 1e3:9.1f} ms",
+            f"  {ps['workers']} workers       : "
+            f"{ps['parallel_seconds'] * 1e3:9.1f} ms",
+            f"  speedup         : {ps['speedup']:9.1f}x (target >= "
+            f"{ps['speedup_target']:g}x, values identical: "
+            f"{ps['values_identical']})",
+        ]
+    sh = report.get("sharded_truth")
+    if sh is not None:
+        fanout_note = (
+            f"{sh['fanout_speedup']:.1f}x"
+            if sh["fanout_gated"]
+            else f"{sh['fanout_speedup']:.1f}x (ungated: "
+            f"{sh['usable_cores']} core(s) < {sh['workers']} workers)"
+        )
+        lines += [
+            f"sharded truth build ({sh['workload']['shape'][0]}x"
+            f"{sh['workload']['shape'][1]}, "
+            f"{sh['workload']['blocks']} blocks):",
+            f"  cold build      : {sh['cold_seconds'] * 1e3:9.1f} ms",
+            f"  streamed        : {sh['streamed_seconds'] * 1e3:9.1f} ms "
+            f"(fan-out {fanout_note})",
+            f"  shard resume    : {sh['resumed_seconds'] * 1e3:9.1f} ms",
+            f"  resume speedup  : {sh['resume_speedup']:9.1f}x (target >= "
+            f"{sh['speedup_target']:g}x, byte-identical: "
+            f"{sh['byte_identical']}, interrupt resumed: "
+            f"{sh['interrupt_resumed']})",
         ]
     k = report.get("costs")
     if k is not None:

@@ -11,6 +11,11 @@ makes them do so:
 * **records** — versioned canonical JSON, atomically replaced, merged
   field-by-field (``d``, ``leaves``, ``tree``); see
   :mod:`repro.cache.store`;
+* **shards** — truth-matrix column blocks spilled under ``shards/`` as a
+  manifest plus raw ``.bin`` files addressed by
+  ``blake2b(family/params/block-range)``, so an interrupted streamed build
+  (:func:`repro.singularity.truth_builder.sharded_truth_matrix`) resumes
+  to byte-identical output;
 * **activation** — opt-in via :func:`configure` / the ``REPRO_CACHE_DIR``
   environment variable; without either the library never touches disk;
 * **CLI** — ``python -m repro cache {stats,clear,verify}``;
@@ -21,36 +26,54 @@ Design notes (key layout, determinism rules, bench methodology) live in
 docs/performance.md.
 """
 
-from repro.cache.keys import KEY_PREFIX, canonical_matrix_bytes, matrix_key
+from repro.cache.keys import (
+    KEY_PREFIX,
+    SHARD_PREFIX,
+    build_key,
+    canonical_matrix_bytes,
+    matrix_key,
+    shard_name,
+)
 from repro.cache.store import (
     ENV_VAR,
     RECORD_FIELDS,
     RECORD_VERSION,
+    SHARD_MANIFEST_VERSION,
     CacheStore,
     active_store,
+    block_ranges,
     configure,
     decode_record,
     directory,
     disabled,
     encode_record,
     record_problems,
+    shard_manifest_problems,
+    shard_manifest_record,
     unconfigure,
 )
 
 __all__ = [
     "KEY_PREFIX",
+    "SHARD_PREFIX",
+    "build_key",
     "canonical_matrix_bytes",
     "matrix_key",
+    "shard_name",
     "ENV_VAR",
     "RECORD_FIELDS",
     "RECORD_VERSION",
+    "SHARD_MANIFEST_VERSION",
     "CacheStore",
     "active_store",
+    "block_ranges",
     "configure",
     "decode_record",
     "directory",
     "disabled",
     "encode_record",
     "record_problems",
+    "shard_manifest_problems",
+    "shard_manifest_record",
     "unconfigure",
 ]

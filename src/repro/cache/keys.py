@@ -42,3 +42,44 @@ def matrix_key(engine_version: str, shape, data_bytes: bytes) -> str:
     digest.update(b"\0")
     digest.update(data_bytes)
     return digest.hexdigest()
+
+
+#: Domain separator for truth-matrix shard builds (bump with the shard
+#: layout in ``store.py``).
+SHARD_PREFIX = b"repro-truth-shards-v1"
+
+
+def build_key(engine_version: str, params: dict) -> str:
+    """Content address of one sharded truth-matrix *build*.
+
+    ``params`` names everything the build's bytes depend on: the family
+    parameters, the row and column instances (their ``repr`` is the
+    canonical form — Blocks are nested int tuples, so ``repr`` is stable
+    across processes and Python versions in scope), the prime, and the
+    block grid.  Values are folded in under sorted keys, so dict insertion
+    order can never leak into the address.
+    """
+    if not engine_version or "\0" in engine_version:
+        raise ValueError("engine_version must be a non-empty NUL-free tag")
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(SHARD_PREFIX)
+    digest.update(b"\0")
+    digest.update(engine_version.encode("ascii"))
+    for field in sorted(params):
+        digest.update(b"\0")
+        digest.update(field.encode("ascii"))
+        digest.update(b"=")
+        digest.update(repr(params[field]).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def shard_name(key: str, start: int, stop: int) -> str:
+    """File stem of one column-block shard of build ``key``.
+
+    The half-open column range completes the content address: the same
+    build at a different block grid writes different names, so stale grids
+    can never be reassembled into the wrong matrix.
+    """
+    if not (0 <= int(start) < int(stop)):
+        raise ValueError(f"bad shard range [{start}, {stop})")
+    return f"{key}.{int(start):08d}-{int(stop):08d}"

@@ -28,13 +28,16 @@ from pathlib import Path
 from threading import Lock
 
 from repro import obs
-from repro.cache.keys import matrix_key
+from repro.cache.keys import matrix_key, shard_name
 
 #: Record schema version; readers ignore records from other versions.
 RECORD_VERSION = 1
 
 #: Result fields a record may carry (beyond v/engine/shape).
 RECORD_FIELDS = ("d", "leaves", "tree")
+
+#: Shard manifest schema version; readers ignore foreign versions.
+SHARD_MANIFEST_VERSION = 1
 
 ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -114,13 +117,66 @@ def record_problems(record: dict | None, text: str | None = None) -> list[str]:
     return problems
 
 
+def shard_manifest_record(
+    rows: int, cols: int, block: int, engine: str
+) -> dict:
+    """The manifest describing one sharded truth-matrix build.
+
+    Fixes the block *grid* (column ranges ``[i·block, min((i+1)·block,
+    cols))``) so every process — the builder, a resumer, the CLI — derives
+    the identical shard set from the same four integers/strings.
+    """
+    return {
+        "v": SHARD_MANIFEST_VERSION,
+        "rows": int(rows),
+        "cols": int(cols),
+        "block": int(block),
+        "engine": str(engine),
+    }
+
+
+def shard_manifest_problems(manifest: dict | None) -> list[str]:
+    """Schema violations of one parsed shard manifest."""
+    if manifest is None:
+        return ["unparseable or foreign-version manifest"]
+    problems = []
+    for field in ("rows", "cols", "block"):
+        if not (isinstance(manifest.get(field), int) and manifest[field] > 0):
+            problems.append(f"{field} is not a positive int")
+    if not isinstance(manifest.get("engine"), str) or not manifest["engine"]:
+        problems.append("missing or empty engine tag")
+    unknown = [
+        field
+        for field in sorted(manifest)
+        if field not in ("v", "rows", "cols", "block", "engine")
+    ]
+    if unknown:
+        problems.append(f"unknown fields: {', '.join(unknown)}")
+    return problems
+
+
+def block_ranges(cols: int, block: int) -> list[tuple[int, int]]:
+    """The half-open column ranges of a build's block grid."""
+    if cols < 0 or block < 1:
+        raise ValueError(f"bad block grid: cols={cols}, block={block}")
+    return [(start, min(start + block, cols)) for start in range(0, cols, block)]
+
+
 class CacheStore:
-    """One cache directory: get / merge / stats / verify / clear."""
+    """One cache directory: get / merge / stats / verify / clear.
+
+    Two kinds of content live side by side: exact-search result records
+    under ``objects/`` and truth-matrix column-block shards under
+    ``shards/`` (a manifest JSON plus one raw ``.bin`` per block — see
+    :meth:`put_shard`).
+    """
 
     def __init__(self, root):
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
+        self.shards = self.root / "shards"
+        self.shards.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
         return self.objects / f"{key}.json"
@@ -180,6 +236,216 @@ class CacheStore:
         obs.counter("cache.stores").inc()
         return record
 
+    # -- truth-matrix shards --------------------------------------------
+    def _manifest_path(self, key: str) -> Path:
+        return self.shards / f"{key}.manifest.json"
+
+    def _shard_path(self, key: str, start: int, stop: int) -> Path:
+        return self.shards / f"{shard_name(key, start, stop)}.bin"
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def get_shard_manifest(self, key: str) -> dict | None:
+        """The manifest of build ``key``, or None."""
+        try:
+            text = self._manifest_path(key).read_text()
+        except OSError:
+            return None
+        try:
+            manifest = json.loads(text)
+        except (ValueError, TypeError):
+            return None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("v") != SHARD_MANIFEST_VERSION
+        ):
+            return None
+        return manifest
+
+    def put_shard_manifest(self, key: str, manifest: dict) -> dict:
+        """Commit the build manifest (canonical JSON, atomic replace)."""
+        problems = shard_manifest_problems(manifest)
+        if problems:
+            raise ValueError(f"bad shard manifest: {'; '.join(problems)}")
+        self._atomic_write(
+            self._manifest_path(key), encode_record(manifest).encode()
+        )
+        return manifest
+
+    def get_shard(self, key: str, start: int, stop: int) -> bytes | None:
+        """The raw bytes of one column-block shard, or None."""
+        try:
+            data = self._shard_path(key, start, stop).read_bytes()
+        except OSError:
+            obs.counter("cache.shard.misses").inc()
+            return None
+        obs.counter("cache.shard.hits").inc()
+        return data
+
+    def put_shard(self, key: str, start: int, stop: int, data: bytes) -> None:
+        """Spill one column block (raw C-order uint8 bytes, atomic).
+
+        The length must tile against the committed manifest — a shard that
+        cannot be reassembled byte-identically is refused at write time,
+        not discovered at resume time.
+        """
+        manifest = self.get_shard_manifest(key)
+        if manifest is None:
+            raise ValueError(f"no manifest for build {key}; commit one first")
+        expected = manifest["rows"] * (int(stop) - int(start))
+        if len(data) != expected:
+            raise ValueError(
+                f"shard [{start}, {stop}) carries {len(data)} bytes; "
+                f"manifest demands {expected}"
+            )
+        self._atomic_write(self._shard_path(key, start, stop), data)
+        obs.counter("cache.shard.stores").inc()
+
+    def _shard_bin_paths(self) -> list[Path]:
+        try:
+            return sorted(self.shards.glob("*.bin"))
+        except OSError:
+            return []
+
+    def _manifest_paths(self) -> list[Path]:
+        try:
+            return sorted(self.shards.glob("*.manifest.json"))
+        except OSError:
+            return []
+
+    @staticmethod
+    def _parse_shard_name(path: Path) -> tuple[str, int, int] | None:
+        """``(build_key, start, stop)`` of a ``.bin`` path, or None."""
+        stem = path.name[: -len(".bin")]
+        key, dot, span = stem.rpartition(".")
+        if not dot or "-" not in span:
+            return None
+        start_text, _, stop_text = span.partition("-")
+        try:
+            start, stop = int(start_text), int(stop_text)
+        except ValueError:
+            return None
+        if not key or start < 0 or stop <= start:
+            return None
+        return key, start, stop
+
+    def shard_builds(self) -> dict[str, dict]:
+        """Every build with a manifest: key -> manifest + completeness.
+
+        A build is *complete* when every grid block's shard is present;
+        otherwise it is a resumable partial (``missing`` counts the holes).
+        """
+        builds: dict[str, dict] = {}
+        for path in self._manifest_paths():
+            key = path.name[: -len(".manifest.json")]
+            manifest = self.get_shard_manifest(key)
+            if manifest is None:
+                builds[key] = {"manifest": None, "missing": None}
+                continue
+            ranges = block_ranges(manifest["cols"], manifest["block"])
+            missing = sum(
+                0 if self._shard_path(key, start, stop).exists() else 1
+                for start, stop in ranges
+            )
+            builds[key] = {
+                "manifest": manifest,
+                "blocks": len(ranges),
+                "missing": missing,
+            }
+        return builds
+
+    def shard_stats(self) -> dict:
+        """Shard-side counts: builds, partials, shard files/bytes, orphans."""
+        builds = self.shard_builds()
+        shard_files = 0
+        shard_bytes = 0
+        orphaned = 0
+        for path in self._shard_bin_paths():
+            parsed = self._parse_shard_name(path)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            shard_files += 1
+            shard_bytes += size
+            if parsed is None or parsed[0] not in builds:
+                orphaned += 1
+        partial = sum(
+            1
+            for info in builds.values()
+            if info["missing"] is None or info["missing"] > 0
+        )
+        return {
+            "builds": len(builds),
+            "complete_builds": len(builds) - partial,
+            "partial_builds": partial,
+            "shards": shard_files,
+            "bytes": shard_bytes,
+            "orphaned_shards": orphaned,
+        }
+
+    def verify_shards(self) -> list[str]:
+        """Problems across every manifest and shard (empty means clean)."""
+        problems = []
+        builds: dict[str, dict] = {}
+        for path in self._manifest_paths():
+            key = path.name[: -len(".manifest.json")]
+            manifest = self.get_shard_manifest(key)
+            for problem in shard_manifest_problems(manifest):
+                problems.append(f"{path.name}: {problem}")
+            if manifest is not None and not shard_manifest_problems(manifest):
+                builds[key] = manifest
+        for path in self._shard_bin_paths():
+            parsed = self._parse_shard_name(path)
+            if parsed is None:
+                problems.append(f"{path.name}: unparseable shard name")
+                continue
+            key, start, stop = parsed
+            manifest = builds.get(key)
+            if manifest is None:
+                problems.append(
+                    f"{path.name}: orphaned shard (no valid manifest for "
+                    "its build; run `repro cache clear`)"
+                )
+                continue
+            if (start, stop) not in set(
+                block_ranges(manifest["cols"], manifest["block"])
+            ):
+                problems.append(
+                    f"{path.name}: range off the manifest's block grid"
+                )
+                continue
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                problems.append(f"{path.name}: unreadable ({exc})")
+                continue
+            expected = manifest["rows"] * (stop - start)
+            if len(data) != expected:
+                problems.append(
+                    f"{path.name}: {len(data)} bytes, manifest demands "
+                    f"{expected}"
+                )
+            elif any(byte > 1 for byte in data):
+                problems.append(f"{path.name}: non-0/1 truth-matrix bytes")
+        return problems
+
+    def clear_shards(self) -> int:
+        """Delete every shard and manifest; returns files removed."""
+        removed = 0
+        for path in self._shard_bin_paths() + self._manifest_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     # -- maintenance ----------------------------------------------------
     def _record_paths(self) -> list[Path]:
         try:
@@ -215,13 +481,17 @@ class CacheStore:
             "bytes": total_bytes,
             "fields": fields,
             "engines": {name: engines[name] for name in sorted(engines)},
+            "shards": self.shard_stats(),
         }
 
     def _tmp_paths(self) -> list[Path]:
-        try:
-            return sorted(self.objects.glob("*.tmp"))
-        except OSError:
-            return []
+        paths = []
+        for directory in (self.objects, self.shards):
+            try:
+                paths.extend(directory.glob("*.tmp"))
+            except OSError:
+                continue
+        return sorted(paths)
 
     def orphaned_tmp(self) -> list[Path]:
         """Scratch ``.tmp`` files left behind by writers killed mid-commit.
@@ -256,6 +526,7 @@ class CacheStore:
                 continue
             for problem in record_problems(decode_record(text), text):
                 problems.append(f"{path.name}: {problem}")
+        problems.extend(self.verify_shards())
         for path in self.orphaned_tmp():
             problems.append(
                 f"{path.name}: orphaned tmp scratch file (writer died "
@@ -264,7 +535,8 @@ class CacheStore:
         return problems
 
     def clear(self) -> int:
-        """Delete every record (and orphaned scratch); returns records removed."""
+        """Delete every record, shard and orphaned scratch; returns records
+        removed (shard files are counted separately by the CLI)."""
         removed = 0
         for path in self._record_paths():
             try:
@@ -272,6 +544,7 @@ class CacheStore:
                 removed += 1
             except OSError:
                 continue
+        self.clear_shards()
         self.sweep_tmp()
         return removed
 

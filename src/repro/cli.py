@@ -287,6 +287,14 @@ def _cmd_cache(args) -> int:
                 print(f"  {field:8s}: {count} record(s)")
             for engine, count in stats["engines"].items():
                 print(f"  engine {engine}: {count} record(s)")
+            sh = stats["shards"]
+            print(
+                f"  shards  : {sh['shards']} file(s), {sh['bytes']} bytes "
+                f"across {sh['builds']} build(s) "
+                f"({sh['complete_builds']} complete, "
+                f"{sh['partial_builds']} partial, "
+                f"{sh['orphaned_shards']} orphaned)"
+            )
         return 0
     if args.action == "verify":
         problems = store.verify()
@@ -305,11 +313,17 @@ def _cmd_cache(args) -> int:
         else:
             print(f"swept {swept} orphaned tmp file(s) from {store.root}")
         return 0
+    shard_stats = store.shard_stats()
     removed = store.clear()
     if args.format == "json":
-        print(json.dumps({"removed": removed}))
+        print(json.dumps(
+            {"removed": removed, "shards_removed": shard_stats["shards"]}
+        ))
     else:
-        print(f"removed {removed} record(s) from {store.root}")
+        print(
+            f"removed {removed} record(s) and {shard_stats['shards']} "
+            f"shard file(s) from {store.root}"
+        )
     return 0
 
 

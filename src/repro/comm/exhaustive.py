@@ -29,6 +29,22 @@ Two engines implement the recursion:
   ground-truth oracle the cross-engine test suite compares against.
   Default size limit: 12.
 
+The bitset engine also has a **parallel mode** (the raw-speed tier): pass
+``workers > 1`` (or set ``REPRO_WORKERS``) to
+:func:`communication_complexity` / :func:`partition_number` and the
+*root-level* split enumeration fans out over
+:func:`repro.util.parallel.parmap`.  D(f) = min over root splits of
+``1 + max(D(children))`` (and d^P likewise with ``+``), so each worker
+evaluates a round-robin chunk of the splits with its own process-local
+search object, pruning against an incumbent folded from its local best
+and a :class:`repro.util.parallel.SharedBound` file that every worker
+publishes *witnessed* costs to.  A stale bound only weakens pruning —
+every published value was exactly achieved and is returned by its
+publishing worker, so the driver's min over worker bests is the exact
+optimum at any worker count (the soundness argument is spelled out in
+docs/performance.md §6).  ``optimal_protocol_tree`` stays sequential:
+the tree it returns is pinned to the sequential traversal order.
+
 One memo serves every query: ``D(f)``, the protocol tree and ``d^P(f)`` all
 run over the shared per-matrix search object (LRU-cached in
 ``_SEARCH_CACHE``, lock-guarded so :func:`repro.util.parallel.parmap`
@@ -46,6 +62,8 @@ before searching.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections import OrderedDict
 from threading import Lock
 
@@ -55,6 +73,7 @@ from repro import obs
 from repro.comm.protocol import Leaf, Node, ProtocolTree
 from repro.comm.truth_matrix import TruthMatrix
 from repro.trace import core as trace
+from repro.util.parallel import SharedBound, parmap, resolve_workers
 
 #: Engine registry.  The version tags key the persistent cache: bump one
 #: whenever its engine could produce a different (even just differently
@@ -64,8 +83,9 @@ ENGINES = ("bitset", "legacy")
 ENGINE_VERSIONS = {"bitset": "bitset-1", "legacy": "tuple-1"}
 
 #: Per-engine default size limits (post-dedupe rows/columns).  The pruned
-#: bitset engine affords 16; the legacy enumerator keeps its historical 12.
-DEFAULT_LIMITS = {"bitset": 16, "legacy": 12}
+#: bitset engine affords 18 now that the root enumeration can fan out
+#: across workers; the legacy enumerator keeps its historical 12.
+DEFAULT_LIMITS = {"bitset": 18, "legacy": 12}
 
 
 def _resolve_engine(engine: str | None) -> str:
@@ -714,8 +734,45 @@ class _BitsetSearch:
 _SEARCH_CACHE: OrderedDict[
     tuple[str, bytes, tuple[int, int]], "_BitsetSearch | _ExactSearch"
 ] = OrderedDict()
-_SEARCH_CACHE_LIMIT = 64
+_SEARCH_CACHE_DEFAULT_LIMIT = 64
+_SEARCH_CACHE_ENV = "REPRO_SEARCH_CACHE_LIMIT"
 _SEARCH_CACHE_LOCK = Lock()
+
+
+def _default_search_cache_limit() -> int:
+    """64, unless ``REPRO_SEARCH_CACHE_LIMIT`` overrides (clamped to 1)."""
+    env = os.environ.get(_SEARCH_CACHE_ENV)
+    if env is None or not env.strip():
+        return _SEARCH_CACHE_DEFAULT_LIMIT
+    try:
+        return max(1, int(env))
+    except ValueError:
+        raise ValueError(
+            f"{_SEARCH_CACHE_ENV} must be an integer, got {env!r}"
+        ) from None
+
+
+_SEARCH_CACHE_LIMIT = _default_search_cache_limit()
+
+
+def configure_search_cache(limit: int | None = None) -> int:
+    """Set the in-process search LRU's entry limit; returns the new limit.
+
+    ``None`` re-resolves the default (``REPRO_SEARCH_CACHE_LIMIT`` env
+    var, else 64).  Shrinking evicts oldest entries immediately.  Pool
+    workers inherit the environment variable, so exporting it sizes every
+    worker's process-local cache too — ``configure_search_cache`` alone
+    only reaches the calling process.
+    """
+    global _SEARCH_CACHE_LIMIT
+    with _SEARCH_CACHE_LOCK:
+        if limit is None:
+            _SEARCH_CACHE_LIMIT = _default_search_cache_limit()
+        else:
+            _SEARCH_CACHE_LIMIT = max(1, int(limit))
+        while len(_SEARCH_CACHE) > _SEARCH_CACHE_LIMIT:
+            _SEARCH_CACHE.popitem(last=False)
+        return _SEARCH_CACHE_LIMIT
 
 
 def _search_for(deduped: TruthMatrix, engine: str):
@@ -769,6 +826,251 @@ def search_cache_stats() -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Parallel root-split fan-out (bitset engine only).
+#
+# D(f) and d^P(f) are minima over *root* splits: D = 1 + min over splits of
+# max(D(A), D(B)); d^P = min over splits of leaves(A) + leaves(B).  The
+# matrix is deduplicated before the fan-out, so enumerating bipartitions of
+# the actual row/column index sets is a complete enumeration (no reduction
+# happens at the root).  Each worker evaluates a round-robin chunk of the
+# splits against an incumbent = min(its own best, the SharedBound file);
+# a split is pruned only when a budgeted child search certifies its cost
+# cannot *strictly* beat a witnessed incumbent, so the driver's min over
+# worker bests is exact at any worker count — see docs/performance.md §6.
+# ---------------------------------------------------------------------------
+
+
+def _root_splits(n_rows: int, n_cols: int) -> list[tuple[int, int, int]]:
+    """Every root split as ``(axis, left_mask, right_mask)`` bitmasks."""
+    splits = []
+    for axis, size in ((0, n_rows), (1, n_cols)):
+        if size < 2:
+            continue
+        for left, right in _bipartitions(tuple(range(size))):
+            left_mask = 0
+            for i in left:
+                left_mask |= 1 << i
+            right_mask = 0
+            for i in right:
+                right_mask |= 1 << i
+            splits.append((axis, left_mask, right_mask))
+    return splits
+
+
+def _split_priority(split, kind: str):
+    """Deterministic evaluation order for root splits, promising first.
+
+    For leaves, peeling a thin slice off (singleton row/column) tends to
+    be optimal or near it — a 1xc deduped child costs at most 2 leaves —
+    so thin-first lets every worker witness a tight cost almost
+    immediately and downgrade the rest of its chunk to lower-bound
+    prunes.  For D the cost is ``1 + max`` of the children, so *balanced*
+    splits are the promising ones.
+    """
+    _axis, left_mask, right_mask = split
+    thin = min(left_mask.bit_count(), right_mask.bit_count())
+    if kind == "d":
+        skew = abs(left_mask.bit_count() - right_mask.bit_count())
+        return (skew, split)
+    return (thin, split)
+
+
+def _round_robin(splits, n_chunks: int):
+    """Deal splits into ``n_chunks`` hands, preserving per-hand order.
+
+    Round-robin (rather than contiguous slices) interleaves row and column
+    splits across workers, so every worker finds *some* cheap witnessed
+    cost early and the shared bound tightens for all of them.
+    """
+    n_chunks = max(1, min(n_chunks, len(splits)))
+    chunks: list[list] = [[] for _ in range(n_chunks)]
+    for index, split in enumerate(splits):
+        chunks[index % n_chunks].append(split)
+    return chunks
+
+
+def _worker_search(data_bytes: bytes, shape: tuple[int, int]) -> "_BitsetSearch":
+    """Rebuild the bitset search inside a pool worker.
+
+    Routes through :func:`_search_for`, so consecutive chunk tasks that
+    land on the same (pool-persistent) worker process reuse one search
+    object — and with it the memo all chunks of this matrix share.
+    """
+    data = np.frombuffer(data_bytes, dtype=np.uint8).reshape(shape)
+    tmx = TruthMatrix(
+        data.copy(), tuple(range(shape[0])), tuple(range(shape[1]))
+    )
+    return _search_for(tmx, "bitset")
+
+
+def _split_children(search: "_BitsetSearch", split):
+    axis, left_mask, right_mask = split
+    if axis == 0:
+        return (
+            (left_mask, search.full_cols),
+            (right_mask, search.full_cols),
+        )
+    return (
+        (search.full_rows, left_mask),
+        (search.full_rows, right_mask),
+    )
+
+
+def _incumbent(best: int | None, bound: SharedBound | None) -> int | None:
+    if bound is None:
+        return best
+    shared = bound.get()
+    if shared is None:
+        return best
+    if best is None or shared < best:
+        return shared
+    return best
+
+
+def _parallel_d_task(task) -> int | None:
+    """One worker's chunk of the root-split D(f) minimum.
+
+    Returns the best *witnessed* ``1 + max(D(A), D(B))`` over its splits,
+    or None when the incumbent pruned every one — in which case some other
+    worker witnessed (and returns) a cost at least as good.
+    """
+    data_bytes, shape, splits, bound_path = task
+    search = _worker_search(data_bytes, shape)
+    bound = SharedBound(bound_path) if bound_path else None
+    best: int | None = None
+    for split in splits:
+        child_a, child_b = _split_children(search, split)
+        incumbent = _incumbent(best, bound)
+        if incumbent is not None:
+            # Beating the incumbent strictly needs both children <= inc-2.
+            budget = incumbent - 2
+            if budget < 0:
+                obs.counter("exhaustive.parallel.pruned").inc()
+                continue
+            a = search.solve_d(*child_a, budget)
+            if a > budget:
+                obs.counter("exhaustive.parallel.pruned").inc()
+                continue
+            b = search.solve_d(*child_b, budget)
+            if b > budget:
+                obs.counter("exhaustive.parallel.pruned").inc()
+                continue
+            cost = 1 + max(a, b)
+        else:
+            a = search._solve_d_node(*child_a)
+            b = search._solve_d_node(*child_b)
+            cost = 1 + max(a, b)
+        if best is None or cost < best:
+            best = cost
+            if bound is not None:
+                bound.publish(cost)
+    return best
+
+
+def _parallel_leaves_task(task) -> int | None:
+    """One worker's chunk of the root-split d^P minimum (same contract)."""
+    data_bytes, shape, splits, bound_path = task
+    search = _worker_search(data_bytes, shape)
+    bound = SharedBound(bound_path) if bound_path else None
+    # Leaves of any subrectangle never exceed its entry count, so the full
+    # entry count is a cap under which solve_leaves is always exact.
+    cap_total = shape[0] * shape[1]
+    best: int | None = None
+    for split in splits:
+        child_a, child_b = _split_children(search, split)
+        incumbent = _incumbent(best, bound)
+        if incumbent is not None:
+            current = incumbent - 1  # must strictly beat the incumbent
+            lb_b = search._peek_leaves_lb(*child_b)
+            if lb_b + 1 > current:
+                obs.counter("exhaustive.parallel.pruned").inc()
+                continue
+            a = search.solve_leaves(*child_a, current - lb_b)
+            if a + lb_b > current:
+                obs.counter("exhaustive.parallel.pruned").inc()
+                continue
+            b = search.solve_leaves(*child_b, current - a)
+            if a + b > current:
+                obs.counter("exhaustive.parallel.pruned").inc()
+                continue
+            cost = a + b
+        else:
+            a = search.solve_leaves(*child_a, cap_total)
+            b = search.solve_leaves(*child_b, cap_total)
+            cost = a + b
+        if best is None or cost < best:
+            best = cost
+            if bound is not None:
+                bound.publish(cost)
+    return best
+
+
+_PARALLEL_TASKS = {"d": _parallel_d_task, "leaves": _parallel_leaves_task}
+
+
+def _announcement_bound(data: np.ndarray, kind: str) -> int:
+    """A *witnessed* upper bound from the two announcement protocols.
+
+    Agent 0 can always announce its (deduped) row index with a balanced
+    split tree, after which the rectangle is a single row and one more bit
+    from agent 1 finishes any non-constant row; symmetrically for columns.
+    Both are real protocols, so their costs are achieved — which is what
+    lets the driver seed the shared bound with them and fold them into the
+    final min without breaking exactness.
+    """
+    bounds = []
+    for view in (data, data.T):
+        n = view.shape[0]
+        constant = [
+            bool((row == row[0]).all()) for row in view
+        ]
+        if kind == "d":
+            index_bits = max(1, (n - 1).bit_length()) if n > 1 else 0
+            cost = index_bits + (0 if all(constant) else 1)
+        else:
+            cost = sum(1 if c else 2 for c in constant)
+        bounds.append(cost)
+    return min(bounds)
+
+
+def _parallel_root_min(deduped: TruthMatrix, kind: str, n_workers: int) -> int:
+    """Fan the root-split minimum out over ``n_workers`` pool processes."""
+    data = np.ascontiguousarray(deduped.data)
+    n_rows, n_cols = deduped.shape
+    splits = _root_splits(n_rows, n_cols)
+    assert splits, "parallel path requires a splittable (non-1x1) matrix"
+    splits.sort(key=lambda split: _split_priority(split, kind))
+    chunks = _round_robin(splits, n_workers * 2)
+    # Seeding the bound file with the announcement-protocol cost spares
+    # every worker the unbudgeted first evaluation (cap = entry count)
+    # that would otherwise dominate its wall time.
+    seed = _announcement_bound(data, kind)
+    with trace.span(
+        "exhaustive.parallel_root",
+        kind=kind,
+        workers=n_workers,
+        splits=len(splits),
+        chunks=len(chunks),
+        seed_bound=seed,
+    ):
+        with tempfile.TemporaryDirectory(prefix="repro-bound-") as scratch:
+            bound_path = os.path.join(scratch, f"{kind}.bound")
+            SharedBound(bound_path).publish(seed)
+            tasks = [
+                (data.tobytes(), deduped.shape, tuple(chunk), bound_path)
+                for chunk in chunks
+            ]
+            # chunksize=1: chunks are few and heavy; queueing two behind a
+            # straggler would forfeit the whole fan-out.
+            results = parmap(
+                _PARALLEL_TASKS[kind], tasks, workers=n_workers, chunksize=1
+            )
+    # The seed is witnessed too: a worker best only exists where it beat
+    # the incumbent, and splits pruned against the seed cost >= seed.
+    return min([seed] + [r for r in results if r is not None])
+
+
+# ---------------------------------------------------------------------------
 # Persistent cache plumbing (opt-in; see repro.cache).
 # ---------------------------------------------------------------------------
 
@@ -808,15 +1110,26 @@ def _cache_store(store, key: str, deduped: TruthMatrix, engine: str, fields):
 
 
 def communication_complexity(
-    tm: TruthMatrix, limit: int | None = None, engine: str | None = None
+    tm: TruthMatrix,
+    limit: int | None = None,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> int:
-    """Exact D(f) of the (deduplicated) truth matrix."""
+    """Exact D(f) of the (deduplicated) truth matrix.
+
+    ``workers`` (explicit arg > ``REPRO_WORKERS`` env > 1) fans the root
+    splits of the bitset engine out across a process pool with a shared
+    pruning bound; the result is the same exact integer at any worker
+    count.  The legacy engine ignores it (oracle stays sequential).
+    """
     engine = _resolve_engine(engine)
+    n_workers = resolve_workers(workers)
     # The span covers dedup + cache probing too, so traced wall time stays
     # attributed even when the search itself is cheap.
     with trace.span(
         "exhaustive.communication_complexity",
         engine=engine,
+        workers=n_workers,
         rows=int(tm.shape[0]),
         cols=int(tm.shape[1]),
     ) as sp:
@@ -831,11 +1144,14 @@ def communication_complexity(
         cached = _cache_lookup(store, key, "d")
         if isinstance(cached, int):
             return cached
-        search = _search_for(deduped, engine)
-        if engine == "bitset":
-            cost = search.solve_d_root()
+        if engine == "bitset" and n_workers > 1 and deduped.data.size > 1:
+            cost = _parallel_root_min(deduped, "d", n_workers)
         else:
-            cost = search.solve_root()[0]
+            search = _search_for(deduped, engine)
+            if engine == "bitset":
+                cost = search.solve_d_root()
+            else:
+                cost = search.solve_root()[0]
         _cache_store(store, key, deduped, engine, {"d": cost})
         return cost
 
@@ -909,7 +1225,10 @@ def optimal_protocol_tree(
 
 
 def partition_number(
-    tm: TruthMatrix, limit: int | None = None, engine: str | None = None
+    tm: TruthMatrix,
+    limit: int | None = None,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> int:
     """The *protocol* partition number: minimum leaves over all protocols.
 
@@ -917,12 +1236,16 @@ def partition_number(
     rectangle partition number d(f); ``log2`` of it sandwiches D(f) within a
     factor-2/additive terms.  Same recursion as D(f) with ``+`` in place of
     ``max``, running on the same shared search memo as
-    :func:`communication_complexity`.
+    :func:`communication_complexity`.  ``workers`` parallelizes the root
+    splits exactly as in :func:`communication_complexity` (bitset only;
+    same value at any worker count).
     """
     engine = _resolve_engine(engine)
+    n_workers = resolve_workers(workers)
     with trace.span(
         "exhaustive.partition_number",
         engine=engine,
+        workers=n_workers,
         rows=int(tm.shape[0]),
         cols=int(tm.shape[1]),
     ) as sp:
@@ -937,8 +1260,11 @@ def partition_number(
         cached = _cache_lookup(store, key, "leaves")
         if isinstance(cached, int):
             return cached
-        search = _search_for(deduped, engine)
-        leaves = search.solve_leaves_root()
+        if engine == "bitset" and n_workers > 1 and deduped.data.size > 1:
+            leaves = _parallel_root_min(deduped, "leaves", n_workers)
+        else:
+            search = _search_for(deduped, engine)
+            leaves = search.solve_leaves_root()
         _cache_store(store, key, deduped, engine, {"leaves": leaves})
         return leaves
 

@@ -97,6 +97,7 @@ def best_partition_cc(
     dp_limit: int | None = None,
     engine: str | None = None,
     workers: int | None = None,
+    chunksize: int | None = 1,
 ) -> PartitionSearchResult:
     """Exact Comm(f) = min over even partitions of exact D(f, π).
 
@@ -106,6 +107,11 @@ def best_partition_cc(
     .parmap` — results are bit-identical at every worker count, and cells
     that repeat a deduplicated matrix reuse the shared search memo (plus
     the persistent :mod:`repro.cache` store when one is configured).
+
+    ``chunksize`` is forwarded to :func:`repro.util.parallel.parmap`;
+    the default is 1 (not parmap's throughput heuristic) because a D(f)
+    cell can cost orders of magnitude more than its neighbors and a
+    straggler must never strand queued cells behind it.
     """
     n_parts = count_even_partitions(total_bits)
     if n_parts > max_partitions:
@@ -118,6 +124,7 @@ def best_partition_cc(
         _partition_cost_task,
         [(f, partition, dp_limit, engine) for partition in partitions],
         workers=workers,
+        chunksize=chunksize,
     )
     best = None
     worst = None
@@ -182,7 +189,10 @@ class _SingularityPredicate:
 
 
 def min_partition_singularity(
-    k: int, engine: str | None = None, workers: int | None = None
+    k: int,
+    engine: str | None = None,
+    workers: int | None = None,
+    chunksize: int | None = 1,
 ) -> PartitionSearchResult:
     """Exact min-over-partitions CC of 2×2 singularity with k-bit entries.
 
@@ -198,4 +208,5 @@ def min_partition_singularity(
         codec.total_bits,
         engine=engine,
         workers=workers,
+        chunksize=chunksize,
     )

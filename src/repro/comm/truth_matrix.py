@@ -153,6 +153,44 @@ def truth_matrix_from_matrix_predicate(
     return truth_matrix_from_function(f, partition)
 
 
+def truth_matrix_from_column_blocks(
+    blocks: Sequence[np.ndarray],
+    row_labels: Sequence[Hashable],
+    col_labels: Sequence[Hashable],
+) -> TruthMatrix:
+    """Reassemble a truth matrix from streamed column blocks.
+
+    ``blocks`` are uint8 arrays sharing the row count, laid side by side in
+    order; their widths must sum to ``len(col_labels)``.  This is the
+    assembly half of the sharded builder
+    (:func:`repro.singularity.truth_builder.sharded_truth_matrix`): because
+    every entry is a pure per-column predicate, a matrix built block-wise is
+    byte-identical to one built in a single pass — the property the
+    Hypothesis resume suite pins down.
+    """
+    rows = len(row_labels)
+    arrays = []
+    width = 0
+    for block in blocks:
+        array = np.asarray(block, dtype=np.uint8)
+        if array.ndim != 2 or array.shape[0] != rows:
+            raise ValueError(
+                f"block of shape {array.shape} does not stack against "
+                f"{rows} row(s)"
+            )
+        width += array.shape[1]
+        arrays.append(array)
+    if width != len(col_labels):
+        raise ValueError(
+            f"blocks cover {width} column(s); labels name {len(col_labels)}"
+        )
+    if not arrays:
+        data = np.zeros((rows, 0), dtype=np.uint8)
+    else:
+        data = np.concatenate(arrays, axis=1)
+    return TruthMatrix(data, tuple(row_labels), tuple(col_labels))
+
+
 def truth_matrix_from_family(
     predicate: Callable[[Hashable, Hashable], bool],
     row_instances: Sequence[Hashable],

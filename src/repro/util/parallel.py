@@ -27,7 +27,9 @@ Caveats worth knowing:
 from __future__ import annotations
 
 import os
+import threading
 from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
 from typing import TypeVar
 
 from repro.trace import core as trace
@@ -84,6 +86,60 @@ def resolve_workers(workers: int | None = None) -> int:
         ) from None
 
 
+class SharedBound:
+    """A cross-process monotone-min integer, carried by a small file.
+
+    The parallel branch-and-bound drivers (see
+    :mod:`repro.comm.exhaustive`) hand every pool worker the same path;
+    whenever a worker *witnesses* a cost it calls :meth:`publish`, and
+    other workers fold :meth:`get` into their pruning incumbent.  The
+    protocol is deliberately loose: reads may be stale and concurrent
+    publishes may briefly regress toward the larger value — a stale or
+    missing bound only weakens pruning, it can never change a computed
+    result, because callers are required to publish *witnessed* values
+    only (costs they actually achieved and will themselves return).
+
+    Writes are atomic (pid+tid-named temp file + ``os.replace``) and
+    re-checked a few rounds so the file converges to the minimum;
+    every filesystem error degrades to "no bound", never to a raise.
+    """
+
+    _ROUNDS = 8
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def get(self) -> int | None:
+        """The smallest published value, or None (missing/corrupt file)."""
+        try:
+            text = self.path.read_text(encoding="ascii")
+            return int(text)
+        except (OSError, ValueError):
+            return None
+
+    def publish(self, value: int) -> int:
+        """Merge ``value`` in; returns the best value known afterwards."""
+        value = int(value)
+        tmp = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        for _ in range(self._ROUNDS):
+            current = self.get()
+            if current is not None and current <= value:
+                return current
+            try:
+                tmp.write_text(str(value), encoding="ascii")
+                os.replace(tmp, self.path)
+            except OSError:
+                return value if current is None else min(value, current)
+            # A concurrent replace can land after ours with a larger
+            # value; re-read and re-assert until the file agrees.
+            seen = self.get()
+            if seen is not None and seen <= value:
+                return seen
+        return value
+
+
 def parmap(
     fn: Callable[[T], R],
     tasks: Iterable[T],
@@ -99,6 +155,12 @@ def parmap(
     Determinism contract: ``fn`` must derive any randomness it needs from
     the task value itself (see the module docstring); under that contract
     the output is bit-identical for every ``workers`` setting.
+
+    ``chunksize`` tunes pickling overhead against tail latency: the
+    default (~4 chunks per worker) suits many cheap uniform tasks, but
+    heavy uneven tasks — exact D(f) searches, truth-matrix blocks —
+    should pass ``chunksize=1`` so one slow task never strands a queue of
+    finished work behind it.
     """
     task_list: Sequence[T] = list(tasks)
     n_workers = resolve_workers(workers)

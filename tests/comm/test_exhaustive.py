@@ -70,8 +70,8 @@ class TestCommunicationComplexity:
         ) == 2
 
     def test_size_guard(self):
-        # The pruned bitset engine affords 16 rows/columns by default...
-        big = tm_from(np.eye(17, dtype=np.uint8))
+        # The pruned bitset engine affords 18 rows/columns by default...
+        big = tm_from(np.eye(19, dtype=np.uint8))
         with pytest.raises(ValueError):
             communication_complexity(big)
         # ...while the legacy enumerator keeps its historical limit of 12.
