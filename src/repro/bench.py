@@ -531,6 +531,36 @@ def bench_costs(quick: bool) -> dict[str, Any]:
     }
 
 
+def bench_matrix(quick: bool) -> dict[str, Any]:
+    """The scenario-matrix determinism and verdict gate.
+
+    Runs the quick matrix sweep twice — serial and at two workers — and
+    demands byte-identical reports plus zero ``MISMATCH`` verdicts, so
+    the bench catches both nondeterminism and contract violations.  Like
+    :func:`bench_costs` this participates in ``identical``, not in the
+    timing targets.
+    """
+    import json as json_module
+
+    from repro.matrix import run_sweep as matrix_sweep
+    from repro.matrix import sweep_report as matrix_report
+
+    t0 = time.perf_counter()
+    serial = matrix_report(matrix_sweep(quick=quick, workers=1), quick=quick)
+    parallel = matrix_report(matrix_sweep(quick=quick, workers=2), quick=quick)
+    elapsed = time.perf_counter() - t0
+    canonical = json_module.dumps(serial, sort_keys=True)
+    identical = canonical == json_module.dumps(parallel, sort_keys=True)
+    return {
+        "cells": len(serial["cells"]),
+        "counts": serial["counts"],
+        "mismatches": serial["mismatches"],
+        "byte_identical": identical,
+        "seconds": elapsed,
+        "ok": bool(identical and serial["ok"]),
+    }
+
+
 def run_bench(
     quick: bool = False,
     workers: int = 4,
@@ -567,6 +597,8 @@ def run_bench(
             parallel_search = bench_parallel_search(quick, workers)
         with trace.span("bench.costs", quick=quick):
             costs = bench_costs(quick)
+        with trace.span("bench.matrix", quick=quick):
+            matrix = bench_matrix(quick)
     if no_cache:
         cache_section = None
         sharded = None
@@ -588,6 +620,7 @@ def run_bench(
         "parallel_search": parallel_search,
         "sharded_truth": sharded,
         "costs": costs,
+        "matrix": matrix,
         "cache": cache_section,
         "obs": obs.snapshot(),
     }
@@ -601,6 +634,7 @@ def run_bench(
         and exact["values_identical"]
         and parallel_search["values_identical"]
         and costs["all_match"]
+        and matrix["ok"]
         and (sharded is None or sharded["byte_identical"])
         and (cache_section is None or cache_section["results_identical"])
     )
@@ -688,6 +722,16 @@ def render_summary(report: dict[str, Any]) -> str:
             f"  sweep           : {k['seconds'] * 1e3:9.1f} ms",
             f"  verdicts        : {k['cells'] - k['mismatches']} MATCH, "
             f"{k['mismatches']} MISMATCH (all_match: {k['all_match']})",
+        ]
+    m = report.get("matrix")
+    if m is not None:
+        lines += [
+            f"scenario matrix ({m['cells']} cells):",
+            f"  sweep x2        : {m['seconds'] * 1e3:9.1f} ms",
+            f"  verdicts        : {m['counts']['MATCH']} MATCH, "
+            f"{m['counts']['WITHIN_BOUND']} WITHIN_BOUND, "
+            f"{m['counts']['MISMATCH']} MISMATCH "
+            f"(byte-identical at 1 vs 2 workers: {m['byte_identical']})",
         ]
     c = report.get("cache")
     if c is not None:

@@ -16,6 +16,9 @@ makes them do so:
   ``blake2b(family/params/block-range)``, so an interrupted streamed build
   (:func:`repro.singularity.truth_builder.sharded_truth_matrix`) resumes
   to byte-identical output;
+* **cells** — finished scenario-matrix cell documents under ``cells/``
+  addressed by :func:`repro.cache.keys.cell_key`, so a warm
+  ``python -m repro matrix`` sweep replays without running a protocol;
 * **activation** — opt-in via :func:`configure` / the ``REPRO_CACHE_DIR``
   environment variable; without either the library never touches disk;
 * **CLI** — ``python -m repro cache {stats,clear,verify}``;
@@ -27,14 +30,17 @@ docs/performance.md.
 """
 
 from repro.cache.keys import (
+    CELL_PREFIX,
     KEY_PREFIX,
     SHARD_PREFIX,
     build_key,
     canonical_matrix_bytes,
+    cell_key,
     matrix_key,
     shard_name,
 )
 from repro.cache.store import (
+    CELL_RECORD_VERSION,
     ENV_VAR,
     RECORD_FIELDS,
     RECORD_VERSION,
@@ -54,12 +60,15 @@ from repro.cache.store import (
 )
 
 __all__ = [
+    "CELL_PREFIX",
     "KEY_PREFIX",
     "SHARD_PREFIX",
     "build_key",
     "canonical_matrix_bytes",
+    "cell_key",
     "matrix_key",
     "shard_name",
+    "CELL_RECORD_VERSION",
     "ENV_VAR",
     "RECORD_FIELDS",
     "RECORD_VERSION",

@@ -73,6 +73,40 @@ def build_key(engine_version: str, params: dict) -> str:
     return digest.hexdigest()
 
 
+#: Domain separator for scenario-matrix cell records (bump with the cell
+#: record layout in ``store.py``).
+CELL_PREFIX = b"repro-matrix-cells-v1"
+
+
+def cell_key(engine_version: str, coords: dict) -> str:
+    """Content address of one scenario-matrix *cell* run.
+
+    ``coords`` names everything the cell document depends on: the case
+    builder, its parameters, the fault regime, the root seed and the ARQ
+    framing.  Values are folded in as canonical JSON (sorted keys, compact
+    separators) under sorted field names, so neither dict insertion order
+    nor ``repr`` quirks can leak into the address.
+    """
+    if not engine_version or "\0" in engine_version:
+        raise ValueError("engine_version must be a non-empty NUL-free tag")
+    import json
+
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(CELL_PREFIX)
+    digest.update(b"\0")
+    digest.update(engine_version.encode("ascii"))
+    for field in sorted(coords):
+        digest.update(b"\0")
+        digest.update(field.encode("ascii"))
+        digest.update(b"=")
+        digest.update(
+            json.dumps(
+                coords[field], sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
 def shard_name(key: str, start: int, stop: int) -> str:
     """File stem of one column-block shard of build ``key``.
 

@@ -39,6 +39,9 @@ RECORD_FIELDS = ("d", "leaves", "tree")
 #: Shard manifest schema version; readers ignore foreign versions.
 SHARD_MANIFEST_VERSION = 1
 
+#: Scenario-matrix cell record version; readers ignore foreign versions.
+CELL_RECORD_VERSION = 1
+
 ENV_VAR = "REPRO_CACHE_DIR"
 
 
@@ -165,10 +168,11 @@ def block_ranges(cols: int, block: int) -> list[tuple[int, int]]:
 class CacheStore:
     """One cache directory: get / merge / stats / verify / clear.
 
-    Two kinds of content live side by side: exact-search result records
-    under ``objects/`` and truth-matrix column-block shards under
-    ``shards/`` (a manifest JSON plus one raw ``.bin`` per block — see
-    :meth:`put_shard`).
+    Three kinds of content live side by side: exact-search result records
+    under ``objects/``, truth-matrix column-block shards under ``shards/``
+    (a manifest JSON plus one raw ``.bin`` per block — see
+    :meth:`put_shard`), and scenario-matrix cell documents under
+    ``cells/`` (see :meth:`put_cell`).
     """
 
     def __init__(self, root):
@@ -177,6 +181,8 @@ class CacheStore:
         self.objects.mkdir(parents=True, exist_ok=True)
         self.shards = self.root / "shards"
         self.shards.mkdir(parents=True, exist_ok=True)
+        self.cells = self.root / "cells"
+        self.cells.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
         return self.objects / f"{key}.json"
@@ -446,6 +452,129 @@ class CacheStore:
                 continue
         return removed
 
+    # -- scenario-matrix cells ------------------------------------------
+    def _cell_path(self, key: str) -> Path:
+        return self.cells / f"{key}.json"
+
+    def _cell_paths(self) -> list[Path]:
+        try:
+            return sorted(self.cells.glob("*.json"))
+        except OSError:
+            return []
+
+    def get_cell(self, key: str) -> dict | None:
+        """The cell document at ``key``, or None (obs-counted).
+
+        The document comes back exactly as :meth:`put_cell` canonicalized
+        it (nested keys sorted), so a warm sweep re-emits byte-identical
+        report JSON.
+        """
+        obs.counter("cache.cell.lookups").inc()
+        try:
+            text = self._cell_path(key).read_text()
+        except OSError:
+            obs.counter("cache.cell.misses").inc()
+            return None
+        try:
+            record = json.loads(text)
+        except (ValueError, TypeError):
+            obs.counter("cache.cell.misses").inc()
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("v") != CELL_RECORD_VERSION
+            or not isinstance(record.get("cell"), dict)
+        ):
+            obs.counter("cache.cell.misses").inc()
+            return None
+        obs.counter("cache.cell.hits").inc()
+        return record["cell"]
+
+    def put_cell(self, key: str, cell: dict) -> None:
+        """Persist one finished cell document (canonical JSON, atomic).
+
+        Like every other tier, the bytes are a pure function of the
+        content: no timestamps, no machine identity, sorted keys all the
+        way down.
+        """
+        if not isinstance(cell, dict):
+            raise ValueError("a cell document must be a dict")
+        record = {"v": CELL_RECORD_VERSION, "cell": cell}
+        self._atomic_write(
+            self._cell_path(key), encode_record(record).encode()
+        )
+        obs.counter("cache.cell.stores").inc()
+
+    def cell_stats(self) -> dict:
+        """Cell-side counts: documents, bytes, per-verdict tally."""
+        entries = 0
+        total_bytes = 0
+        verdicts: dict[str, int] = {}
+        for path in self._cell_paths():
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += len(text.encode())
+            try:
+                record = json.loads(text)
+            except (ValueError, TypeError):
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("v") == CELL_RECORD_VERSION
+                and isinstance(record.get("cell"), dict)
+            ):
+                verdict = record["cell"].get("verdict")
+                if isinstance(verdict, str):
+                    verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        return {
+            "entries": entries,
+            "bytes": total_bytes,
+            "verdicts": {name: verdicts[name] for name in sorted(verdicts)},
+        }
+
+    def verify_cells(self) -> list[str]:
+        """Problems across every cell document (empty means clean)."""
+        problems = []
+        for path in self._cell_paths():
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                problems.append(f"{path.name}: unreadable ({exc})")
+                continue
+            try:
+                record = json.loads(text)
+            except (ValueError, TypeError):
+                problems.append(f"{path.name}: unparseable cell record")
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("v") != CELL_RECORD_VERSION
+            ):
+                problems.append(f"{path.name}: foreign cell record version")
+                continue
+            if not isinstance(record.get("cell"), dict):
+                problems.append(f"{path.name}: record carries no cell dict")
+                continue
+            if encode_record(record) != text:
+                problems.append(
+                    f"{path.name}: cell bytes are not canonical JSON"
+                )
+        return problems
+
+    def clear_cells(self) -> int:
+        """Delete every cell document; returns files removed."""
+        removed = 0
+        for path in self._cell_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     # -- maintenance ----------------------------------------------------
     def _record_paths(self) -> list[Path]:
         try:
@@ -482,32 +611,78 @@ class CacheStore:
             "fields": fields,
             "engines": {name: engines[name] for name in sorted(engines)},
             "shards": self.shard_stats(),
+            "cells": self.cell_stats(),
+            "tmp": {
+                "files": len(self._tmp_paths()),
+                "orphaned": len(self.orphaned_tmp()),
+            },
         }
 
     def _tmp_paths(self) -> list[Path]:
         paths = []
-        for directory in (self.objects, self.shards):
+        for directory in (self.objects, self.shards, self.cells):
             try:
                 paths.extend(directory.glob("*.tmp"))
             except OSError:
                 continue
         return sorted(paths)
 
+    @staticmethod
+    def _tmp_target(path: Path) -> str | None:
+        """The file a ``<name>.<pid>.<tid>.tmp`` scratch was headed for."""
+        parts = path.name.split(".")
+        if len(parts) < 4 or parts[-1] != "tmp":
+            return None
+        if not (parts[-3].isdigit() and parts[-2].isdigit()):
+            return None
+        return ".".join(parts[:-3])
+
     def orphaned_tmp(self) -> list[Path]:
         """Scratch ``.tmp`` files left behind by writers killed mid-commit.
 
-        :meth:`merge` writes ``<record>.<pid>.<tid>.tmp`` then atomically
-        replaces; a crash between the two strands the scratch file forever
-        (nothing ever reads or reclaims that exact name again).  Any
-        ``.tmp`` present at inspection time is therefore an orphan — a
-        live writer holds one only for the instant before ``os.replace``.
+        Record and cell writes hold their ``<name>.<pid>.<tid>.tmp`` only
+        for the instant before ``os.replace``, so any such scratch present
+        at inspection time is an orphan.  Shard ``.bin`` scratches are
+        different: a sharded build commits its manifest *first* and then
+        streams blocks for seconds to minutes, so a shard tmp at least as
+        new as its build's manifest is treated as **in-flight** and
+        excluded here.  The residual race is unavoidable without a lock
+        and is documented in ``repro cache sweep-tmp``: a builder that
+        crashed mid-stream leaves tmps that still look in-flight, and they
+        are only demoted to orphans once a resumed build recommits the
+        manifest (``repro cache clear`` removes them unconditionally).
         """
-        return self._tmp_paths()
+        orphans = []
+        for path in self._tmp_paths():
+            if path.parent == self.shards:
+                target = self._tmp_target(path)
+                if target is not None and target.endswith(".bin"):
+                    parsed = self._parse_shard_name(Path(target))
+                    if parsed is not None:
+                        try:
+                            manifest_mtime = (
+                                self._manifest_path(parsed[0])
+                                .stat()
+                                .st_mtime_ns
+                            )
+                            tmp_mtime = path.stat().st_mtime_ns
+                        except OSError:
+                            orphans.append(path)
+                            continue
+                        if tmp_mtime >= manifest_mtime:
+                            continue  # in-flight shard write
+            orphans.append(path)
+        return orphans
 
     def sweep_tmp(self) -> int:
-        """Delete orphaned ``.tmp`` scratch files; returns how many."""
+        """Delete orphaned ``.tmp`` scratch files; returns how many.
+
+        In-flight shard scratches (newer than their build's committed
+        manifest) are left alone — see :meth:`orphaned_tmp` for the
+        detection rule and its documented residual race.
+        """
         removed = 0
-        for path in self._tmp_paths():
+        for path in self.orphaned_tmp():
             try:
                 path.unlink()
                 removed += 1
@@ -527,6 +702,7 @@ class CacheStore:
             for problem in record_problems(decode_record(text), text):
                 problems.append(f"{path.name}: {problem}")
         problems.extend(self.verify_shards())
+        problems.extend(self.verify_cells())
         for path in self.orphaned_tmp():
             problems.append(
                 f"{path.name}: orphaned tmp scratch file (writer died "
@@ -535,8 +711,10 @@ class CacheStore:
         return problems
 
     def clear(self) -> int:
-        """Delete every record, shard and orphaned scratch; returns records
-        removed (shard files are counted separately by the CLI)."""
+        """Delete every record, shard, cell and scratch file; returns
+        records removed (shard/cell files are counted separately by the
+        CLI).  Unlike :meth:`sweep_tmp`, tmp files go unconditionally —
+        clearing invalidates any in-flight build anyway."""
         removed = 0
         for path in self._record_paths():
             try:
@@ -545,7 +723,12 @@ class CacheStore:
             except OSError:
                 continue
         self.clear_shards()
-        self.sweep_tmp()
+        self.clear_cells()
+        for path in self._tmp_paths():
+            try:
+                path.unlink()
+            except OSError:
+                continue
         return removed
 
 

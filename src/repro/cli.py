@@ -243,6 +243,60 @@ def _cmd_costs(args) -> int:
     return 0
 
 
+def _cmd_matrix(args) -> int:
+    import json
+
+    from repro.matrix import (
+        render_results,
+        render_table,
+        run_sweep,
+        sweep_report,
+    )
+
+    cells = run_sweep(quick=args.quick, seed=args.seed, workers=args.workers)
+    report = sweep_report(cells, quick=args.quick, seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    rendered = None
+    if args.render or args.check_render:
+        rendered = render_results(report)
+    if args.render:
+        with open(args.render, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_table(cells).render())
+        counts = report["counts"]
+        print(
+            f"{counts['MATCH']} MATCH, {counts['WITHIN_BOUND']} "
+            f"WITHIN_BOUND, {counts['MISMATCH']} MISMATCH"
+        )
+    if args.check_render:
+        try:
+            with open(args.check_render, encoding="utf-8") as fh:
+                committed = fh.read()
+        except OSError:
+            committed = None
+        if committed != rendered:
+            print(
+                f"RENDER DRIFT: {args.check_render} does not match this "
+                "sweep — regenerate with --render and commit",
+                file=sys.stderr,
+            )
+            return 1
+    if not report["ok"]:
+        print(
+            f"MISMATCH: {report['mismatches']} cell(s) violated the "
+            "measured/predicted/bound contract — a real bug, not noise",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import main_lint
 
@@ -294,6 +348,18 @@ def _cmd_cache(args) -> int:
                 f"({sh['complete_builds']} complete, "
                 f"{sh['partial_builds']} partial, "
                 f"{sh['orphaned_shards']} orphaned)"
+            )
+            ce = stats["cells"]
+            print(
+                f"  cells   : {ce['entries']} document(s), "
+                f"{ce['bytes']} bytes"
+            )
+            tmp = stats["tmp"]
+            print(
+                f"  tmp     : {tmp['files']} file(s), "
+                f"{tmp['orphaned']} orphaned "
+                "(in-flight shard writes are excluded; see `cache "
+                "sweep-tmp --help`)"
             )
         return 0
     if args.action == "verify":
@@ -601,6 +667,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_costs)
 
     p = sub.add_parser(
+        "matrix",
+        help="sweep the scenario matrix: protocols x communication models "
+        "x fault regimes, judged MATCH / WITHIN_BOUND / MISMATCH",
+    )
+    p.add_argument("--quick", action="store_true", help="CI gate size")
+    p.add_argument("--seed", type=int, default=0, help="sweep root seed")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: REPRO_WORKERS or 1); results "
+        "are bit-identical at every value",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the schema-v1 JSON report instead of the table",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="also write the JSON report to this path (the CI artifact)",
+    )
+    p.add_argument(
+        "--render", default=None,
+        help="write the rendered RESULTS markdown to this path",
+    )
+    p.add_argument(
+        "--check-render", default=None,
+        help="fail unless the file at this path matches the rendered "
+        "RESULTS byte for byte (the CI drift gate)",
+    )
+    p.set_defaults(fn=_cmd_matrix)
+
+    p = sub.add_parser(
         "lint",
         help="static invariant checks: exactness (EXA), determinism (DET), "
         "two-party isolation (ISO), wire codec pairing (WIRE)",
@@ -634,7 +731,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(stats / clear / verify / sweep-tmp)",
     )
     p.add_argument(
-        "action", choices=["stats", "clear", "verify", "sweep-tmp"]
+        "action", choices=["stats", "clear", "verify", "sweep-tmp"],
+        help="sweep-tmp removes orphaned .tmp scratch files but keeps "
+        "in-flight shard writes (tmp at least as new as its build's "
+        "manifest); a builder that crashed mid-stream therefore keeps "
+        "its scratches until a resumed build recommits the manifest — "
+        "`cache clear` removes them unconditionally",
     )
     p.add_argument(
         "--dir", default=None,

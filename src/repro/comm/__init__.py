@@ -146,6 +146,7 @@ from repro.comm.nondeterministic import (
     certificate_asymmetry_on_eq,
     cover_number_exact,
     cover_number_greedy,
+    minimum_cover,
     nondeterministic_cc,
 )
 from repro.comm.one_way import (
@@ -277,6 +278,7 @@ __all__ = [
     "certificate_asymmetry_on_eq",
     "cover_number_exact",
     "cover_number_greedy",
+    "minimum_cover",
     "nondeterministic_cc",
     "one_way_cc",
     "one_way_gap_example",

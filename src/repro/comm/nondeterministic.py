@@ -61,12 +61,19 @@ def _maximal_rectangles(tm: TruthMatrix, value: int, cap: int = 4096) -> list[tu
     return sorted(rects, key=lambda rc: (-len(rc[0]) * len(rc[1])))
 
 
-def cover_number_exact(tm: TruthMatrix, value: int = 1) -> int:
-    """Minimum number of value-rectangles covering all value-cells, exactly.
+def minimum_cover(
+    tm: TruthMatrix, value: int = 1
+) -> list[tuple[frozenset, frozenset]]:
+    """An exact minimum cover of the value-cells by value-rectangles.
 
     Branch-and-bound set cover over the maximal rectangles (maximal ones
     suffice for a minimum cover).  Exponential; intended for ≤ 12-row truth
-    matrices (dedupe first).
+    matrices (dedupe first).  Returns the chosen ``(rows, cols)`` rectangles
+    in a canonical order (sorted by row then column index sets), so the
+    list — not just its length — is deterministic across processes.  This
+    is what a *nondeterministic protocol* actually is: a certificate for
+    ``f = value`` names one of these rectangles, and the agents only check
+    membership (see :mod:`repro.matrix.protocols`).
     """
     cells = [
         (i, j)
@@ -75,7 +82,7 @@ def cover_number_exact(tm: TruthMatrix, value: int = 1) -> int:
         if tm.data[i, j] == value
     ]
     if not cells:
-        return 0
+        return []
     rects = _maximal_rectangles(tm, value)
     cell_index = {cell: idx for idx, cell in enumerate(cells)}
     masks = []
@@ -87,23 +94,41 @@ def cover_number_exact(tm: TruthMatrix, value: int = 1) -> int:
                     mask |= 1 << cell_index[(i, j)]
         masks.append(mask)
     full = (1 << len(cells)) - 1
-    best = len(cells)  # singleton cover always works
+    # The per-cell singleton cover always works, so the search only has to
+    # beat its size; when nothing smaller exists, it IS a minimum cover.
+    best_size = len(cells)
+    best_choice: list[int] | None = None
 
-    def search(covered: int, used: int, start_hint: int) -> None:
-        nonlocal best
-        if used >= best:
+    def search(covered: int, used: list[int]) -> None:
+        nonlocal best_size, best_choice
+        if len(used) >= best_size:
             return
         if covered == full:
-            best = used
+            best_size = len(used)
+            best_choice = list(used)
             return
         # Pick the lowest uncovered cell; try every rectangle containing it.
         uncovered_bit = (~covered & full) & -(~covered & full)
-        for mask in masks:
+        for idx, mask in enumerate(masks):
             if mask & uncovered_bit:
-                search(covered | mask, used + 1, 0)
+                used.append(idx)
+                search(covered | mask, used)
+                used.pop()
 
-    search(0, 0, 0)
-    return best
+    search(0, [])
+    if best_choice is None:
+        chosen: list[tuple[frozenset, frozenset]] = [
+            (frozenset([i]), frozenset([j])) for i, j in cells
+        ]
+    else:
+        chosen = [rects[idx] for idx in best_choice]
+    return sorted(chosen, key=lambda rc: (sorted(rc[0]), sorted(rc[1])))
+
+
+def cover_number_exact(tm: TruthMatrix, value: int = 1) -> int:
+    """Minimum number of value-rectangles covering all value-cells, exactly
+    (the size of :func:`minimum_cover`)."""
+    return len(minimum_cover(tm, value))
 
 
 def cover_number_greedy(tm: TruthMatrix, value: int = 1) -> int:

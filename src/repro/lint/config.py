@@ -130,11 +130,13 @@ class LintConfig:
         "repro.cache", "repro.cache.*",
         "repro.trace", "repro.trace.*",
         "repro.serve", "repro.serve.*",
+        "repro.matrix", "repro.matrix.*",
     )
     iso_scope: tuple[str, ...] = (
         "repro.protocols", "repro.protocols.*",
         "repro.comm", "repro.comm.*",
         "repro.serve", "repro.serve.*",
+        "repro.matrix", "repro.matrix.*",
     )
     flow_scope: tuple[str, ...] = (
         "repro.protocols", "repro.protocols.*",

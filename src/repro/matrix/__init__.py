@@ -1,0 +1,72 @@
+"""The scenario matrix: one sweep over protocols × models × fault regimes.
+
+The paper's headline is a *contrast between models*: deterministic
+protocols for singularity need Θ(k·n²) bits while Leighton's randomized
+protocol gets by with O(n² log n).  Every other part of this repo
+measures one model at a time; this package runs the cross product —
+
+* **models** (:data:`repro.matrix.scenarios.MODELS`): deterministic,
+  randomized-Leighton, one-way, and nondeterministic certificates, each
+  as *live agent programs* (the combinatorial models get executable
+  protocols in :mod:`repro.matrix.protocols`);
+* **families** (:func:`repro.matrix.scenarios.catalogue`): equality,
+  π₀-singularity, matmul verification, solvability, INDEX;
+* **fault regimes** (:func:`repro.matrix.sweep.regimes`): clean plus
+  seeded fault kinds at fixed permille rates, judged by the chaos
+  harness's gold-standard rule.
+
+Each cell carries measured bits (live transcripts), predicted bits (the
+:mod:`repro.costs` message shapes), the applicable bounds, and a verdict
+— ``MATCH`` / ``WITHIN_BOUND`` / ``MISMATCH``.  ``MISMATCH`` anywhere
+fails CI (the ``matrix-gate`` job).  The sweep is deterministic at any
+worker count, traced, and cell-cached through :mod:`repro.cache`.
+:mod:`repro.matrix.render` turns a report into ``docs/RESULTS.md``.
+
+Entry points: ``python -m repro matrix --quick`` (CLI) or
+:func:`run_sweep` / :func:`sweep_report` / :func:`render_results` here.
+
+See ``docs/scenario_matrix.md`` for the schema-v1 contract.
+"""
+
+from repro.matrix.protocols import CertificateProtocol, OneWayTableProtocol
+from repro.matrix.render import render_results
+from repro.matrix.scenarios import (
+    MODELS,
+    MatrixCase,
+    canonical_scenarios,
+    case_shape,
+    catalogue,
+    certificate_for,
+    equality_truth_matrix,
+    singularity_truth_matrix,
+)
+from repro.matrix.sweep import (
+    MATRIX_SCHEMA_VERSION,
+    FaultRegime,
+    regimes,
+    render_table,
+    run_cell,
+    run_sweep,
+    sweep_report,
+)
+
+__all__ = [
+    "MATRIX_SCHEMA_VERSION",
+    "MODELS",
+    "CertificateProtocol",
+    "FaultRegime",
+    "MatrixCase",
+    "OneWayTableProtocol",
+    "canonical_scenarios",
+    "case_shape",
+    "catalogue",
+    "certificate_for",
+    "equality_truth_matrix",
+    "regimes",
+    "render_results",
+    "render_table",
+    "run_cell",
+    "run_sweep",
+    "singularity_truth_matrix",
+    "sweep_report",
+]

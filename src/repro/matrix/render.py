@@ -1,0 +1,271 @@
+"""Render a scenario-matrix report as ``docs/RESULTS.md``.
+
+A pure function from the schema-v1 report dict to markdown bytes: no
+timestamps, no environment probes, no randomness — CI regenerates the
+document and ``git diff --exit-code``s it against the committed copy, so
+every byte must be a function of the report alone (which is itself a pure
+function of ``(quick, seed)``).
+
+The document leads with the paper's headline contrast — deterministic
+Θ(k·n²) against randomized O(n² log n) for singularity — first as
+*measured* bits from the sweep's live cells, then as the pure bound
+formulas at sizes far beyond what live protocols can run.  The rest is
+the matrix itself: one table per communication model, then the fault
+regimes and their recovery statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.costs.models import (
+    leighton_upper_bound_bits,
+    theorem_lower_bound_bits,
+    trivial_upper_bound_bits,
+)
+
+__all__ = ["render_results"]
+
+_HEADER = """<!-- AUTO-GENERATED — do not edit by hand.
+     Regenerate with:  PYTHONPATH=src python -m repro matrix --quick --render docs/RESULTS.md
+     CI (matrix-gate) diffs this file against a fresh sweep. -->
+"""
+
+#: Growth-table sizes for the pure-formula contrast (far beyond live runs).
+_ASYMPTOTIC_NS = (4, 16, 64, 256, 1024)
+_ASYMPTOTIC_K = 8
+
+
+def _fmt_params(params: dict[str, Any]) -> str:
+    return ", ".join(f"{key}={params[key]}" for key in sorted(params))
+
+
+def _fmt_int(value: int) -> str:
+    return f"{value:,}"
+
+
+def _bar(bits: int, scale: int) -> str:
+    """A log-scale bar: one block per bit of magnitude."""
+    return "█" * max(1, bits.bit_length() - scale)
+
+
+def _headline_contrast(cells: list[dict[str, Any]]) -> list[str]:
+    """Measured deterministic-vs-randomized singularity bits, by (size, k)."""
+    points: dict[tuple[int, int], dict[str, Any]] = {}
+    for cell in cells:
+        if cell["family"] != "singularity-pi0":
+            continue
+        if cell["regime"]["kind"] is not None:
+            continue
+        if cell["model"] not in ("deterministic", "randomized-leighton"):
+            continue
+        params = cell["params"]
+        point = points.setdefault((params["size"], params["k"]), {})
+        point[cell["model"]] = cell
+    lines = [
+        "| size | k | lower bound k·n² | deterministic (trivial) "
+        "| randomized (Leighton) | verdicts |",
+        "|---:|---:|---:|---:|---:|:---|",
+    ]
+    for (size, k) in sorted(points):
+        point = points[(size, k)]
+        det = point.get("deterministic")
+        rand = point.get("randomized-leighton")
+        bounds = (det or rand)["bounds"]
+        det_bits = (
+            _fmt_int(det["measured"]["clean"]["total_bits"]) if det else "—"
+        )
+        rand_bits = (
+            _fmt_int(rand["measured"]["clean"]["total_bits"]) if rand else "—"
+        )
+        verdicts = "/".join(
+            cell["verdict"] for cell in (det, rand) if cell is not None
+        )
+        lines.append(
+            f"| {size} | {k} | {_fmt_int(bounds['lower'])} | {det_bits} "
+            f"| {rand_bits} | {verdicts} |"
+        )
+    return lines
+
+
+def _asymptotic_table() -> list[str]:
+    """The Θ(k·n²) vs O(n² log n) gap from the bound formulas alone."""
+    k = _ASYMPTOTIC_K
+    lines = [
+        f"| n | deterministic lower k·n² (k={k}) | trivial upper "
+        "| Leighton upper | det/rand ratio | gap |",
+        "|---:|---:|---:|---:|---:|:---|",
+    ]
+    scale = theorem_lower_bound_bits(_ASYMPTOTIC_NS[0], k).bit_length()
+    for n in _ASYMPTOTIC_NS:
+        lower = theorem_lower_bound_bits(n, k)
+        trivial = trivial_upper_bound_bits(n, k)
+        leighton = leighton_upper_bound_bits(n, k)
+        ratio = lower / leighton
+        lines.append(
+            f"| {_fmt_int(n)} | {_fmt_int(lower)} | {_fmt_int(trivial)} "
+            f"| {_fmt_int(leighton)} | {ratio:.2f}× "
+            f"| {_bar(lower, scale)} vs {_bar(leighton, scale)} |"
+        )
+    return lines
+
+
+def _measured_cell(cell: dict[str, Any]) -> str:
+    clean = cell["measured"]["clean"]
+    faulted = cell["measured"]["faulted"]
+    if clean is not None:
+        return _fmt_int(clean["total_bits"])
+    return (
+        f"{faulted['recovered']}/{faulted['runs']} recovered, "
+        f"≤{_fmt_int(faulted['wire_bits_max'])} wire bits"
+    )
+
+
+def _model_section(model: str, cells: list[dict[str, Any]]) -> list[str]:
+    lines = [
+        "| family | params | regime | measured | predicted | bounds "
+        "| verdict |",
+        "|:---|:---|:---|---:|---:|:---|:---|",
+    ]
+    for cell in cells:
+        if cell["model"] != model:
+            continue
+        bounds = ", ".join(
+            f"{key}={_fmt_int(cell['bounds'][key])}"
+            for key in sorted(cell["bounds"])
+        )
+        lines.append(
+            f"| {cell['family']} | {_fmt_params(cell['params'])} "
+            f"| {cell['regime']['name']} | {_measured_cell(cell)} "
+            f"| {_fmt_int(cell['predicted']['total_bits'])} "
+            f"| {bounds or '—'} | {cell['verdict']} |"
+        )
+    return lines
+
+
+def _fault_section(cells: list[dict[str, Any]]) -> list[str]:
+    lines = [
+        "| regime | cells | runs | recovered | loud failures "
+        "| silent corruption | faults injected | retries |",
+        "|:---|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    regimes: dict[str, dict[str, int]] = {}
+    order: list[str] = []
+    for cell in cells:
+        if cell["regime"]["kind"] is None:
+            continue
+        name = cell["regime"]["name"]
+        if name not in regimes:
+            regimes[name] = {
+                "cells": 0,
+                "runs": 0,
+                "recovered": 0,
+                "loud": 0,
+                "silent": 0,
+                "faults": 0,
+                "retries": 0,
+            }
+            order.append(name)
+        tally = regimes[name]
+        faulted = cell["measured"]["faulted"]
+        tally["cells"] += 1
+        tally["runs"] += faulted["runs"]
+        tally["recovered"] += faulted["recovered"]
+        tally["loud"] += faulted["loud_failures"]
+        tally["silent"] += faulted["silent_wrong"]
+        tally["faults"] += faulted["faults_injected"]
+        tally["retries"] += faulted["retries"]
+    for name in order:
+        tally = regimes[name]
+        lines.append(
+            f"| {name} | {tally['cells']} | {tally['runs']} "
+            f"| {tally['recovered']} | {tally['loud']} | {tally['silent']} "
+            f"| {_fmt_int(tally['faults'])} | {_fmt_int(tally['retries'])} |"
+        )
+    return lines
+
+
+def render_results(report: dict[str, Any]) -> str:
+    """The full RESULTS document for one schema-v1 sweep report."""
+    cells = report["cells"]
+    counts = report["counts"]
+    lines: list[str] = [_HEADER]
+    lines += [
+        "# Scenario-matrix results",
+        "",
+        "One sweep over protocols × communication models × fault regimes",
+        "for Chu & Schnitger, *The Communication Complexity of Several",
+        "Problems in Matrix Computation* (SPAA 1989).  Every cell is a",
+        "live protocol run: measured bits against the symbolic cost",
+        "model, the paper's bounds, and — under injected faults — the",
+        "chaos harness's gold-standard judgement.  Schema and verdict",
+        "semantics: [docs/scenario_matrix.md](scenario_matrix.md).",
+        "",
+        f"**Verdicts:** {counts['MATCH']} MATCH · "
+        f"{counts['WITHIN_BOUND']} WITHIN_BOUND · "
+        f"{counts['MISMATCH']} MISMATCH "
+        f"({'sweep OK' if report['ok'] else 'SWEEP FAILED'}; "
+        f"schema v{report['schema']}, seed {report['seed']}, "
+        f"{'quick' if report['quick'] else 'full'} catalogue, "
+        f"{len(cells)} cells).",
+        "",
+        "## The headline: Θ(k·n²) deterministic vs O(n² log n) randomized",
+        "",
+        "Measured bits on live π₀-singularity instances (clean channel).",
+        "The deterministic protocol ships one agent's whole half (the",
+        "trivial 2k·n²+1 protocol — optimal up to constants, by the",
+        "paper's k·n² lower bound); Leighton's fingerprinting protocol",
+        "answers the same instances in O(n² log n) bits:",
+        "",
+    ]
+    lines += _headline_contrast(cells)
+    lines += [
+        "",
+        "At live-protocol sizes the k·n² and n² log n curves are close;",
+        "the separation is asymptotic.  The same bound formulas, evaluated",
+        f"at k = {_ASYMPTOTIC_K} (bars are log-scale magnitude):",
+        "",
+    ]
+    lines += _asymptotic_table()
+    lines += [
+        "",
+        "## The matrix, model by model",
+        "",
+        "Clean-regime cells must **MATCH**: transcript totals, rounds and",
+        "per-agent splits equal to the predicted message shape by integer",
+        "equality, ARQ transport statistics equal field-for-field, and",
+        "ground truth reproduced wherever the model demands correctness.",
+        "Faulted cells must stay **WITHIN_BOUND**: zero silent corruption",
+        "and every recovery inside the ARQ wire-bit envelope.",
+    ]
+    for model in report["models"]:
+        lines += ["", f"### {model}", ""]
+        lines += _model_section(model, cells)
+    lines += [
+        "",
+        "## Fault regimes",
+        "",
+        "Every faulted run re-executes the *same instance with the same",
+        "coins* through ARQ over a seeded faulty channel; the gold answer",
+        "comes from the clean run.  A run either recovers the gold answer,",
+        "fails loudly (an acceptable outcome at these fault rates), or is",
+        "silently wrong — the one bucket that fails the gate.",
+        "",
+    ]
+    lines += _fault_section(cells)
+    lines += [
+        "",
+        "## Provenance",
+        "",
+        f"- Schema: v{report['schema']} "
+        "(pinned by `tests/matrix/test_schema.py`).",
+        f"- Seed: {report['seed']}; catalogue: "
+        f"{'quick' if report['quick'] else 'full'}; "
+        f"models: {', '.join(report['models'])}; "
+        f"regimes: {', '.join(report['regimes'])}.",
+        "- Deterministic at any worker count (`--workers`), byte-identical",
+        "  on warm and cold caches; regenerated and diff-checked by the",
+        "  `matrix-gate` CI job.",
+        "",
+    ]
+    return "\n".join(lines)

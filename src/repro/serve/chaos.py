@@ -196,9 +196,16 @@ def make_workload(seed: int, count: int) -> list[dict]:
     sweeps), salted with requests *designed* to earn structured errors
     (``too_large`` matrices, starvation ``bit_budget``) so the error path
     is exercised on every sweep, plus occasional ``cache.stats`` probes.
+
+    The ``protocol.run`` mix is drawn from
+    :func:`repro.matrix.scenarios.canonical_scenarios` — the live
+    scenarios the scenario matrix measures and gates — so the service's
+    load harness exercises exactly the workload the matrix certifies.
     """
+    from repro.matrix.scenarios import canonical_scenarios
+
     rng = ReproducibleRNG(derive_seed(seed, "serve-workload"))
-    scenarios = ("equality", "trivial", "fingerprint", "matmul_verify")
+    scenarios = canonical_scenarios()
     requests: list[dict] = []
     repeat_pool: list[dict] = []
     for index in range(count):

@@ -1,0 +1,167 @@
+"""The matrix sweep as a regression gate, plus its frozen JSON schema.
+
+The quick sweep is the CI ``matrix-gate``: zero ``MISMATCH`` cells on
+every commit, all four communication models and at least two fault
+regimes represented.  Downstream consumers of the ``python -m repro
+matrix`` JSON depend on the exact key layout, so the schema is pinned
+test-side — any key change must bump ``MATRIX_SCHEMA_VERSION`` *and*
+this file, deliberately.
+"""
+
+import json
+
+from repro.matrix import (
+    MATRIX_SCHEMA_VERSION,
+    MODELS,
+    regimes,
+    run_sweep,
+    sweep_report,
+)
+
+#: The pinned per-cell key set — schema v1.
+CELL_KEYS = [
+    "bounds",
+    "family",
+    "measured",
+    "mismatches",
+    "model",
+    "params",
+    "predicted",
+    "regime",
+    "seed",
+    "verdict",
+]
+
+#: The pinned top-level key set — schema v1.
+REPORT_KEYS = [
+    "cells",
+    "counts",
+    "mismatches",
+    "models",
+    "ok",
+    "quick",
+    "regimes",
+    "schema",
+    "seed",
+]
+
+REGIME_KEYS = ["kind", "name", "rate_permille", "runs"]
+PREDICTED_KEYS = [
+    "arq_ceiling_bits",
+    "arq_wire_bits",
+    "bits_agent0",
+    "bits_agent1",
+    "rounds",
+    "total_bits",
+]
+CLEAN_KEYS = [
+    "answer",
+    "arq_wire_bits",
+    "bits_agent0",
+    "bits_agent1",
+    "rounds",
+    "total_bits",
+]
+FAULTED_KEYS = [
+    "faults_injected",
+    "loud_failures",
+    "recovered",
+    "retries",
+    "runs",
+    "silent_wrong",
+    "wire_bits_max",
+    "wire_bits_min",
+    "wire_bits_total",
+]
+
+
+def _no_floats(value, path="report"):
+    assert not isinstance(value, float), f"float at {path}: {value!r}"
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _no_floats(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _no_floats(item, f"{path}[{index}]")
+
+
+class TestQuickSweepGate:
+    def test_zero_mismatch_all_models_two_fault_regimes(self):
+        cells = run_sweep(quick=True, seed=0)
+        assert cells, "quick sweep must not be empty"
+        bad = [c for c in cells if c["verdict"] == "MISMATCH"]
+        detail = "; ".join(m for c in bad for m in c["mismatches"])
+        assert not bad, f"matrix contract violated: {detail}"
+        assert {c["model"] for c in cells} == set(MODELS)
+        faulted = {
+            c["regime"]["name"]
+            for c in cells
+            if c["regime"]["kind"] is not None
+        }
+        assert len(faulted) >= 2
+
+    def test_verdict_regime_pairing(self):
+        # Clean cells judge MATCH, faulted cells WITHIN_BOUND; the
+        # measured document mirrors the same split.
+        for cell in run_sweep(quick=True, seed=0):
+            clean = cell["regime"]["kind"] is None
+            assert cell["verdict"] == ("MATCH" if clean else "WITHIN_BOUND")
+            assert (cell["measured"]["clean"] is None) != clean
+            assert (cell["measured"]["faulted"] is None) == clean
+
+    def test_zero_silent_corruption(self):
+        for cell in run_sweep(quick=True, seed=0):
+            faulted = cell["measured"]["faulted"]
+            if faulted is not None:
+                assert faulted["silent_wrong"] == 0
+
+
+class TestFrozenSchema:
+    def test_schema_version_pinned(self):
+        assert MATRIX_SCHEMA_VERSION == 1
+
+    def test_report_layout(self):
+        cells = run_sweep(quick=True, seed=3)
+        report = sweep_report(cells, quick=True, seed=3)
+        assert sorted(report) == REPORT_KEYS
+        assert report["schema"] == 1
+        assert report["quick"] is True
+        assert report["seed"] == 3
+        assert sorted(report["counts"]) == [
+            "MATCH",
+            "MISMATCH",
+            "WITHIN_BOUND",
+        ]
+        assert report["models"] == sorted(report["models"])
+        assert report["regimes"] == sorted(report["regimes"])
+        assert report["mismatches"] == report["counts"]["MISMATCH"]
+        assert report["ok"] == (report["mismatches"] == 0)
+
+    def test_cell_layout(self):
+        for cell in run_sweep(quick=True, seed=3):
+            assert sorted(cell) == CELL_KEYS
+            assert sorted(cell["regime"]) == REGIME_KEYS
+            assert sorted(cell["predicted"]) == PREDICTED_KEYS
+            if cell["measured"]["clean"] is not None:
+                assert sorted(cell["measured"]["clean"]) == CLEAN_KEYS
+            if cell["measured"]["faulted"] is not None:
+                assert sorted(cell["measured"]["faulted"]) == FAULTED_KEYS
+
+    def test_no_floats_anywhere(self):
+        # Integer permille rates, integer bits, integer counts: a float
+        # in the schema would break byte-determinism guarantees.
+        report = sweep_report(run_sweep(quick=True, seed=0), quick=True)
+        _no_floats(report)
+
+    def test_json_round_trip(self):
+        report = sweep_report(run_sweep(quick=True, seed=0), quick=True)
+        assert json.loads(json.dumps(report, sort_keys=True)) == json.loads(
+            json.dumps(report, sort_keys=True)
+        )
+
+    def test_regimes_quick_has_clean_plus_two(self):
+        quick = regimes(quick=True)
+        assert quick[0].kind is None and quick[0].name == "clean"
+        assert len([r for r in quick if r.kind is not None]) >= 2
+        full_kinds = {r.kind for r in regimes(quick=False) if r.kind}
+        assert full_kinds == {"flip", "burst", "erase", "duplicate", "delay"}

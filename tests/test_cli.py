@@ -79,6 +79,37 @@ class TestCommands:
         assert "equality" in out
 
 
+class TestMatrixCommand:
+    def test_matrix_quick_table(self, capsys):
+        assert main(["matrix", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario matrix" in out
+        assert "0 MISMATCH" in out
+
+    def test_matrix_json_out_and_render(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "MATRIX.json"
+        rendered = tmp_path / "RESULTS.md"
+        assert main([
+            "matrix", "--quick", "--json",
+            "--out", str(out), "--render", str(rendered),
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == 1 and report["ok"]
+        assert json.loads(out.read_text()) == report
+        assert rendered.read_text().startswith("<!-- AUTO-GENERATED")
+
+    def test_matrix_check_render_catches_drift(self, tmp_path, capsys):
+        stale = tmp_path / "RESULTS.md"
+        stale.write_text("# stale\n")
+        assert main([
+            "matrix", "--quick", "--check-render", str(stale),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "RENDER DRIFT" in captured.err
+
+
 class TestServeCommands:
     def test_serve_load_bench(self, tmp_path, capsys):
         out = tmp_path / "BENCH_SERVE.json"

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.trace",
     "repro.serve",
     "repro.costs",
+    "repro.matrix",
 ]
 
 

@@ -24,7 +24,8 @@ def test_every_example_is_covered():
     """The glob really found the suite (guards against a moved directory)."""
     assert "quickstart.py" in EXAMPLES
     assert "tracing_tour.py" in EXAMPLES
-    assert len(EXAMPLES) >= 9
+    assert "scenario_matrix_tour.py" in EXAMPLES
+    assert len(EXAMPLES) >= 10
 
 
 def _run_example(name: str, extra_env: dict | None = None):
